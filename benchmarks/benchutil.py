@@ -1,0 +1,15 @@
+"""Formatting helpers shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+
+def fmt_row(cells, widths):
+    """Fixed-width row rendering for the printed result tables."""
+    return "  ".join(str(cell).ljust(width)
+                     for cell, width in zip(cells, widths))
+
+
+def fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.2f}"

@@ -1,0 +1,28 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures (or an
+ablation DESIGN.md calls out).  Because pytest captures stdout, each bench
+also writes its rendered table to ``benchmarks/results/<name>.txt`` so the
+artifacts survive a quiet run; EXPERIMENTS.md indexes those files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """A callable that renders lines to stdout and a results file."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, lines: list[str]) -> None:
+        text = "\n".join(lines) + "\n"
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+    return write

@@ -1,0 +1,118 @@
+"""Ablation — frictional-cost gating under churn.
+
+DESIGN.md decision 2: reconfigurations are applied only when the projected
+gain, amortized over the friction policy's horizon, exceeds the one-time
+switching cost.  Scenario: a database client whose best option flips every
+time a competitor joins or leaves (the competitor churns on a fixed
+period).  Without friction the client thrashes between QS and DS; with a
+declared ``friction`` cost and a short amortization horizon the controller
+holds steady.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.controller import AdaptationController, FrictionPolicy
+
+from benchutil import fmt_row
+
+
+def db_rsl(client_host, friction_seconds):
+    friction = (f" {{friction {friction_seconds}}}"
+                if friction_seconds else "")
+    return f"""
+harmonyBundle DBclient where {{
+    {{QS {{node server {{hostname server0}} {{seconds 9}} {{memory 20}}}}
+        {{node client {{hostname {client_host}}} {{seconds 1}} {{memory 2}}}}
+        {{link client server 2}}{friction}}}
+    {{DS {{node server {{hostname server0}} {{seconds 1}} {{memory 20}}}}
+        {{node client {{hostname {client_host}}} {{memory >=32}}
+                     {{seconds 11}}}}
+        {{link client server 51}}{friction}}}}}
+"""
+
+
+PINNED_COMPETITOR = """
+harmonyBundle ServerHog load {
+    {only {node server {hostname server0} {seconds 9} {memory 20}}
+          {node client {hostname c2} {seconds 1} {memory 2}}
+          {link client server 2}}}
+"""
+
+
+def run_churn(friction_seconds: float, amortization_seconds: float,
+              churn_cycles: int = 6):
+    """A stable client endures a server-hogging competitor that joins and
+    leaves repeatedly.  Each join makes DS momentarily better for the
+    stable client; each leave makes QS better again."""
+    cluster = Cluster.star("server0", ["c1", "c2"], memory_mb=128)
+    controller = AdaptationController(
+        cluster,
+        friction_policy=FrictionPolicy(
+            amortization_seconds=amortization_seconds,
+            min_relative_gain=0.01))
+    stable = controller.register_app("DBclient")
+    state = controller.setup_bundle(stable, db_rsl("c1", friction_seconds))
+
+    def churn():
+        for _cycle in range(churn_cycles):
+            yield cluster.kernel.timeout(30.0)
+            competitor = controller.register_app("ServerHog")
+            controller.setup_bundle(competitor, PINNED_COMPETITOR)
+            yield cluster.kernel.timeout(30.0)
+            controller.end_app(competitor)
+
+    cluster.kernel.spawn(churn())
+    cluster.run()
+    return state.switch_count, state.chosen.option_name
+
+
+def test_ablation_friction(report, benchmark):
+    def run_all():
+        return {
+            "no friction": run_churn(friction_seconds=0.0,
+                                     amortization_seconds=600.0),
+            "friction 100 s, 60 s horizon": run_churn(
+                friction_seconds=100.0, amortization_seconds=60.0),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = ["Ablation: friction gating under competitor churn "
+            "(6 join/leave cycles)", ""]
+    rows.append(fmt_row(["configuration", "option switches",
+                         "final option"], [30, 16, 12]))
+    for label, (switches, final) in results.items():
+        rows.append(fmt_row([label, switches, final], [30, 16, 12]))
+    report("ablation_friction", rows)
+
+    frictionless_switches = results["no friction"][0]
+    gated_switches = results["friction 100 s, 60 s horizon"][0]
+    # Without friction the controller follows every flip of the
+    # environment; the gated controller holds its configuration.
+    assert frictionless_switches >= 6
+    assert gated_switches <= frictionless_switches / 3
+
+
+def test_friction_does_not_block_large_gains(report, benchmark):
+    """Gating must still allow clearly-worthwhile reconfigurations."""
+    def run():
+        cluster = Cluster.star("server0", ["c1", "c2", "c3"],
+                               memory_mb=128)
+        controller = AdaptationController(
+            cluster,
+            friction_policy=FrictionPolicy(amortization_seconds=600.0))
+        instances = []
+        for host in ("c1", "c2", "c3"):
+            instance = controller.register_app("DBclient")
+            controller.setup_bundle(instance, db_rsl(host, 30.0))
+            instances.append(instance)
+        return [instance.bundles["where"].chosen.option_name
+                for instance in instances]
+
+    options = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = ["Ablation: friction with a genuinely large gain", "",
+            f"three clients with 30 s friction each -> options: {options}",
+            "the saturation-avoiding switch still happens"]
+    report("ablation_friction_large_gain", rows)
+    assert "DS" in options

@@ -1,0 +1,106 @@
+"""Ablation — prediction accuracy: default vs. explicit models.
+
+DESIGN.md decision 3.  Ground truth is the discrete-event simulator itself:
+a Bag instance pinned to each worker count runs one iteration alone on an
+idle cluster.  The bench compares:
+
+* the **default** model (CPU max + quadratic communication, no knowledge of
+  the bag's load-balancing slack), and
+* the **explicit** piecewise-linear curve the application declares
+
+against the simulated iteration time.  The paper's premise — that
+applications with complex internal structure should override the default
+model — shows up directly as the error gap.
+"""
+
+import pytest
+
+from repro.allocation import Matcher, instantiate_option
+from repro.api import HarmonyClient, HarmonyServer, connected_pair
+from repro.apps.bag import BagOfTasksApp, bag_bundle_rsl
+from repro.cluster import Cluster
+from repro.controller import AdaptationController
+from repro.prediction import DefaultModel, ExplicitSpecModel, SystemView
+from repro.rsl import build_bundle
+
+from benchutil import fmt_row
+
+TOTAL = 2400.0
+ALPHA = 12.0
+DOMAIN = (1, 2, 4, 8)
+
+
+def simulate_iteration(workers: int) -> float:
+    cluster = Cluster.full_mesh([f"n{i}" for i in range(8)],
+                                memory_mb=128)
+    controller = AdaptationController(cluster)
+    server = HarmonyServer(controller)
+    client_end, server_end = connected_pair()
+    server.attach(server_end)
+    app = BagOfTasksApp("Bag", cluster, HarmonyClient(client_end),
+                        total_seconds_per_iteration=TOTAL,
+                        task_count=48, domain=(workers,),
+                        overhead_alpha=ALPHA, seed=3)
+    cluster.run(app.start(iteration_limit=1))
+    return app.stats.records[0].elapsed_seconds
+
+
+def predictions_for(workers: int) -> tuple[float, float]:
+    bundle = build_bundle(bag_bundle_rsl(
+        "Bag", TOTAL, DOMAIN, overhead_alpha=ALPHA))
+    option = bundle.option_named("run")
+    cluster = Cluster.full_mesh([f"n{i}" for i in range(8)],
+                                memory_mb=128)
+    demands = instantiate_option(option, {"workerNodes": workers})
+    assignment = Matcher(cluster).match(demands)
+    view = SystemView(cluster)
+    view.place("bag", demands, assignment)
+    default = DefaultModel().predict(demands, assignment, view,
+                                     app_key="bag")
+    explicit = ExplicitSpecModel(option.performance).predict(
+        demands, assignment, view, app_key="bag")
+    return default, explicit
+
+
+def test_ablation_prediction_error(report, benchmark):
+    def run():
+        out = []
+        for workers in DOMAIN:
+            truth = simulate_iteration(workers)
+            default, explicit = predictions_for(workers)
+            out.append((workers, truth, default, explicit))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = ["Ablation: prediction error vs simulated ground truth "
+            "(Bag, one iteration, idle cluster)", ""]
+    rows.append(fmt_row(
+        ["workers", "simulated s", "default s", "err%", "explicit s",
+         "err%"], [8, 12, 10, 7, 11, 7]))
+    default_errors, explicit_errors = [], []
+    for workers, truth, default, explicit in results:
+        default_error = abs(default - truth) / truth * 100
+        explicit_error = abs(explicit - truth) / truth * 100
+        default_errors.append(default_error)
+        explicit_errors.append(explicit_error)
+        rows.append(fmt_row(
+            [workers, f"{truth:.0f}", f"{default:.0f}",
+             f"{default_error:.0f}%", f"{explicit:.0f}",
+             f"{explicit_error:.0f}%"], [8, 12, 10, 7, 11, 7]))
+    rows.append("")
+    rows.append(f"mean error: default "
+                f"{sum(default_errors) / len(default_errors):.1f}%, "
+                f"explicit "
+                f"{sum(explicit_errors) / len(explicit_errors):.1f}%")
+    report("ablation_models", rows)
+
+    # The explicit model, being the application's own curve, must beat the
+    # generic default on average and stay within 15% of the simulator.
+    # The default model, blind to the serial coordination phase, degrades
+    # badly at high worker counts — the paper's Section 4.2 point that the
+    # simple default "is inadequate to describe the performance of many
+    # parallel applications".
+    assert sum(explicit_errors) < sum(default_errors)
+    assert max(explicit_errors) < 15.0
+    assert max(default_errors) > 30.0

@@ -1,0 +1,96 @@
+"""Ablation — objective functions.
+
+Section 4.2: "In the future we plan to investigate other objective
+functions.  The requirement ... is that it be a single variable that
+represents the overall behavior of the system".  The controller accepts
+any such scalarizer; this bench runs the three-client database scenario
+under each and shows how the chosen configurations shift.
+
+The interesting asymmetry: with two query-shipping residents, moving one
+client to data shipping *raises that client's* response but *lowers the
+others'*.  Mean-response and throughput weigh that trade differently, and
+per-application weights let an operator protect a premium client.
+"""
+
+from repro.cluster import Cluster
+from repro.controller import (
+    AdaptationController,
+    MaxResponseTime,
+    MeanResponseTime,
+    ThroughputObjective,
+    WeightedMeanResponseTime,
+)
+
+from benchutil import fmt_row
+
+
+def db_rsl(client_host):
+    return f"""
+harmonyBundle DBclient where {{
+    {{QS {{node server {{hostname server0}} {{seconds 9}} {{memory 20}}}}
+        {{node client {{hostname {client_host}}} {{seconds 1}} {{memory 2}}}}
+        {{link client server 2}}}}
+    {{DS {{node server {{hostname server0}} {{seconds 1}} {{memory 20}}}}
+        {{node client {{hostname {client_host}}} {{memory >=32}}
+                     {{seconds 18}}}}
+        {{link client server 51}}}}}}
+"""
+
+
+def run_objective(objective):
+    cluster = Cluster.star("server0", ["c1", "c2", "c3"], memory_mb=128)
+    controller = AdaptationController(cluster, objective=objective)
+    instances = []
+    for host in ("c1", "c2", "c3"):
+        instance = controller.register_app("DBclient")
+        controller.setup_bundle(instance, db_rsl(host))
+        instances.append(instance)
+    options = [instance.bundles["where"].chosen.option_name
+               for instance in instances]
+    predictions = controller.predict_all(controller.view)
+    ordered = [predictions[instance.key] for instance in instances]
+    return options, ordered
+
+
+def test_ablation_objectives(report, benchmark):
+    objectives = {
+        "mean response (paper default)": MeanResponseTime(),
+        "max response (makespan)": MaxResponseTime(),
+        "throughput": ThroughputObjective(),
+        "weighted mean (c1 weight 10)": WeightedMeanResponseTime(
+            {"DBclient.1": 10.0}),
+    }
+
+    def run_all():
+        return {label: run_objective(objective)
+                for label, objective in objectives.items()}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = ["Ablation: objective functions, 3 database clients", ""]
+    rows.append(fmt_row(["objective", "options", "responses (s)",
+                         "mean", "max"], [30, 14, 20, 6, 6]))
+    for label, (options, responses) in results.items():
+        rows.append(fmt_row(
+            [label, "/".join(options),
+             ", ".join(f"{value:.1f}" for value in responses),
+             f"{sum(responses) / len(responses):.1f}",
+             f"{max(responses):.1f}"], [30, 14, 20, 6, 6]))
+    report("ablation_objectives", rows)
+
+    # Every objective must avoid full QS saturation (27 s each).
+    for label, (options, responses) in results.items():
+        assert "DS" in options, label
+        assert max(responses) < 27.0, label
+
+    # The weighted objective keeps the premium client on the fast path.
+    weighted_options, weighted_responses = results[
+        "weighted mean (c1 weight 10)"]
+    assert weighted_options[0] == "QS"
+    assert weighted_responses[0] == min(weighted_responses)
+
+    # Makespan minimizes the worst client relative to plain mean.
+    _mean_options, mean_responses = results[
+        "mean response (paper default)"]
+    _max_options, max_responses = results["max response (makespan)"]
+    assert max(max_responses) <= max(mean_responses) + 1e-6

@@ -1,0 +1,120 @@
+"""Figure 2 — the "Simple" and "Bag" harmonized applications.
+
+Figure 2 is a specification figure, so its reproduction is behavioural:
+(a) Simple's four replicated worker nodes must match, allocate and run on
+four distinct machines; (b) Bag's variable-parallelism bundle must expose
+all four configurations with constant total work, quadratic communication,
+and the user-supplied performance curve the controller actually follows.
+"""
+
+import pytest
+
+from repro.allocation import Matcher, instantiate_option
+from repro.api import HarmonyClient, HarmonyServer, connected_pair
+from repro.apps import (
+    BagOfTasksApp,
+    SimpleParallelApp,
+    bag_bundle_rsl,
+    simple_bundle_rsl,
+)
+from repro.cluster import Cluster
+from repro.controller import AdaptationController
+from repro.rsl import build_bundle
+
+from benchutil import fmt_row
+
+
+def make_world():
+    cluster = Cluster.full_mesh([f"n{i}" for i in range(8)],
+                                memory_mb=128)
+    controller = AdaptationController(cluster)
+    return cluster, controller, HarmonyServer(controller)
+
+
+def harmony_for(server):
+    client_end, server_end = connected_pair()
+    server.attach(server_end)
+    return HarmonyClient(client_end)
+
+
+def test_fig2a_simple_application(report, benchmark):
+    """Run Simple end to end and report its allocation and runtime."""
+    def run_simple():
+        cluster, controller, server = make_world()
+        app = SimpleParallelApp(cluster, harmony_for(server))
+        cluster.run(app.start())
+        return app.report
+
+    run = benchmark.pedantic(run_simple, rounds=3, iterations=1)
+    assert run is not None
+    hosts = sorted(set(run.placements.values()))
+    assert len(hosts) == 4
+
+    rows = ["Figure 2(a) -- 'Simple': 4 workers x 300 s x 32 MB, "
+            "64 MB communication", ""]
+    rows.append(fmt_row(["replica", "host"], [12, 10]))
+    for local, host in sorted(run.placements.items()):
+        rows.append(fmt_row([local, host], [12, 10]))
+    rows.append("")
+    rows.append(f"elapsed: {run.elapsed_seconds:.1f} s "
+                f"(300 s parallel compute + communication)")
+    assert 300.0 <= run.elapsed_seconds < 320.0
+    report("fig2a_simple", rows)
+
+
+def test_fig2b_bag_configuration_space(report, benchmark):
+    """Instantiate every Bag configuration and report its resources."""
+    bundle = build_bundle(bag_bundle_rsl())
+    option = bundle.option_named("run")
+    cluster = Cluster.full_mesh([f"n{i}" for i in range(8)], memory_mb=128)
+    matcher = Matcher(cluster)
+
+    def instantiate_all():
+        out = []
+        for assignment_vars in option.variable_assignments():
+            demands = instantiate_option(option, assignment_vars)
+            placement = matcher.match(demands)
+            out.append((assignment_vars, demands, placement))
+        return out
+
+    configurations = benchmark(instantiate_all)
+
+    rows = ["Figure 2(b) -- 'Bag': variable parallelism over {1 2 4 8}", ""]
+    rows.append(fmt_row(["workers", "sec/worker", "total sec", "comm MB",
+                         "perf model s"], [8, 11, 10, 8, 12]))
+    for assignment_vars, demands, _placement in configurations:
+        n = int(assignment_vars["workerNodes"])
+        from repro.prediction import PiecewiseLinearModel
+        curve = PiecewiseLinearModel.from_spec(option.performance)
+        rows.append(fmt_row(
+            [n, f"{demands.nodes[0].seconds:.0f}",
+             f"{demands.total_cpu_seconds():.0f}",
+             f"{demands.communication_mb:.1f}",
+             f"{curve.predict(n):.0f}"], [8, 11, 10, 8, 12]))
+        assert demands.total_cpu_seconds() == pytest.approx(2400.0)
+        assert demands.communication_mb == pytest.approx(0.5 * n * n)
+    report("fig2b_bag", rows)
+
+
+def test_fig2b_bag_runs_and_follows_curve(report, benchmark):
+    """Bag really executes; the controller picks the curve's best point."""
+    def run_bag():
+        cluster, controller, server = make_world()
+        app = BagOfTasksApp("Bag", cluster, harmony_for(server),
+                            total_seconds_per_iteration=2400.0,
+                            task_count=24, domain=(1, 2, 4, 8),
+                            overhead_alpha=12)
+        cluster.run(app.start(iteration_limit=2))
+        return app
+
+    app = benchmark.pedantic(run_bag, rounds=1, iterations=1)
+    record = app.stats.records[0]
+    # Curve over {1,2,4,8} with alpha=12 bottoms out at 4 workers.
+    assert record.worker_count == 4
+    rows = ["Figure 2(b) -- Bag executing under Harmony", "",
+            f"chosen workers: {record.worker_count} (curve optimum of "
+            f"{{1,2,4,8}})",
+            f"iteration time: {record.elapsed_seconds:.0f} s "
+            f"(model predicted 708 s)"]
+    assert record.elapsed_seconds == pytest.approx(708.0, rel=0.25)
+    report("fig2b_bag_run", rows)

@@ -1,0 +1,133 @@
+"""Figure 3 — the client-server database bundle.
+
+Reproduces the paper's DBclient ``where`` bundle: the QS/DS alternatives,
+the elastic ``memory >= N`` client requirement, and the link demand
+parameterized on granted client memory.  Prints the memory -> bandwidth
+trade curve and shows the controller exploiting it (allocating extra client
+memory to cut bandwidth), plus the server-load asymmetry that drives the
+Figure 7 crossover.
+"""
+
+import pytest
+
+from repro.allocation import instantiate_option
+from repro.apps.database import (
+    CostParameters,
+    DatabaseEngine,
+    database_bundle_numbers,
+    database_bundle_rsl,
+    make_wisconsin_pair,
+)
+from repro.cluster import Cluster
+from repro.controller import AdaptationController
+from repro.rsl import build_bundle
+
+from benchutil import fmt_row
+
+PAPER_FIGURE3 = """
+harmonyBundle DBclient:1 where {
+    {QS {node server {hostname harmony.cs.umd.edu} {seconds 42} {memory 20}}
+        {node client {os linux} {seconds 1} {memory 2}}
+        {link client server 2}}
+    {DS {node server {hostname harmony.cs.umd.edu} {seconds 1} {memory 20}}
+        {node client {os linux} {memory >=32} {seconds 9}}
+        {link client server
+            {44 + (client.memory > 24 ? 24 : client.memory) - 17}}}}
+"""
+
+
+def test_fig3_paper_bundle_parses_and_evaluates(report, benchmark):
+    """The figure's own RSL, verbatim (modulo OCR bracket repair)."""
+    bundle = benchmark(build_bundle, PAPER_FIGURE3)
+    assert bundle.option_names() == ["QS", "DS"]
+    qs = instantiate_option(bundle.option_named("QS"))
+    ds = instantiate_option(bundle.option_named("DS"))
+
+    rows = ["Figure 3 -- DBclient 'where' bundle (paper constants)", ""]
+    rows.append(fmt_row(["option", "server s", "client s", "client mem",
+                         "link MB"], [7, 9, 9, 11, 8]))
+    rows.append(fmt_row(
+        ["QS", qs.demand_named("server").seconds,
+         qs.demand_named("client").seconds,
+         qs.demand_named("client").memory_min_mb,
+         qs.links[0].total_mb], [7, 9, 9, 11, 8]))
+    rows.append(fmt_row(
+        ["DS", ds.demand_named("server").seconds,
+         ds.demand_named("client").seconds,
+         f">={ds.demand_named('client').memory_min_mb:.0f}",
+         ds.links[0].total_mb], [7, 9, 9, 11, 8]))
+
+    # The paper's two asymmetries:
+    assert qs.demand_named("server").seconds > \
+        ds.demand_named("server").seconds   # QS loads the server
+    assert ds.demand_named("client").seconds > \
+        qs.demand_named("client").seconds   # DS loads the client
+    rows.append("")
+    rows.append("server load: QS >> DS; client load: DS >> QS  "
+                "(drives the Figure 7 crossover)")
+    report("fig3_paper_bundle", rows)
+
+
+def test_fig3_memory_bandwidth_tradeoff(report, benchmark):
+    """The engine-derived bundle's DS link falls as client memory grows."""
+    # Large enough that the working set (both relations) exceeds the DS
+    # minimum client memory, so the trade-off region is non-empty.
+    relation_a, relation_b = make_wisconsin_pair(60_000, seed=7)
+    engine = DatabaseEngine(relation_a, relation_b, CostParameters())
+    numbers = database_bundle_numbers(engine)
+    bundle = build_bundle(database_bundle_rsl("c1", "server0", numbers))
+    ds = bundle.option_named("DS")
+
+    def sweep():
+        curve = []
+        for memory in range(int(numbers.ds_min_client_memory_mb),
+                            int(numbers.working_set_mb) + 8):
+            demands = instantiate_option(
+                ds, grants={"client.memory": float(memory)})
+            curve.append((memory, demands.links[0].total_mb))
+        return curve
+
+    curve = benchmark(sweep)
+
+    rows = ["Figure 3 -- memory/bandwidth trade (engine-derived bundle)",
+            f"working set: {numbers.working_set_mb} MB", "",
+            fmt_row(["client MB", "link MB/query"], [10, 14])]
+    for memory, link_mb in curve[::2]:
+        rows.append(fmt_row([memory, f"{link_mb:.2f}"], [10, 14]))
+    # Monotone non-increasing, flattening at the working set.
+    values = [link for _memory, link in curve]
+    assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+    assert values[-1] < values[0]
+    report("fig3_memory_bandwidth", rows)
+
+
+def test_fig3_controller_exploits_elastic_memory(report, benchmark):
+    """With a traffic-reducing link expression the controller grants more
+    than the minimum memory — the paper's 'Harmony can then decide to
+    allocate additional memory resources at the client in order to reduce
+    bandwidth requirements'."""
+    rsl = """harmonyBundle DBclient where {
+        {DS {node server {hostname server0} {seconds 1} {memory 20}}
+            {node client {hostname c1} {memory >=17} {seconds 9}}
+            {link client server
+                {44 + 17 - (client.memory > 24 ? 24 : client.memory)}}}}
+    """
+
+    def decide():
+        cluster = Cluster.star("server0", ["c1"], memory_mb=128,
+                               bandwidth_mbps=2.0)  # scarce bandwidth
+        controller = AdaptationController(cluster)
+        instance = controller.register_app("DBclient")
+        state = controller.setup_bundle(instance, rsl)
+        return cluster, state.chosen
+
+    cluster, chosen = benchmark.pedantic(decide, rounds=3, iterations=1)
+    granted = cluster.node("c1").memory.held_by("DBclient.1:where")
+    assert granted == pytest.approx(24.0)  # boosted beyond the 17 minimum
+    assert chosen.demands.links[0].total_mb == pytest.approx(37.0)
+    rows = ["Figure 3 -- controller memory/bandwidth decision", "",
+            f"client memory minimum: 17 MB; granted: {granted:.0f} MB",
+            f"link demand at minimum: 44 MB; at grant: "
+            f"{chosen.demands.links[0].total_mb:.0f} MB",
+            "extra memory converted into a 7 MB/query bandwidth saving"]
+    report("fig3_memory_decision", rows)

@@ -1,0 +1,105 @@
+"""Figure 4 — online reconfiguration of variable-parallelism applications.
+
+"(a) shows the performance of a parallel application and (b) shows the
+eight-processor configurations chosen by Harmony as new jobs arrive.  Note
+the configuration of five nodes (rather than six) in the first time frame,
+and the subsequent configurations that optimize for average efficiency by
+choosing equal partitions for multiple instances of the parallel
+application, rather than some large and some small."
+
+Shape targets:
+
+* frame 1 (one app):    5 nodes — the app's performance model bottoms at 5;
+* frame 2 (two apps):   4 + 4   — equal partitions, not 5 + 3;
+* frame 3 (three apps): 3 + 3 + 2.
+
+A fourth arrival is run as an extension; there the greedy + pairwise search
+settles in a local optimum (three apps of 3 plus one of 2, with overlap)
+rather than the global 2+2+2+2 — the gap the paper itself concedes for
+greedy optimization; the ablation benchmark quantifies it.
+"""
+
+import pytest
+
+from repro.apps.parallel_experiment import (
+    ParallelExperimentConfig,
+    run_parallel_experiment,
+)
+
+from benchutil import fmt_row
+
+
+def test_fig4_online_reconfiguration(report, benchmark):
+    def run():
+        return run_parallel_experiment(ParallelExperimentConfig(
+            app_count=3, arrival_interval_seconds=1500.0,
+            total_duration_seconds=4500.0))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = ["Figure 4 -- configurations chosen as jobs arrive "
+            "(8 processors)", ""]
+    rows.append(fmt_row(["frame", "t range", "apps", "partition",
+                         "mean iteration s/app"], [6, 14, 5, 12, 34]))
+    for frame in result.frames:
+        iterations = ", ".join(
+            f"{app}={seconds:.0f}"
+            for app, seconds in sorted(
+                frame.mean_iteration_seconds.items()))
+        rows.append(fmt_row(
+            [frame.frame_index,
+             f"[{frame.start_time:.0f},{frame.end_time:.0f})",
+             frame.active_apps,
+             "+".join(str(n) for n in frame.partition()),
+             iterations], [6, 14, 5, 12, 34]))
+
+    rows.append("")
+    rows.append(fmt_row(["frame", "paper shape", "measured"], [6, 26, 12]))
+    expectations = [("1 app", "5 nodes (not 6)", result.frames[0]),
+                    ("2 apps", "equal partition 4+4", result.frames[1]),
+                    ("3 apps", "equal-ish 3+3+2", result.frames[2])]
+    for label, paper, frame in expectations:
+        rows.append(fmt_row(
+            [label, paper, "+".join(str(n) for n in frame.partition())],
+            [6, 26, 12]))
+
+    rows.append("")
+    rows.append("reconfiguration decisions:")
+    for record in result.decisions:
+        rows.append(f"  t={record.time:7.1f}  {record.app_key:8s} "
+                    f"{record.old_configuration or '-':22s} -> "
+                    f"{record.new_configuration:22s} ({record.reason})")
+    report("fig4_reconfiguration", rows)
+
+    assert result.frames[0].partition() == [5]
+    assert result.frames[1].partition() == [4, 4]
+    assert result.frames[2].partition() == [3, 3, 2]
+
+
+def test_fig4_extension_fourth_arrival(report, benchmark):
+    """Beyond the paper: a fourth app; document the greedy local optimum."""
+    def run():
+        return run_parallel_experiment(ParallelExperimentConfig(
+            app_count=4, arrival_interval_seconds=1500.0,
+            total_duration_seconds=6000.0))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    partitions = result.partitions()
+
+    rows = ["Figure 4 extension -- fourth arrival", ""]
+    for index, partition in enumerate(partitions):
+        rows.append(f"frame {index} ({index + 1} apps): "
+                    + "+".join(str(n) for n in partition))
+    total_final = sum(partitions[3])
+    rows.append("")
+    rows.append(
+        f"final frame allocates {total_final} worker slots on 8 nodes "
+        f"({'co-located with contention' if total_final > 8 else 'exact'});"
+        f" the global optimum 2+2+2+2 is out of reach of greedy+pairwise "
+        f"search (see ablation_optimizer)")
+    report("fig4_extension", rows)
+
+    assert partitions[:3] == [[5], [4, 4], [3, 3, 2]]
+    # Every app keeps running and the partition stays near-balanced.
+    assert len(partitions[3]) == 4
+    assert max(partitions[3]) - min(partitions[3]) <= 1

@@ -1,0 +1,142 @@
+"""Figure 7 — the client-server database experiment.
+
+"Harmony chooses query-shipping with one or two clients, but switches all
+clients to data-shipping when the third client starts."
+
+The bench runs the full Section 6 experiment (Wisconsin join workload,
+clients arriving every 200 simulated seconds) under the paper's rule-based
+controller and under the Section 4 model-driven optimizer, and prints the
+per-phase mean response time series the figure plots.
+
+Shape targets (paper vs. reproduction):
+
+* two clients ~ double the solo response;
+* a transient spike when the third client starts query shipping;
+* after the switch, response returns to roughly the two-client level.
+"""
+
+import pytest
+
+from repro.apps.database import (
+    DatabaseExperimentConfig,
+    OPTION_DATA_SHIPPING,
+    run_database_experiment,
+)
+
+from benchutil import fmt_row
+
+
+def summarize(result, rows):
+    rows.append(fmt_row(["phase", "t range", "clients", "option",
+                         "mean response/client (s)"], [6, 12, 8, 7, 30]))
+    for phase in result.phases:
+        means = ", ".join(
+            f"{client}={seconds:.1f}"
+            for client, seconds in sorted(
+                phase.mean_response_by_client.items()))
+        rows.append(fmt_row(
+            [phase.phase_index,
+             f"[{phase.start_time:.0f},{phase.end_time:.0f})",
+             phase.active_clients, phase.dominant_option, means],
+            [6, 12, 8, 7, 30]))
+    rows.append("")
+    rows.append(f"switch to data shipping at t="
+                f"{result.switch_time:.0f} s; "
+                f"{result.queries_total} queries executed")
+
+
+def bucket_series(result, width=100.0):
+    lines = [fmt_row(["client", "per-100s mean response (s)"], [8, 60])]
+    for client, series in sorted(result.response_series.items()):
+        buckets: dict[int, list[float]] = {}
+        for time, response in series:
+            buckets.setdefault(int(time // width), []).append(response)
+        trace = " ".join(
+            f"{sum(v) / len(v):5.1f}" for _k, v in sorted(buckets.items()))
+        lines.append(fmt_row([client, trace], [8, 60]))
+    return lines
+
+
+def test_fig7_rule_based_controller(report, benchmark):
+    """The paper's configuration: 'a simple rule ... based on the number
+    of active clients'."""
+    def run():
+        return run_database_experiment(DatabaseExperimentConfig(
+            tuple_count=10_000, policy="rule"))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    solo = result.phases[0].mean_response_by_client["client0"]
+    duo = result.phases[1].mean_response_by_client["client0"]
+    post = result.mean_response("client0", result.switch_time + 30.0,
+                                result.config.total_duration_seconds)
+    third_arrival = 2 * result.config.arrival_interval_seconds
+    spike = result.mean_response("client0", third_arrival,
+                                 result.switch_time)
+
+    rows = ["Figure 7 -- client-server database, rule-based controller",
+            ""]
+    summarize(result, rows)
+    rows.append("")
+    rows.extend(bucket_series(result))
+    rows.append("")
+    rows.append(fmt_row(["quantity", "paper shape", "measured"],
+                        [28, 22, 12]))
+    rows.append(fmt_row(["solo response", "baseline x1", f"{solo:.1f} s"],
+                        [28, 22, 12]))
+    rows.append(fmt_row(["two clients", "~2x solo",
+                         f"{duo:.1f} s ({duo / solo:.2f}x)"], [28, 22, 12]))
+    rows.append(fmt_row(["three QS clients (spike)", ">2x solo",
+                         f"{spike:.1f} s ({spike / solo:.2f}x)"],
+                        [28, 22, 12]))
+    rows.append(fmt_row(["after DS switch", "~two-client level",
+                         f"{post:.1f} s ({post / duo:.2f}x duo)"],
+                        [28, 22, 12]))
+    report("fig7_rule_based", rows)
+
+    # The paper's shape, asserted:
+    assert duo / solo == pytest.approx(2.0, rel=0.25)
+    assert spike > duo * 1.2
+    assert post == pytest.approx(duo, rel=0.25)
+    assert result.phases[2].dominant_option == OPTION_DATA_SHIPPING
+
+
+def test_fig7_model_driven_controller(report, benchmark):
+    """The same experiment under the Section 4 objective optimizer.
+
+    The optimizer may mix options per client (the paper: "the system could
+    use data-shipping for some clients and query-shipping for others"), but
+    the crossover — data shipping appearing once the server saturates — must
+    hold, and nobody may be left at the all-QS saturation level.
+    """
+    def run():
+        return run_database_experiment(DatabaseExperimentConfig(
+            tuple_count=10_000, policy="model"))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = ["Figure 7 -- client-server database, model-driven controller",
+            ""]
+    summarize(result, rows) if result.switch_time is not None else None
+    rows.extend(bucket_series(result))
+
+    solo = result.mean_response("client0", 0,
+                                result.config.arrival_interval_seconds)
+    late_options = {
+        option
+        for samples in result.options_over_time.values()
+        for time, option in samples
+        if time > 2.5 * result.config.arrival_interval_seconds}
+    rows.append("")
+    rows.append(f"options in steady state with 3 clients: "
+                f"{sorted(late_options)}")
+    late_means = [result.mean_response(
+        client, 2.5 * result.config.arrival_interval_seconds,
+        result.config.total_duration_seconds)
+        for client in sorted(result.response_series)]
+    rows.append("late-phase mean responses: "
+                + ", ".join(f"{value:.1f} s" for value in late_means))
+    report("fig7_model_driven", rows)
+
+    assert OPTION_DATA_SHIPPING in late_options
+    assert all(value < 3.2 * solo for value in late_means)

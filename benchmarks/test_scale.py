@@ -1,0 +1,79 @@
+"""Scale bench: controller behaviour as the system grows.
+
+Not a paper figure — a production-readiness check.  The paper worries
+that "the space of possible option combinations in any moderately large
+system will be so large that we will not be able to evaluate all
+combinations"; greedy evaluation is its answer.  This bench measures how
+the greedy (plus pairwise) controller scales with application count on a
+32-node machine room, and verifies decisions stay sane at scale (all
+placed, memory never oversubscribed).
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.controller import AdaptationController, ModelDrivenPolicy
+
+from benchutil import fmt_row
+
+
+def two_option_rsl(index):
+    """Small/large alternatives, hostname-free (controller places)."""
+    return f"""
+harmonyBundle App{index} size {{
+    {{small {{node n {{seconds 60}} {{memory 24}}}}}}
+    {{large {{node n {{seconds 35}} {{memory 24}} {{replicate 2}}}}
+            {{communication 4}}}}}}
+"""
+
+
+def run_scale(app_count: int, pairwise: bool):
+    cluster = Cluster.full_mesh([f"n{i}" for i in range(32)],
+                                memory_mb=256.0)
+    controller = AdaptationController(
+        cluster, policy=ModelDrivenPolicy(
+            pairwise_exchange=pairwise,
+            max_pairwise_bundles=12))
+    for index in range(app_count):
+        instance = controller.register_app(f"App{index}")
+        controller.setup_bundle(instance, two_option_rsl(index))
+    return controller
+
+
+@pytest.mark.parametrize("app_count", [4, 12, 24, 48])
+def test_scale_admission(report, benchmark, app_count):
+    controller = benchmark.pedantic(
+        run_scale, args=(app_count, False), rounds=1, iterations=1)
+
+    # Every application got a configuration.
+    configured = sum(
+        1 for instance in controller.registry.instances()
+        for state in instance.bundles.values()
+        if state.chosen is not None)
+    assert configured == app_count
+
+    # Memory never oversubscribed.
+    for node in controller.cluster.nodes():
+        assert node.memory.reserved_mb <= node.memory.total_mb + 1e-9
+
+    predictions = controller.predict_all(controller.view)
+    mean = sum(predictions.values()) / len(predictions)
+    worst = max(predictions.values())
+    sizes = [state.chosen.option_name
+             for instance in controller.registry.instances()
+             for state in instance.bundles.values()]
+    rows = [f"Scale: {app_count} two-option apps on 32 nodes "
+            f"(greedy only)", "",
+            fmt_row(["apps", "large chosen", "mean resp", "worst resp"],
+                    [6, 13, 10, 10]),
+            fmt_row([app_count, sizes.count("large"),
+                     f"{mean:.0f}s", f"{worst:.0f}s"], [6, 13, 10, 10])]
+    report(f"scale_{app_count}apps", rows)
+
+    # Sanity: when the machine has room (<=16 large apps fit two nodes
+    # each), everyone should get the fast configuration.
+    if app_count * 2 <= 32:
+        assert sizes.count("large") == app_count
+    # At 48 apps the 32-node room cannot give everyone two nodes; the
+    # controller degrades by choosing small/sharing, never by failing.
+    assert worst < 60 * app_count  # far below serialized execution

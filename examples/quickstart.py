@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: export a tuning bundle and let Harmony configure it.
+
+This is the smallest complete Harmony program: a simulated four-node
+cluster, an adaptation controller, and one application that exposes two
+mutually exclusive alternatives — run small on one machine, or run wide on
+two.  The controller matches requirements against the cluster, predicts
+response times with its default model, and picks the alternative that
+minimizes mean completion time.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AdaptationController, Cluster
+from repro.api import HarmonyClient, HarmonyServer, VariableType, connected_pair
+
+BUNDLE = """
+harmonyBundle MyApp size {
+    {small {node worker {seconds 100} {memory 16}}}
+    {wide  {node worker {seconds 55} {memory 24} {replicate 2}}
+           {communication 8}}}
+"""
+
+
+def main() -> None:
+    # 1. A simulated machine room: four reference-speed nodes, 40 MB/s
+    #    links (the paper's SP-2 switch), 128 MB of memory each.
+    cluster = Cluster.full_mesh(["n0", "n1", "n2", "n3"],
+                                memory_mb=128.0, bandwidth_mbps=40.0)
+
+    # 2. The Harmony adaptation controller and its server front end.
+    controller = AdaptationController(cluster)
+    server = HarmonyServer(controller)
+
+    # 3. An application connects (in-process transport here; TCP works the
+    #    same way) and uses the paper's Figure 5 API.
+    client_end, server_end = connected_pair()
+    server.attach(server_end)
+    app = HarmonyClient(client_end)
+
+    key = app.startup("MyApp")                 # harmony_startup
+    print(f"registered as {key}")
+
+    config = app.bundle_setup(BUNDLE)          # harmony_bundle_setup
+    print(f"Harmony chose option {config['option']!r} "
+          f"placed at {config['placements']}")
+
+    # 4. Harmony variables carry future reconfigurations; poll them at
+    #    phase boundaries (harmony_add_variable + the polling pattern).
+    option = app.add_variable("size.option", config["option"],
+                              VariableType.STRING)
+    print(f"live option variable: {option.value}")
+
+    # 5. The controller re-evaluates as the world changes: another
+    #    application grabs three of the four nodes...
+    rival = controller.register_app("Rival")
+    controller.setup_bundle(rival, """
+harmonyBundle Rival r {
+    {only {node w {seconds 500} {memory 100} {replicate 3}}}}
+""")
+    print("\nafter a rival occupied three nodes:")
+    for line in controller.describe_system():
+        print(f"  {line}")
+    if option.changed:
+        print(f"MyApp was reconfigured to {option.consume()!r}")
+
+    # 6. Inspect the shared hierarchical namespace (Section 3.2 paths).
+    print("\nnamespace:")
+    for path, value in controller.namespace.walk(key):
+        print(f"  {path} = {value}")
+
+    app.end()                                  # harmony_end
+    print("\ndone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` uses PEP 660 editable builds, which this offline
+environment cannot complete (no `wheel`). `python setup.py develop` and this
+shim provide the equivalent editable install.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""Resource matching and allocation accounting (paper Section 4.1)."""
+
+from repro.allocation.allocation import Allocation, allocate
+from repro.allocation.instantiate import (
+    ConcreteDemands,
+    LinkDemand,
+    NodeDemand,
+    instantiate_option,
+)
+from repro.allocation.matcher import Assignment, Matcher, MatchStrategy
+
+__all__ = [
+    "NodeDemand", "LinkDemand", "ConcreteDemands", "instantiate_option",
+    "Matcher", "MatchStrategy", "Assignment",
+    "Allocation", "allocate",
+]

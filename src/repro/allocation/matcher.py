@@ -1,0 +1,194 @@
+"""Matching resource demands to cluster nodes (paper Section 4.1).
+
+"We start by finding nodes that meet the minimum resource requirements
+required by the application.  When considering nodes, we also verify that
+the network links between nodes of the application meet the requirements
+specified in the RSL.  Our current approach uses a simple first-fit
+allocation strategy."
+
+:class:`Matcher` implements first-fit as the paper describes, plus the
+best-fit and worst-fit policies the paper lists as future work (used by the
+fragmentation ablation benchmark).  Matching is a backtracking search: node
+demands are assigned in order, candidates are filtered by hostname pattern,
+OS, and available memory, ordered by the active strategy, and link
+feasibility is re-checked as each assignment is extended.
+"""
+
+from __future__ import annotations
+
+import enum
+import fnmatch
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.allocation.instantiate import ConcreteDemands, NodeDemand
+from repro.cluster.node import SimNode
+from repro.cluster.topology import Cluster
+from repro.errors import AllocationError, SimulationError
+
+__all__ = ["MatchStrategy", "Assignment", "Matcher"]
+
+
+class MatchStrategy(enum.Enum):
+    """Node-ordering policy for candidate selection."""
+
+    FIRST_FIT = "first-fit"
+    BEST_FIT = "best-fit"
+    WORST_FIT = "worst-fit"
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A successful match: local resource name -> cluster hostname."""
+
+    placements: Mapping[str, str]
+
+    def hostname_of(self, local_name: str) -> str:
+        if local_name not in self.placements:
+            raise AllocationError(
+                f"assignment has no placement for {local_name!r}")
+        return self.placements[local_name]
+
+    def hostnames(self) -> set[str]:
+        return set(self.placements.values())
+
+    def __len__(self) -> int:
+        return len(self.placements)
+
+
+class Matcher:
+    """Matches :class:`ConcreteDemands` against a cluster."""
+
+    def __init__(self, cluster: Cluster,
+                 strategy: MatchStrategy = MatchStrategy.FIRST_FIT,
+                 allow_colocation: bool = False):
+        self.cluster = cluster
+        self.strategy = strategy
+        #: When False (default, the paper's behaviour) every node demand of
+        #: a configuration lands on a distinct machine ("four distinct
+        #: nodes, all meeting the same requirements").
+        self.allow_colocation = allow_colocation
+        self._ignore_holders: frozenset[str] = frozenset()
+        self._order_key: Callable[[str], float] | None = None
+
+    def match(self, demands: ConcreteDemands,
+              extra_memory: Mapping[str, float] | None = None,
+              ignore_holders: frozenset[str] | set[str] | None = None,
+              order_key: Callable[[str], float] | None = None,
+              ) -> Assignment:
+        """Find a placement for every node demand, verifying links.
+
+        ``extra_memory`` maps local names to additional MB beyond each
+        demand's minimum (the controller's elastic-memory exploration).
+
+        ``ignore_holders`` names allocation holders whose reservations
+        should be treated as free — the controller passes the application's
+        own holder when re-optimizing it, so a running app can re-use the
+        memory it currently occupies.
+
+        ``order_key`` biases candidate ordering (lower first) ahead of the
+        strategy's own ordering; the optimizer passes current CPU load so
+        placements prefer idle nodes.
+
+        Raises:
+            AllocationError: when no feasible placement exists; the message
+                names the first unsatisfiable demand.
+        """
+        placements: dict[str, str] = {}
+        self._ignore_holders = frozenset(ignore_holders or ())
+        self._order_key = order_key
+        if self._search(list(demands.nodes), demands, placements,
+                        extra_memory or {}):
+            return Assignment(placements=dict(placements))
+        raise AllocationError(
+            f"no feasible placement for configuration "
+            f"{demands.option_name!r} "
+            f"({len(demands.nodes)} node demands on "
+            f"{len(self.cluster.hostnames())} cluster nodes)")
+
+    # -- search -----------------------------------------------------------
+
+    def _search(self, remaining: list[NodeDemand], demands: ConcreteDemands,
+                placements: dict[str, str],
+                extra_memory: Mapping[str, float]) -> bool:
+        if not remaining:
+            return self._links_feasible(demands, placements, partial=False)
+        demand = remaining[0]
+        for node in self._candidates(demand, placements, extra_memory):
+            placements[demand.local_name] = node.hostname
+            if self._links_feasible(demands, placements, partial=True) and \
+                    self._search(remaining[1:], demands, placements,
+                                 extra_memory):
+                return True
+            del placements[demand.local_name]
+        return False
+
+    def _candidates(self, demand: NodeDemand,
+                    placements: dict[str, str],
+                    extra_memory: Mapping[str, float]) -> list[SimNode]:
+        needed_mb = demand.memory_min_mb + extra_memory.get(
+            demand.local_name, 0.0)
+        taken = set(placements.values()) if not self.allow_colocation else set()
+
+        def free_mb(node: SimNode) -> float:
+            free = node.memory.available_mb
+            for holder in self._ignore_holders:
+                free += node.memory.held_by(holder)
+            return free
+
+        candidates = [
+            node for node in self.cluster.nodes()
+            if node.available
+            and node.hostname not in taken
+            and _hostname_matches(demand.hostname_pattern, node.hostname)
+            and (demand.os is None or node.os == demand.os)
+            and free_mb(node) + 1e-9 >= needed_mb
+        ]
+        if self.strategy is MatchStrategy.BEST_FIT:
+            candidates.sort(key=lambda n: free_mb(n) - needed_mb)
+        elif self.strategy is MatchStrategy.WORST_FIT:
+            candidates.sort(key=lambda n: -(free_mb(n) - needed_mb))
+        # FIRST_FIT keeps cluster insertion order as the base.
+        if self._order_key is not None:
+            order = self._order_key
+            candidates.sort(key=lambda n: order(n.hostname))  # stable
+        return candidates
+
+    def _links_feasible(self, demands: ConcreteDemands,
+                        placements: dict[str, str], partial: bool) -> bool:
+        """Check link connectivity/availability among placed endpoints."""
+        for link in demands.links:
+            host_a = placements.get(link.endpoint_a)
+            host_b = placements.get(link.endpoint_b)
+            if host_a is None or host_b is None:
+                if partial:
+                    continue
+                return False
+            if host_a == host_b:
+                continue  # co-located endpoints need no network
+            try:
+                if link.total_mb > 0 and \
+                        self.cluster.path_available_mbps(host_a, host_b) <= 0:
+                    return False
+            except SimulationError:
+                return False  # disconnected
+        if demands.communication_mb and not partial \
+                and demands.communication_mb > 0:
+            # General communication: all placed nodes must be mutually
+            # reachable (the paper: "the system assumes that communication
+            # is general and that all nodes must be fully connected").
+            hosts = sorted(set(placements.values()))
+            for i, a in enumerate(hosts):
+                for b in hosts[i + 1:]:
+                    try:
+                        if self.cluster.path_available_mbps(a, b) <= 0:
+                            return False
+                    except SimulationError:
+                        return False
+        return True
+
+
+def _hostname_matches(pattern: str, hostname: str) -> bool:
+    if pattern == "*":
+        return True
+    return fnmatch.fnmatchcase(hostname, pattern)

@@ -1,0 +1,42 @@
+"""The application <-> Harmony interface (paper Figures 5 and 6).
+
+Client library (:mod:`repro.api.client`), server (:mod:`repro.api.server`),
+Harmony variables with buffered flush (:mod:`repro.api.variables`), and two
+transports — in-process for simulated experiments, TCP for the real
+prototype architecture.
+"""
+
+from repro.api.client import (
+    HarmonyClient,
+    harmony_add_variable,
+    harmony_bundle_setup,
+    harmony_end,
+    harmony_startup,
+    harmony_wait_for_update,
+    set_default_client,
+)
+from repro.api.protocol import FrameDecoder, encode_message, make_message
+from repro.api.server import DEFAULT_PORT, HarmonyServer, HarmonySession
+from repro.api.transport import (
+    InProcessTransport,
+    TcpTransport,
+    Transport,
+    connected_pair,
+)
+from repro.api.variables import (
+    HarmonyVariable,
+    PendingVariableBuffer,
+    VariableTable,
+    VariableType,
+)
+
+__all__ = [
+    "HarmonyClient", "set_default_client",
+    "harmony_startup", "harmony_bundle_setup", "harmony_add_variable",
+    "harmony_wait_for_update", "harmony_end",
+    "HarmonyServer", "HarmonySession", "DEFAULT_PORT",
+    "Transport", "InProcessTransport", "TcpTransport", "connected_pair",
+    "HarmonyVariable", "VariableTable", "VariableType",
+    "PendingVariableBuffer",
+    "encode_message", "FrameDecoder", "make_message",
+]

@@ -1,0 +1,248 @@
+"""The Harmony client runtime library (the paper's Figure 5 API).
+
+Applications link this library, connect to the Harmony server over a
+transport, and then use the five calls from the paper::
+
+    client = HarmonyClient(transport)
+    client.startup("DBclient")                     # harmony_startup
+    client.bundle_setup(RSL_TEXT)                  # harmony_bundle_setup
+    where = client.add_variable("where.option",    # harmony_add_variable
+                                "QS", VariableType.STRING)
+    ...
+    client.wait_for_update()                       # harmony_wait_for_update
+    if where.changed and where.consume() == "DS":
+        reconfigure_to_data_shipping()
+    ...
+    client.end()                                   # harmony_end
+
+Updates pushed by the server are applied to the declared
+:class:`~repro.api.variables.HarmonyVariable` objects by the transport
+receiver (the paper's "I/O event handler"); the application polls them at
+its natural phase boundaries.  ``wait_for_update`` blocks (wall-clock) for
+TCP transports; single-threaded simulated applications use the non-blocking
+:meth:`HarmonyClient.poll_update` instead.
+
+Module-level aliases with the paper's exact C names (``harmony_startup``
+etc.) operate on a process-wide default client for API fidelity.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.api.protocol import make_message, require_field
+from repro.api.transport import Transport
+from repro.api.variables import HarmonyVariable, VariableTable, VariableType
+from repro.errors import HarmonyError, ProtocolError, TransportError
+
+__all__ = ["HarmonyClient", "harmony_startup", "harmony_bundle_setup",
+           "harmony_add_variable", "harmony_wait_for_update", "harmony_end",
+           "set_default_client"]
+
+
+class HarmonyClient:
+    """One application's connection to the Harmony server."""
+
+    def __init__(self, transport: Transport):
+        self.transport = transport
+        self.variables = VariableTable()
+        self.app_key: str | None = None
+        self.instance_id: int | None = None
+        self._response: dict[str, Any] | None = None
+        self._response_ready = threading.Event()
+        self._update_ready = threading.Event()
+        self._updates_seen = 0
+        self._last_update: dict[str, Any] = {}
+        self._lock = threading.Lock()
+        self._ended = False
+        transport.set_receiver(self._on_message)
+
+    # -- the Figure 5 calls ---------------------------------------------------
+
+    def startup(self, app_name: str, use_interrupts: bool = False) -> str:
+        """Register with the Harmony server; returns the ``app.instance`` key.
+
+        ``use_interrupts`` mirrors the paper's flag: when True the
+        application asks to be notified eagerly rather than at poll points
+        (our transports always deliver eagerly; the flag is recorded for the
+        server's information).
+        """
+        if self.app_key is not None:
+            raise ProtocolError("startup called twice")
+        reply = self._request(make_message(
+            "register", app_name=app_name, use_interrupts=use_interrupts))
+        self.app_key = str(require_field(reply, "key"))
+        self.instance_id = int(require_field(reply, "instance_id"))
+        return self.app_key
+
+    def bundle_setup(self, rsl_text: str) -> dict[str, Any]:
+        """Export a bundle; returns the initially chosen configuration."""
+        self._require_started()
+        reply = self._request(make_message("bundle_setup", rsl=rsl_text))
+        return {
+            "bundle_name": require_field(reply, "bundle_name"),
+            "option": require_field(reply, "option"),
+            "variables": reply.get("variables", {}),
+            "placements": reply.get("placements", {}),
+        }
+
+    def add_variable(self, name: str, default: Any,
+                     var_type: VariableType = VariableType.FLOAT,
+                     ) -> HarmonyVariable:
+        """Declare a variable shared with Harmony; returns the live object."""
+        self._require_started()
+        variable = self.variables.declare(name, default, var_type)
+        reply = self._request(make_message(
+            "add_variable", name=name, default=variable.value,
+            var_type=var_type.value))
+        # The server may answer with a current value differing from the
+        # default (e.g. the option already chosen during bundle_setup).
+        if "value" in reply and reply["value"] is not None:
+            variable.apply_update(reply["value"])
+            variable.consume()  # initial sync is not a "change"
+        return variable
+
+    def wait_for_update(self, timeout: float | None = None,
+                        ) -> dict[str, Any]:
+        """Block until the server pushes a variable update batch.
+
+        Returns the raw update mapping.  Raises :class:`TransportError` on
+        timeout.  Only meaningful on threaded (TCP) transports; simulated
+        applications poll :meth:`poll_update`.
+        """
+        self._require_started()
+        self.transport.send(make_message("wait_for_update"))
+        if not self._update_ready.wait(timeout):
+            raise TransportError("timed out waiting for variable update")
+        with self._lock:
+            self._update_ready.clear()
+            return dict(self._last_update)
+
+    def end(self) -> None:
+        """Tell Harmony the application is terminating."""
+        if self._ended:
+            return
+        self._require_started()
+        self._request(make_message("end"))
+        self._ended = True
+        self.transport.close()
+
+    # -- extras ------------------------------------------------------------------
+
+    def report_metric(self, name: str, value: float) -> None:
+        """Feed an application metric into the Harmony metric interface."""
+        self._require_started()
+        self.transport.send(make_message(
+            "report_metric", name=name, value=float(value)))
+
+    def query_nodes(self) -> dict[str, Any]:
+        """Ask Harmony for current resource availability.
+
+        Returns ``{"nodes": [...], "rsl": "harmonyNode ..."}`` — the
+        structured per-node records plus equivalent ``harmonyNode`` RSL.
+        """
+        self._require_started()
+        reply = self._request(make_message("query_nodes"))
+        return {"nodes": require_field(reply, "nodes"),
+                "rsl": reply.get("rsl", "")}
+
+    def poll_update(self) -> dict[str, Any] | None:
+        """Non-blocking check for a new update batch (simulation-friendly).
+
+        Returns the batch once per arrival, then ``None`` until the next.
+        """
+        with self._lock:
+            if not self._update_ready.is_set():
+                return None
+            self._update_ready.clear()
+            return dict(self._last_update)
+
+    @property
+    def updates_received(self) -> int:
+        return self._updates_seen
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _require_started(self) -> None:
+        if self.app_key is None:
+            raise ProtocolError("call startup() first")
+        if self._ended:
+            raise ProtocolError("client already ended")
+
+    def _request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Send a request and wait for its (single) response message."""
+        self._response_ready.clear()
+        self._response = None
+        self.transport.send(message)
+        if not self._response_ready.wait(timeout=30.0):
+            raise TransportError(
+                f"no response to {message['type']!r} within 30s")
+        response = self._response
+        assert response is not None
+        if response.get("type") == "error":
+            raise HarmonyError(
+                f"server error: {response.get('message', 'unknown')}")
+        return response
+
+    def _on_message(self, message: dict[str, Any]) -> None:
+        """The transport receiver — the paper's I/O event handler."""
+        msg_type = message.get("type")
+        if msg_type == "variable_update":
+            updates = message.get("updates", {})
+            self.variables.apply_updates(updates)
+            with self._lock:
+                self._updates_seen += 1
+                self._last_update = dict(updates)
+                self._update_ready.set()
+            return
+        # Everything else answers the single outstanding request.
+        self._response = message
+        self._response_ready.set()
+
+
+# --------------------------------------------------------------------------
+# Paper-style C API on a process-wide default client
+# --------------------------------------------------------------------------
+
+_default_client: HarmonyClient | None = None
+
+
+def set_default_client(client: HarmonyClient | None) -> None:
+    """Install the client the ``harmony_*`` module functions operate on."""
+    global _default_client
+    _default_client = client
+
+
+def _default() -> HarmonyClient:
+    if _default_client is None:
+        raise ProtocolError(
+            "no default client installed; call set_default_client() first")
+    return _default_client
+
+
+def harmony_startup(app_name: str, use_interrupts: bool = False) -> str:
+    """Figure 5: ``harmony_startup(<unique id>, <use interrupts>)``."""
+    return _default().startup(app_name, use_interrupts)
+
+
+def harmony_bundle_setup(bundle_definition: str) -> dict[str, Any]:
+    """Figure 5: ``harmony_bundle_setup("<bundle definition>")``."""
+    return _default().bundle_setup(bundle_definition)
+
+
+def harmony_add_variable(name: str, default: Any,
+                         var_type: VariableType = VariableType.FLOAT,
+                         ) -> HarmonyVariable:
+    """Figure 5: ``harmony_add_variable(name, default, type)``."""
+    return _default().add_variable(name, default, var_type)
+
+
+def harmony_wait_for_update(timeout: float | None = None) -> dict[str, Any]:
+    """Figure 5: ``harmony_wait_for_update()``."""
+    return _default().wait_for_update(timeout)
+
+
+def harmony_end() -> None:
+    """Figure 5: ``harmony_end()``."""
+    _default().end()

@@ -1,0 +1,116 @@
+"""Wire protocol between applications and the Harmony server.
+
+The prototype in the paper is "a server that listens on a well-known port
+and waits for connections from application processes".  Messages here are
+JSON objects framed with a 4-byte big-endian length prefix; the same message
+vocabulary flows over both the TCP transport and the in-process transport.
+
+Client -> server message types (mirroring the Figure 5 API):
+
+* ``register``       {app_name, use_interrupts}
+* ``bundle_setup``   {rsl}
+* ``add_variable``   {name, default, var_type}
+* ``wait_for_update``{}
+* ``report_metric``  {name, value}
+* ``query_nodes``    {}
+* ``end``            {}
+
+Server -> client:
+
+* ``registered``       {instance_id, key}
+* ``bundle_ok``        {bundle_name, option, variables, placements}
+* ``variable_added``   {name, value}
+* ``variable_update``  {updates: {name: value}}
+* ``node_list``        {nodes: [...], rsl}
+* ``ended``            {}
+* ``error``            {message}
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+from repro.errors import ProtocolError
+
+__all__ = ["encode_message", "FrameDecoder", "make_message",
+           "require_field", "CLIENT_TYPES", "SERVER_TYPES"]
+
+_HEADER = struct.Struct(">I")
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+CLIENT_TYPES = frozenset({
+    "register", "bundle_setup", "add_variable", "wait_for_update",
+    "report_metric", "query_nodes", "end",
+})
+SERVER_TYPES = frozenset({
+    "registered", "bundle_ok", "variable_added", "variable_update",
+    "node_list", "ended", "error",
+})
+
+
+def make_message(msg_type: str, **fields: Any) -> dict[str, Any]:
+    """Build a protocol message dict, validating the type tag."""
+    if msg_type not in CLIENT_TYPES and msg_type not in SERVER_TYPES:
+        raise ProtocolError(f"unknown message type {msg_type!r}")
+    message = {"type": msg_type}
+    message.update(fields)
+    return message
+
+
+def require_field(message: dict[str, Any], field: str) -> Any:
+    """Fetch a mandatory field, raising :class:`ProtocolError` if absent."""
+    if field not in message:
+        raise ProtocolError(
+            f"message {message.get('type', '?')!r} is missing "
+            f"field {field!r}")
+    return message[field]
+
+
+def encode_message(message: dict[str, Any]) -> bytes:
+    """Serialize a message to a length-prefixed JSON frame."""
+    if "type" not in message:
+        raise ProtocolError("message has no 'type' field")
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds limit")
+    return _HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental decoder: feed bytes, pop complete messages.
+
+    Handles partial frames across ``feed`` calls, so it can sit directly on
+    a socket's ``recv`` loop.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[dict[str, Any]]:
+        """Consume ``data``; return every now-complete message in order."""
+        self._buffer.extend(data)
+        messages: list[dict[str, Any]] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return messages
+            (length,) = _HEADER.unpack_from(self._buffer, 0)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"incoming frame of {length} bytes exceeds limit")
+            if len(self._buffer) < _HEADER.size + length:
+                return messages
+            payload = bytes(self._buffer[_HEADER.size:_HEADER.size + length])
+            del self._buffer[:_HEADER.size + length]
+            try:
+                message = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(f"malformed frame: {exc}") from exc
+            if not isinstance(message, dict) or "type" not in message:
+                raise ProtocolError(
+                    "frame is not an object with a 'type' field")
+            messages.append(message)
+
+    def pending_bytes(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,302 @@
+"""The Harmony server process (paper Section 5, Figure 6).
+
+"The Harmony process is a server that listens on a well-known port and
+waits for connections from application processes.  Inside Harmony is the
+resource management and adaptation part of the system."
+
+:class:`HarmonyServer` bridges transports to an
+:class:`~repro.controller.controller.AdaptationController`: each connection
+becomes a :class:`HarmonySession`; controller reconfiguration events are
+staged into a :class:`~repro.api.variables.PendingVariableBuffer` and pushed
+to the owning session by ``flush_pending_vars()`` (automatically after each
+decision wave when ``auto_flush`` is on, the default).
+
+Variable naming convention for pushed resource information:
+
+* ``<bundle>.option``            — the chosen option name,
+* ``<bundle>.<variable>``        — each RSL ``variable`` value,
+* ``<bundle>.<node>.hostname``   — where each local node name landed.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any
+
+from repro.api.protocol import make_message, require_field
+from repro.api.transport import TcpTransport, Transport
+from repro.api.variables import PendingVariableBuffer
+from repro.controller.controller import (
+    AdaptationController,
+    ReconfigurationEvent,
+)
+from repro.controller.registry import AppInstance
+from repro.errors import HarmonyError, ProtocolError, TransportError
+
+__all__ = ["HarmonyServer", "HarmonySession", "DEFAULT_PORT"]
+
+#: The prototype's "well-known port" (any free port works; tests use 0).
+DEFAULT_PORT = 52766
+
+
+class HarmonySession:
+    """Server-side state for one connected application."""
+
+    def __init__(self, server: "HarmonyServer", transport: Transport):
+        self.server = server
+        self.transport = transport
+        self.instance: AppInstance | None = None
+        self.use_interrupts = False
+        transport.set_receiver(self._on_message)
+
+    @property
+    def client_id(self) -> str:
+        if self.instance is None:
+            raise ProtocolError("session not registered")
+        return self.instance.key
+
+    def push_updates(self, updates: dict[str, Any]) -> None:
+        if self.transport.closed:
+            return
+        try:
+            self.transport.send(make_message("variable_update",
+                                             updates=updates))
+        except TransportError:
+            self.server.detach(self)
+
+    # -- message handling ---------------------------------------------------
+
+    def _on_message(self, message: dict[str, Any]) -> None:
+        with self.server.lock:
+            try:
+                self._dispatch(message)
+            except HarmonyError as exc:
+                self._reply(make_message("error", message=str(exc)))
+
+    def _dispatch(self, message: dict[str, Any]) -> None:
+        msg_type = message.get("type")
+        if msg_type == "register":
+            self._handle_register(message)
+        elif msg_type == "bundle_setup":
+            self._handle_bundle_setup(message)
+        elif msg_type == "add_variable":
+            self._handle_add_variable(message)
+        elif msg_type == "wait_for_update":
+            pass  # updates are pushed eagerly; nothing to do server-side
+        elif msg_type == "report_metric":
+            self._handle_report_metric(message)
+        elif msg_type == "query_nodes":
+            self._handle_query_nodes()
+        elif msg_type == "end":
+            self._handle_end()
+        else:
+            raise ProtocolError(f"unknown message type {msg_type!r}")
+
+    def _handle_register(self, message: dict[str, Any]) -> None:
+        if self.instance is not None:
+            raise ProtocolError("already registered")
+        app_name = str(require_field(message, "app_name"))
+        self.use_interrupts = bool(message.get("use_interrupts", False))
+        self.instance = self.server.controller.register_app(app_name)
+        self.server.bind_session(self)
+        self._reply(make_message("registered",
+                                 instance_id=self.instance.instance_id,
+                                 key=self.instance.key))
+
+    def _handle_bundle_setup(self, message: dict[str, Any]) -> None:
+        instance = self._require_instance()
+        rsl = str(require_field(message, "rsl"))
+        state = self.server.controller.setup_bundle(instance, rsl)
+        chosen = state.chosen
+        if chosen is None:
+            raise ProtocolError(
+                f"bundle {state.bundle.bundle_name!r} registered but no "
+                f"feasible configuration exists")
+        self._reply(make_message(
+            "bundle_ok",
+            bundle_name=state.bundle.bundle_name,
+            option=chosen.option_name,
+            variables=dict(chosen.variable_assignment),
+            placements=dict(chosen.assignment.placements)))
+
+    def _handle_add_variable(self, message: dict[str, Any]) -> None:
+        instance = self._require_instance()
+        name = str(require_field(message, "name"))
+        # Answer with the live value when the name maps onto a chosen
+        # configuration (e.g. "<bundle>.option"), else echo the default.
+        value = self.server.current_variable_value(instance, name)
+        if value is None:
+            value = message.get("default")
+        self._reply(make_message("variable_added", name=name, value=value))
+
+    def _handle_report_metric(self, message: dict[str, Any]) -> None:
+        instance = self._require_instance()
+        name = str(require_field(message, "name"))
+        value = float(require_field(message, "value"))
+        controller = self.server.controller
+        controller.metrics.report(f"app.{instance.key}.{name}",
+                                  controller.now, value)
+
+    def _handle_query_nodes(self) -> None:
+        """Answer with current resource availability.
+
+        The reply carries both structured records and the equivalent
+        ``harmonyNode`` RSL text, so an application can feed the answer
+        straight back into bundle authoring.  ``memory_available_mb``
+        reflects live reservations — this is the controller's own view of
+        availability, not the raw machine size.
+        """
+        self._require_instance()
+        from repro.rsl import unparse_advertisement
+
+        cluster = self.server.controller.cluster
+        nodes = []
+        rsl_lines = []
+        for node in cluster.nodes():
+            nodes.append({
+                "hostname": node.hostname,
+                "speed": node.speed,
+                "os": node.os,
+                "memory_total_mb": node.memory.total_mb,
+                "memory_available_mb": node.memory.available_mb,
+                "cpu_active_jobs": node.cpu.active_jobs,
+            })
+            rsl_lines.append(unparse_advertisement(node.advertisement()))
+        self._reply(make_message("node_list", nodes=nodes,
+                                 rsl="\n".join(rsl_lines)))
+
+    def _handle_end(self) -> None:
+        instance = self._require_instance()
+        self.server.controller.end_app(instance)
+        self._reply(make_message("ended"))
+        self.server.detach(self)
+
+    def _require_instance(self) -> AppInstance:
+        if self.instance is None:
+            raise ProtocolError("register first")
+        return self.instance
+
+    def _reply(self, message: dict[str, Any]) -> None:
+        try:
+            self.transport.send(message)
+        except TransportError:
+            self.server.detach(self)
+
+
+class HarmonyServer:
+    """Accepts application connections and wires them to the controller."""
+
+    def __init__(self, controller: AdaptationController,
+                 auto_flush: bool = True):
+        self.controller = controller
+        self.auto_flush = auto_flush
+        self.buffer = PendingVariableBuffer()
+        self.lock = threading.RLock()
+        self._sessions_by_key: dict[str, HarmonySession] = {}
+        self._listener_socket: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._stopping = False
+        controller.add_listener(self._on_reconfiguration)
+
+    # -- attaching clients ---------------------------------------------------
+
+    def attach(self, transport: Transport) -> HarmonySession:
+        """Adopt one server-side transport endpoint as a session."""
+        return HarmonySession(self, transport)
+
+    def bind_session(self, session: HarmonySession) -> None:
+        self._sessions_by_key[session.client_id] = session
+
+    def detach(self, session: HarmonySession) -> None:
+        if session.instance is not None:
+            self._sessions_by_key.pop(session.instance.key, None)
+            self.buffer.discard(session.instance.key)
+
+    # -- TCP front end ---------------------------------------------------------
+
+    def serve_tcp(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                  ) -> tuple[str, int]:
+        """Listen for application connections; returns the bound address.
+
+        Pass ``port=0`` for an ephemeral port (tests).  Each accepted
+        connection gets a :class:`TcpTransport` and a session; handling runs
+        on the transports' reader threads, serialized by ``self.lock``.
+        """
+        if self._listener_socket is not None:
+            raise ProtocolError("server already listening")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen()
+        self._listener_socket = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+        return listener.getsockname()
+
+    def stop(self) -> None:
+        """Stop accepting and close the listener (sessions stay alive)."""
+        self._stopping = True
+        if self._listener_socket is not None:
+            try:
+                self._listener_socket.close()
+            except OSError:
+                pass
+            self._listener_socket = None
+
+    def _accept_loop(self) -> None:
+        listener = self._listener_socket
+        while not self._stopping and listener is not None:
+            try:
+                sock, _addr = listener.accept()
+            except OSError:
+                return
+            self.attach(TcpTransport(sock))
+
+    # -- variable pushing ----------------------------------------------------------
+
+    def _on_reconfiguration(self, event: ReconfigurationEvent) -> None:
+        updates: dict[str, Any] = {
+            f"{event.bundle_name}.option": event.option_name,
+        }
+        for name, value in event.variable_assignment.items():
+            updates[f"{event.bundle_name}.{name}"] = value
+        for local_name, hostname in event.placements.items():
+            updates[f"{event.bundle_name}.{local_name}.hostname"] = hostname
+        for grant_key, megabytes in event.memory_grants.items():
+            # grant_key is "<local_name>.memory"
+            updates[f"{event.bundle_name}.{grant_key}"] = megabytes
+        self.buffer.stage_many(event.app_key, updates)
+        if self.auto_flush:
+            self.flush_pending_vars()
+
+    def flush_pending_vars(self) -> int:
+        """The paper's ``flushPendingVars()``: drain staged updates."""
+        def send(client_id: str, updates: dict[str, Any]) -> None:
+            session = self._sessions_by_key.get(client_id)
+            if session is not None:
+                session.push_updates(updates)
+
+        return self.buffer.flush(send)
+
+    def current_variable_value(self, instance: AppInstance,
+                               name: str) -> Any:
+        """Resolve a variable name against the app's chosen configurations."""
+        for bundle_name, state in instance.bundles.items():
+            chosen = state.chosen
+            if chosen is None:
+                continue
+            if name == f"{bundle_name}.option":
+                return chosen.option_name
+            for var, value in chosen.variable_assignment.items():
+                if name == f"{bundle_name}.{var}":
+                    return value
+            for local_name, hostname in chosen.assignment.placements.items():
+                if name == f"{bundle_name}.{local_name}.hostname":
+                    return hostname
+            for grant_key, megabytes in \
+                    chosen.allocation.memory_grants().items():
+                if name == f"{bundle_name}.{grant_key}":
+                    return megabytes
+        return None

@@ -1,0 +1,179 @@
+"""Transports carrying protocol messages between client library and server.
+
+Two implementations with identical semantics:
+
+* :class:`InProcessTransport` — a synchronously-dispatched pair of message
+  endpoints.  Used by the simulated experiments (everything runs in one
+  thread on the simulated clock) and by most tests.
+* :class:`TcpTransport` — a real socket with a reader thread, speaking the
+  length-prefixed JSON framing of :mod:`repro.api.protocol`.  This is the
+  paper's prototype architecture: the Harmony process listens on a
+  well-known port; inside the application an I/O event handler applies
+  variable updates as they arrive.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Callable
+
+from repro.api.protocol import FrameDecoder, encode_message
+from repro.errors import TransportError
+
+__all__ = ["Transport", "InProcessTransport", "TcpTransport",
+           "connected_pair"]
+
+Receiver = Callable[[dict[str, Any]], None]
+
+
+class Transport:
+    """Interface: send messages, receive via callback, close."""
+
+    def send(self, message: dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def set_receiver(self, receiver: Receiver) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def closed(self) -> bool:
+        raise NotImplementedError
+
+
+class InProcessTransport(Transport):
+    """One endpoint of an in-memory connection.
+
+    Messages sent before the peer installs a receiver are queued and
+    delivered on installation, so connection setup has no ordering hazard.
+    Delivery is synchronous: ``send`` runs the peer's receiver inline, which
+    matches the single-threaded discrete-event experiments.
+    """
+
+    def __init__(self) -> None:
+        self._peer: "InProcessTransport | None" = None
+        self._receiver: Receiver | None = None
+        self._backlog: list[dict[str, Any]] = []
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def send(self, message: dict[str, Any]) -> None:
+        if self._closed:
+            raise TransportError("send on closed transport")
+        if self._peer is None:
+            raise TransportError("transport has no peer")
+        # Round-trip through the codec so in-process runs exercise the same
+        # serialization constraints as TCP runs.
+        encode_message(message)
+        self._peer._deliver(message)
+
+    def _deliver(self, message: dict[str, Any]) -> None:
+        if self._closed:
+            return
+        if self._receiver is None:
+            self._backlog.append(message)
+        else:
+            self._receiver(message)
+
+    def set_receiver(self, receiver: Receiver) -> None:
+        self._receiver = receiver
+        backlog, self._backlog = self._backlog, []
+        for message in backlog:
+            receiver(message)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+def connected_pair() -> tuple[InProcessTransport, InProcessTransport]:
+    """A connected (client_end, server_end) in-process transport pair."""
+    client_end = InProcessTransport()
+    server_end = InProcessTransport()
+    client_end._peer = server_end
+    server_end._peer = client_end
+    return client_end, server_end
+
+
+class TcpTransport(Transport):
+    """A socket endpoint with a background reader thread."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._decoder = FrameDecoder()
+        self._receiver: Receiver | None = None
+        self._backlog: list[dict[str, Any]] = []
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._closed = False
+        self._reader = threading.Thread(target=self._read_loop, daemon=True)
+        self._reader.start()
+
+    @classmethod
+    def connect(cls, host: str, port: int,
+                timeout: float | None = 10.0) -> "TcpTransport":
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+            sock.settimeout(None)
+        except OSError as exc:
+            raise TransportError(
+                f"cannot connect to {host}:{port}: {exc}") from exc
+        return cls(sock)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def send(self, message: dict[str, Any]) -> None:
+        if self._closed:
+            raise TransportError("send on closed transport")
+        data = encode_message(message)
+        try:
+            with self._send_lock:
+                self._sock.sendall(data)
+        except OSError as exc:
+            self.close()
+            raise TransportError(f"send failed: {exc}") from exc
+
+    def set_receiver(self, receiver: Receiver) -> None:
+        with self._state_lock:
+            self._receiver = receiver
+            backlog, self._backlog = self._backlog, []
+        for message in backlog:
+            receiver(message)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def _read_loop(self) -> None:
+        try:
+            while not self._closed:
+                data = self._sock.recv(65536)
+                if not data:
+                    break
+                for message in self._decoder.feed(data):
+                    self._dispatch(message)
+        except (OSError, Exception):
+            pass
+        finally:
+            self._closed = True
+
+    def _dispatch(self, message: dict[str, Any]) -> None:
+        with self._state_lock:
+            receiver = self._receiver
+            if receiver is None:
+                self._backlog.append(message)
+                return
+        receiver(message)

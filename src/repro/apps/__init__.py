@@ -1,0 +1,34 @@
+"""Harmonized example applications.
+
+* :mod:`repro.apps.simple` — the Figure 2(a) fixed four-processor job;
+* :mod:`repro.apps.bag` — the Figure 2(b) bag-of-tasks application with
+  variable parallelism;
+* :mod:`repro.apps.database` — the Section 3.5/6 hybrid client-server
+  database (query shipping vs. data shipping);
+* :mod:`repro.apps.parallel_experiment` — the Figure 4 online
+  reconfiguration experiment.
+"""
+
+from repro.apps.bag import (
+    BAG_BUNDLE_NAME,
+    BAG_OPTION_NAME,
+    BagOfTasksApp,
+    IterationRecord,
+    bag_bundle_rsl,
+    speedup_curve_points,
+)
+from repro.apps.parallel_experiment import (
+    FrameSummary,
+    ParallelExperimentConfig,
+    ParallelExperimentResult,
+    run_parallel_experiment,
+)
+from repro.apps.simple import SimpleParallelApp, SimpleRunReport, simple_bundle_rsl
+
+__all__ = [
+    "simple_bundle_rsl", "SimpleParallelApp", "SimpleRunReport",
+    "bag_bundle_rsl", "speedup_curve_points", "BagOfTasksApp",
+    "IterationRecord", "BAG_BUNDLE_NAME", "BAG_OPTION_NAME",
+    "ParallelExperimentConfig", "ParallelExperimentResult", "FrameSummary",
+    "run_parallel_experiment",
+]

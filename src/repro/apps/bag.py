@@ -1,0 +1,351 @@
+"""The paper's "Bag" application (Figure 2(b)) — bag-of-tasks parallelism.
+
+"'Bag' is a parallel application that implements an application of the
+'bag-of-tasks' paradigm.  The application is iterative, with computation
+being divided into a set of possibly differently-sized tasks.  Each worker
+process repeatedly requests and obtains tasks from the server, performs the
+associated computations, returns the results to the server, and requests
+additional tasks."
+
+The Figure 2(b) bundle exposes three RSL features:
+
+* a ``variable`` tag — ``workerNodes`` over a discrete domain,
+* per-node ``seconds`` parameterized on the variable (total work constant),
+* ``communication`` growing quadratically in the worker count,
+* an explicit ``performance`` model as interpolated data points.
+
+:class:`BagOfTasksApp` is the runnable version: a master process feeds a
+task queue; workers on the assigned nodes pull tasks; between outer
+iterations the application polls Harmony and reconfigures its worker count
+— the "natural point to re-configure" of Section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import random
+from typing import Iterator, Sequence
+
+from repro.api.client import HarmonyClient
+from repro.api.variables import VariableType
+from repro.cluster.kernel import Interrupted, Process
+from repro.cluster.resources import Store
+from repro.cluster.topology import Cluster
+from repro.errors import HarmonyError
+from repro.metrics import MetricInterface
+
+__all__ = ["speedup_curve_points", "bag_bundle_rsl", "BagOfTasksApp",
+           "IterationRecord", "BAG_BUNDLE_NAME", "BAG_OPTION_NAME"]
+
+BAG_BUNDLE_NAME = "parallelism"
+BAG_OPTION_NAME = "run"
+
+
+def speedup_curve_points(total_seconds: float,
+                         domain: Sequence[int],
+                         overhead_alpha: float = 12.0,
+                         ) -> list[tuple[int, float]]:
+    """Data points for the runtime curve ``T/n + alpha*(n-1)^2``.
+
+    The quadratic term models Bag's communication, which "grows as the
+    square of the number of worker processes" — so the curve has an
+    interior optimum.  With the Figure 4 defaults (T=2400, alpha=12,
+    domain 1..8) the minimum falls at five nodes, reproducing the figure's
+    "configuration of five nodes (rather than six)".
+    """
+    return [(n, total_seconds / n + overhead_alpha * (n - 1) ** 2)
+            for n in domain]
+
+
+def bag_bundle_rsl(app_name: str = "Bag",
+                   total_seconds: float = 2400.0,
+                   domain: Sequence[int] = (1, 2, 4, 8),
+                   memory_mb: float = 32.0,
+                   communication_coefficient: float = 0.5,
+                   overhead_alpha: float = 12.0,
+                   granularity_seconds: float = 0.0,
+                   friction_seconds: float = 0.0) -> str:
+    """The Figure 2(b) bundle.
+
+    ``seconds`` is ``total/workerNodes`` (constant total work across
+    configurations), ``communication`` is quadratic in ``workerNodes``, and
+    the ``performance`` tag carries the interpolation points of the
+    application-specific model.
+    """
+    domain_text = " ".join(str(n) for n in domain)
+    points = speedup_curve_points(total_seconds, domain, overhead_alpha)
+    points_text = " ".join(f"{{{n} {seconds:.1f}}}" for n, seconds in points)
+    extras = ""
+    if granularity_seconds > 0:
+        extras += f"\n        {{granularity {granularity_seconds}}}"
+    if friction_seconds > 0:
+        extras += f"\n        {{friction {friction_seconds}}}"
+    return f"""
+harmonyBundle {app_name} {BAG_BUNDLE_NAME} {{
+    {{{BAG_OPTION_NAME}
+        {{variable workerNodes {{{domain_text}}}}}
+        {{node worker {{seconds {{{total_seconds} / workerNodes}}}}
+                     {{memory {memory_mb}}}
+                     {{replicate workerNodes}}}}
+        {{communication {{{communication_coefficient} * workerNodes * workerNodes}}}}
+        {{performance workerNodes {points_text}}}{extras}}}}}
+"""
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One completed outer iteration."""
+
+    index: int
+    start_time: float
+    elapsed_seconds: float
+    worker_count: int
+    hosts: tuple[str, ...]
+
+
+@dataclass
+class BagStatistics:
+    iterations_completed: int = 0
+    tasks_completed: int = 0
+    reconfigurations: int = 0
+    migration_seconds: float = 0.0
+    migrated_mb: float = 0.0
+    records: list[IterationRecord] = field(default_factory=list)
+
+
+class BagOfTasksApp:
+    """A runnable, reconfigurable bag-of-tasks application."""
+
+    def __init__(self, name: str, cluster: Cluster, harmony: HarmonyClient,
+                 metrics: MetricInterface | None = None,
+                 total_seconds_per_iteration: float = 2400.0,
+                 task_count: int = 48,
+                 domain: Sequence[int] = (1, 2, 4, 8),
+                 memory_mb: float = 32.0,
+                 communication_coefficient: float = 0.5,
+                 overhead_alpha: float = 12.0,
+                 task_size_jitter: float = 0.5,
+                 seed: int = 0):
+        if task_count <= 0:
+            raise HarmonyError("task_count must be positive")
+        self.name = name
+        self.cluster = cluster
+        self.harmony = harmony
+        self.metrics = metrics
+        self.total_seconds = total_seconds_per_iteration
+        self.task_count = task_count
+        self.domain = tuple(domain)
+        self.memory_mb = memory_mb
+        self.communication_coefficient = communication_coefficient
+        self.overhead_alpha = overhead_alpha
+        self.task_size_jitter = task_size_jitter
+        self.stats = BagStatistics()
+        self._rng = random.Random(seed)
+        self._worker_var = None
+        self._hosts: list[str] = []
+        self._process: Process | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self, iteration_limit: int | None = None,
+              run_until: float | None = None) -> Process:
+        self._process = self.cluster.kernel.spawn(
+            self._run(iteration_limit, run_until), name=f"bag:{self.name}")
+        return self._process
+
+    def stop(self) -> None:
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("stop")
+
+    @property
+    def current_worker_count(self) -> int:
+        return len(self._hosts)
+
+    # -- application body ----------------------------------------------------
+
+    def _run(self, iteration_limit: int | None,
+             run_until: float | None) -> Iterator:
+        kernel = self.cluster.kernel
+        self.harmony.startup(self.name)
+        config = self.harmony.bundle_setup(bag_bundle_rsl(
+            self.name, self.total_seconds, self.domain, self.memory_mb,
+            self.communication_coefficient, self.overhead_alpha))
+        self._apply_placements(config["placements"],
+                               config["variables"].get("workerNodes"))
+        self._worker_var = self.harmony.add_variable(
+            f"{BAG_BUNDLE_NAME}.workerNodes",
+            float(len(self._hosts)), VariableType.FLOAT)
+
+        iteration = 0
+        try:
+            while True:
+                if iteration_limit is not None and \
+                        iteration >= iteration_limit:
+                    break
+                if run_until is not None and kernel.now >= run_until:
+                    break
+                yield from self._poll_harmony()
+                yield from self._one_iteration(iteration)
+                iteration += 1
+        except Interrupted:
+            pass
+        self.harmony.end()
+
+    def _poll_harmony(self) -> Iterator:
+        """The outer-loop reconfiguration point.
+
+        When Harmony changed the placement, the application migrates its
+        per-worker state (``memory_mb`` of data per vacated node) to the
+        new workers *before* the next iteration — the "frictional cost" the
+        paper requires the controller to weigh: "the application will
+        likely need to change the data layout, change the index structures,
+        and move data among nodes to effect the reconfiguration".
+        """
+        update = self.harmony.poll_update()
+        if update is None:
+            return
+        placements = {
+            key[len(BAG_BUNDLE_NAME) + 1:-len(".hostname")]: value
+            for key, value in update.items()
+            if key.startswith(f"{BAG_BUNDLE_NAME}.")
+            and key.endswith(".hostname")
+        }
+        worker_count = update.get(f"{BAG_BUNDLE_NAME}.workerNodes")
+        if placements:
+            old_hosts = list(self._hosts)
+            self._apply_placements(placements, worker_count)
+            self.stats.reconfigurations += 1
+            yield from self._migrate(old_hosts, self._hosts)
+
+    def _migrate(self, old_hosts: list[str], new_hosts: list[str],
+                 ) -> Iterator:
+        """Ship per-worker state from vacated nodes to newly added ones."""
+        kernel = self.cluster.kernel
+        vacated = [host for host in old_hosts if host not in new_hosts]
+        added = [host for host in new_hosts if host not in old_hosts]
+        if not vacated and not added:
+            return
+        start = kernel.now
+        transfers = []
+        # Data on vacated nodes must land somewhere that stays; data for
+        # added nodes comes from a surviving (or vacated) node.
+        survivors = [host for host in new_hosts if host in old_hosts]
+        for index, source in enumerate(vacated):
+            target = (added[index % len(added)] if added
+                      else survivors[index % len(survivors)]
+                      if survivors else None)
+            if target is None or target == source:
+                continue
+            for link in self.cluster.path_links(source, target):
+                transfers.append(link.transfer(self.memory_mb))
+            self.stats.migrated_mb += self.memory_mb
+        for index, target in enumerate(added[len(vacated):],
+                                       start=len(vacated)):
+            source = (survivors[index % len(survivors)] if survivors
+                      else None)
+            if source is None or source == target:
+                continue
+            for link in self.cluster.path_links(source, target):
+                transfers.append(link.transfer(self.memory_mb))
+            self.stats.migrated_mb += self.memory_mb
+        if transfers:
+            yield kernel.all_of(transfers)
+        self.stats.migration_seconds += kernel.now - start
+
+    def _apply_placements(self, placements: dict[str, str],
+                          worker_count: float | None) -> None:
+        hosts = [hostname for local_name, hostname in sorted(
+            placements.items()) if local_name.startswith("worker")]
+        if not hosts:
+            raise HarmonyError(
+                f"{self.name}: no worker placements in {placements}")
+        if worker_count is not None and int(worker_count) != len(hosts):
+            raise HarmonyError(
+                f"{self.name}: placement count {len(hosts)} disagrees with "
+                f"workerNodes={worker_count}")
+        self._hosts = hosts
+
+    def _one_iteration(self, index: int) -> Iterator:
+        kernel = self.cluster.kernel
+        start = kernel.now
+        queue = Store(kernel, name=f"bag:{self.name}:tasks")
+        for size in self._task_sizes():
+            queue.put(size)
+        for _ in self._hosts:
+            queue.put(None)  # poison pill per worker
+
+        workers = [
+            kernel.spawn(self._worker(hostname, queue),
+                         name=f"bag-worker:{self.name}:{hostname}")
+            for hostname in self._hosts
+        ]
+        yield kernel.all_of(workers)
+        yield from self._synchronize()
+        yield from self._communicate()
+
+        elapsed = kernel.now - start
+        record = IterationRecord(index=index, start_time=start,
+                                 elapsed_seconds=elapsed,
+                                 worker_count=len(self._hosts),
+                                 hosts=tuple(self._hosts))
+        self.stats.records.append(record)
+        self.stats.iterations_completed += 1
+        self.harmony.report_metric("iteration_seconds", elapsed)
+        if self.metrics is not None:
+            self.metrics.report(f"bag.{self.name}.iteration_seconds",
+                                kernel.now, elapsed)
+
+    def _task_sizes(self) -> list[float]:
+        """Differently-sized tasks summing exactly to the iteration total."""
+        base = self.total_seconds / self.task_count
+        sizes = [base * (1.0 + self.task_size_jitter
+                         * (self._rng.random() * 2 - 1))
+                 for _ in range(self.task_count)]
+        scale = self.total_seconds / sum(sizes)
+        return [size * scale for size in sizes]
+
+    def _worker(self, hostname: str, queue: Store) -> Iterator:
+        node = self.cluster.node(hostname)
+        while True:
+            task = yield queue.get()
+            if task is None:
+                return
+            yield node.compute(task)
+            self.stats.tasks_completed += 1
+
+    def _synchronize(self) -> Iterator:
+        """Serial coordination overhead growing quadratically in workers.
+
+        This is the physical counterpart of the ``alpha * (n-1)^2`` term in
+        the application's declared performance curve: the master merges
+        results and rebuilds task state, work that grows with the number of
+        workers and does not parallelize.
+        """
+        n = len(self._hosts)
+        overhead = self.overhead_alpha * (n - 1) ** 2
+        if overhead > 0:
+            yield self.cluster.node(self._hosts[0]).compute(overhead)
+
+    def _communicate(self) -> Iterator:
+        """Quadratic end-of-iteration communication between workers."""
+        n = len(self._hosts)
+        total_mb = self.communication_coefficient * n * n
+        hosts = sorted(set(self._hosts))
+        pairs = [(a, b) for i, a in enumerate(hosts)
+                 for b in hosts[i + 1:]]
+        if not pairs or total_mb <= 0:
+            return
+        per_pair = total_mb / len(pairs)
+        transfers = []
+        for host_a, host_b in pairs:
+            for link in self.cluster.path_links(host_a, host_b):
+                transfers.append(link.transfer(per_pair))
+        if transfers:
+            yield self.cluster.kernel.all_of(transfers)
+
+    # -- reporting -------------------------------------------------------------
+
+    def iteration_series(self) -> list[tuple[float, float, int]]:
+        """(start time, elapsed, workers) per completed iteration."""
+        return [(record.start_time, record.elapsed_seconds,
+                 record.worker_count) for record in self.stats.records]

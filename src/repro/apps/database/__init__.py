@@ -1,0 +1,52 @@
+"""The hybrid client-server database (paper Sections 3.5 and 6).
+
+A Tornadito/SHORE substitute: page-based storage, Wisconsin benchmark
+relations, indexed selections and hash joins with cost accounting, a
+harmonized server and client, the Figure 3 bundle generator, and the full
+Section 6 experiment harness.
+"""
+
+from repro.apps.database.bundles import (
+    BUNDLE_NAME,
+    OPTION_DATA_SHIPPING,
+    OPTION_QUERY_SHIPPING,
+    DatabaseBundleNumbers,
+    database_bundle_numbers,
+    database_bundle_rsl,
+)
+from repro.apps.database.client import DatabaseClientApp, QueryRecord
+from repro.apps.database.executor import (
+    CostParameters,
+    DatabaseEngine,
+    ExecutionProfile,
+)
+from repro.apps.database.experiment import (
+    DatabaseExperimentConfig,
+    DatabaseExperimentResult,
+    PhaseSummary,
+    run_database_experiment,
+)
+from repro.apps.database.index import SortedIndex
+from repro.apps.database.query import JoinQuery, WisconsinWorkload
+from repro.apps.database.relation import (
+    TUPLE_BYTES,
+    WISCONSIN_FIELDS,
+    WisconsinRelation,
+    make_wisconsin_pair,
+)
+from repro.apps.database.server import DatabaseServerApp
+from repro.apps.database.storage import PAGE_BYTES, BufferPool, HeapFile, Page, PageId
+
+__all__ = [
+    "PAGE_BYTES", "Page", "PageId", "HeapFile", "BufferPool",
+    "WisconsinRelation", "make_wisconsin_pair", "WISCONSIN_FIELDS",
+    "TUPLE_BYTES", "SortedIndex",
+    "JoinQuery", "WisconsinWorkload",
+    "DatabaseEngine", "CostParameters", "ExecutionProfile",
+    "DatabaseServerApp", "DatabaseClientApp", "QueryRecord",
+    "BUNDLE_NAME", "OPTION_QUERY_SHIPPING", "OPTION_DATA_SHIPPING",
+    "DatabaseBundleNumbers", "database_bundle_numbers",
+    "database_bundle_rsl",
+    "DatabaseExperimentConfig", "DatabaseExperimentResult", "PhaseSummary",
+    "run_database_experiment",
+]

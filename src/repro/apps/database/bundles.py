@@ -1,0 +1,122 @@
+"""RSL bundles for the client-server database (the paper's Figure 3).
+
+The DBclient application exports a bundle named ``where`` with two options:
+
+* ``QS`` (query shipping) — queries execute at the server: heavy server
+  CPU, a tiny request and a small result transfer;
+* ``DS`` (data shipping) — queries execute at the client: light server CPU
+  (page service), heavy client CPU, and a link requirement that *depends on
+  the memory Harmony grants the client*: pages evicted from the client
+  cache must be re-shipped every query.
+
+Unlike the paper's hand-written constants, :func:`database_bundle_rsl`
+derives its numbers from the actual engine cost model, so the RSL the
+controller reasons over matches what the simulated database really does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.database.executor import DatabaseEngine
+
+__all__ = ["DatabaseBundleNumbers", "database_bundle_numbers",
+           "database_bundle_rsl", "BUNDLE_NAME", "OPTION_QUERY_SHIPPING",
+           "OPTION_DATA_SHIPPING"]
+
+BUNDLE_NAME = "where"
+OPTION_QUERY_SHIPPING = "QS"
+OPTION_DATA_SHIPPING = "DS"
+
+
+@dataclass(frozen=True)
+class DatabaseBundleNumbers:
+    """Engine-derived constants that go into the Figure 3 bundle."""
+
+    qs_server_seconds: float     # per-query CPU at the server (warm cache)
+    qs_client_seconds: float     # submit + display at the client
+    qs_link_mb: float            # request + result transfer
+    ds_server_seconds: float     # page-service CPU at the server
+    ds_client_seconds: float     # per-query CPU at the client
+    ds_min_client_memory_mb: float
+    working_set_mb: float        # both relations; a cache this big stops
+    #                              re-shipping (the memory/bandwidth trade)
+    ds_base_link_mb: float       # request + residual traffic at full cache
+    server_memory_mb: float
+
+
+def database_bundle_numbers(engine: DatabaseEngine,
+                            expected_selected: int | None = None,
+                            expected_result_tuples: int | None = None,
+                            ) -> DatabaseBundleNumbers:
+    """Derive bundle constants from the engine's cost parameters.
+
+    ``expected_selected`` defaults to 10% of each relation (the paper's
+    selectivity); ``expected_result_tuples`` to 1% of a relation (the
+    expected size of joining two independent 10% samples on a key).
+    """
+    params = engine.params
+    count_a = engine.relation_a.tuple_count
+    count_b = engine.relation_b.tuple_count
+    if expected_selected is None:
+        expected_selected = int(0.1 * count_a) + int(0.1 * count_b)
+    if expected_result_tuples is None:
+        expected_result_tuples = int(0.01 * min(count_a, count_b))
+
+    per_query_cpu = expected_selected * (params.select_tuple_seconds
+                                         + params.join_tuple_seconds)
+    result_mb = (expected_result_tuples * params.result_tuple_bytes
+                 + params.query_request_bytes) / (1024 * 1024)
+    working_set_mb = engine.working_set_mb()
+    # Page service cost if the whole working set were shipped once.
+    full_ship_seconds = engine.working_set_pages() \
+        * params.page_service_seconds
+
+    return DatabaseBundleNumbers(
+        qs_server_seconds=round(per_query_cpu, 3),
+        qs_client_seconds=0.2,
+        qs_link_mb=round(max(result_mb, 0.01), 3),
+        ds_server_seconds=round(max(full_ship_seconds * 0.1, 0.05), 3),
+        ds_client_seconds=round(per_query_cpu, 3),
+        ds_min_client_memory_mb=16.0,
+        working_set_mb=round(working_set_mb, 1),
+        ds_base_link_mb=round(max(result_mb, 0.01), 3),
+        server_memory_mb=max(64.0, working_set_mb * 1.5),
+    )
+
+
+def database_bundle_rsl(client_hostname: str, server_hostname: str,
+                        numbers: DatabaseBundleNumbers,
+                        app_name: str = "DBclient") -> str:
+    """The Figure 3 bundle, parameterized for one client.
+
+    The DS link expression mirrors the paper's
+    ``44 + (client.memory > 24 ? 24 : client.memory) - 17`` pattern:
+    traffic falls linearly as granted client memory approaches the working
+    set, then flattens — so Harmony "can decide to allocate additional
+    memory resources at the client in order to reduce bandwidth
+    requirements".
+    """
+    n = numbers
+    ds_link = (f"{n.ds_base_link_mb} + {n.working_set_mb} - "
+               f"(client.memory > {n.working_set_mb} ? "
+               f"{n.working_set_mb} : client.memory)")
+    return f"""
+harmonyBundle {app_name} {BUNDLE_NAME} {{
+    {{{OPTION_QUERY_SHIPPING}
+        {{node server {{hostname {server_hostname}}}
+                     {{seconds {n.qs_server_seconds}}}
+                     {{memory {n.server_memory_mb}}}}}
+        {{node client {{hostname {client_hostname}}}
+                     {{seconds {n.qs_client_seconds}}}
+                     {{memory 2}}}}
+        {{link client server {n.qs_link_mb}}}}}
+    {{{OPTION_DATA_SHIPPING}
+        {{node server {{hostname {server_hostname}}}
+                     {{seconds {n.ds_server_seconds}}}
+                     {{memory {n.server_memory_mb}}}}}
+        {{node client {{hostname {client_hostname}}}
+                     {{memory >={n.ds_min_client_memory_mb}}}
+                     {{seconds {n.ds_client_seconds}}}}}
+        {{link client server {{{ds_link}}}}}}}}}
+"""

@@ -1,0 +1,234 @@
+"""The harmonized database client application.
+
+Each client submits the Wisconsin workload in a loop.  At every query
+boundary — the natural reconfiguration phase the paper describes
+("database applications usually need to complete the current query before
+reconfiguring the system from a query shipping to a data-shipping
+configuration") — the client polls its Harmony variables:
+
+* ``where.option`` — QS or DS, set by the controller;
+* ``where.client.memory`` — the granted cache size; the client resizes its
+  buffer pool to match (the memory/bandwidth trade of Figure 3).
+
+Query shipping: ship the request, let the server execute, ship the result
+back.  Data shipping: fault missing pages from the server into the local
+cache, then execute locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.api.client import HarmonyClient
+from repro.api.variables import VariableType
+from repro.apps.database.bundles import (
+    BUNDLE_NAME,
+    OPTION_DATA_SHIPPING,
+    OPTION_QUERY_SHIPPING,
+)
+from repro.apps.database.query import WisconsinWorkload
+from repro.apps.database.server import DatabaseServerApp
+from repro.apps.database.storage import BufferPool
+from repro.cluster.kernel import Interrupted, Process
+from repro.cluster.topology import Cluster
+from repro.errors import DatabaseError
+from repro.metrics import MetricInterface
+
+__all__ = ["DatabaseClientApp", "QueryRecord"]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One completed query: when, how long, and under which option."""
+
+    start_time: float
+    response_seconds: float
+    option: str
+    result_tuples: int
+    shipped_mb: float
+
+
+@dataclass
+class ClientStatistics:
+    queries_completed: int = 0
+    qs_queries: int = 0
+    ds_queries: int = 0
+    shipped_megabytes: float = 0.0
+    records: list[QueryRecord] = field(default_factory=list)
+
+
+class DatabaseClientApp:
+    """One DBclient instance running at a client node."""
+
+    def __init__(self, name: str, cluster: Cluster, hostname: str,
+                 server: DatabaseServerApp, harmony: HarmonyClient,
+                 bundle_rsl: str, workload: WisconsinWorkload,
+                 metrics: MetricInterface,
+                 initial_cache_mb: float = 16.0,
+                 think_seconds: float = 0.0):
+        self.name = name
+        self.cluster = cluster
+        self.hostname = hostname
+        self.node = cluster.node(hostname)
+        self.server = server
+        self.harmony = harmony
+        self.bundle_rsl = bundle_rsl
+        self.workload = workload
+        self.metrics = metrics
+        self.think_seconds = think_seconds
+        self.cache = BufferPool(initial_cache_mb, name=f"client:{hostname}")
+        self.stats = ClientStatistics()
+        self._option_var = None
+        self._memory_var = None
+        self._process: Process | None = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self, query_limit: int | None = None,
+              run_until: float | None = None) -> Process:
+        """Register with Harmony and begin the query loop."""
+        self._process = self.cluster.kernel.spawn(
+            self._run(query_limit, run_until), name=f"dbclient:{self.name}")
+        return self._process
+
+    def stop(self) -> None:
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("stop")
+
+    @property
+    def current_option(self) -> str:
+        if self._option_var is None:
+            return OPTION_QUERY_SHIPPING
+        return str(self._option_var.value)
+
+    # -- the application loop ------------------------------------------------------
+
+    def _run(self, query_limit: int | None,
+             run_until: float | None) -> Iterator:
+        kernel = self.cluster.kernel
+        self.harmony.startup("DBclient")
+        self.harmony.bundle_setup(self.bundle_rsl)
+        self._option_var = self.harmony.add_variable(
+            f"{BUNDLE_NAME}.option", OPTION_QUERY_SHIPPING,
+            VariableType.STRING)
+        self._memory_var = self.harmony.add_variable(
+            f"{BUNDLE_NAME}.client.memory", self.cache.capacity_pages
+            * 8192 / (1024 * 1024), VariableType.FLOAT)
+        self._apply_memory_grant()
+
+        try:
+            while True:
+                if query_limit is not None and \
+                        self.stats.queries_completed >= query_limit:
+                    break
+                if run_until is not None and kernel.now >= run_until:
+                    break
+                # The paper's polling point: between queries.
+                self._poll_harmony()
+                yield from self._one_query()
+                if self.think_seconds > 0:
+                    yield kernel.timeout(self.think_seconds)
+        except Interrupted:
+            pass
+        self.harmony.end()
+
+    def _poll_harmony(self) -> None:
+        self.harmony.poll_update()
+        if self._memory_var is not None and self._memory_var.changed:
+            self._memory_var.consume()
+            self._apply_memory_grant()
+        if self._option_var is not None and self._option_var.changed:
+            self._option_var.consume()
+
+    def _apply_memory_grant(self) -> None:
+        if self._memory_var is None:
+            return
+        granted = float(self._memory_var.value)
+        if granted > 0:
+            self.cache.resize(granted)
+
+    def _one_query(self) -> Iterator:
+        kernel = self.cluster.kernel
+        query = self.workload.next_query()
+        option = self.current_option
+        start = kernel.now
+        shipped_mb = 0.0
+
+        if option == OPTION_QUERY_SHIPPING:
+            profile, shipped_mb = yield from self._query_shipping(query)
+        elif option == OPTION_DATA_SHIPPING:
+            profile, shipped_mb = yield from self._data_shipping(query)
+        else:
+            raise DatabaseError(f"unknown option {option!r}")
+
+        response = kernel.now - start
+        record = QueryRecord(start_time=start, response_seconds=response,
+                             option=option,
+                             result_tuples=profile.result_tuples,
+                             shipped_mb=shipped_mb)
+        self.stats.records.append(record)
+        self.stats.queries_completed += 1
+        self.stats.shipped_megabytes += shipped_mb
+        if option == OPTION_QUERY_SHIPPING:
+            self.stats.qs_queries += 1
+        else:
+            self.stats.ds_queries += 1
+        self.harmony.report_metric("response_time", response)
+        self.metrics.report(f"db.{self.name}.response_time", kernel.now,
+                            response)
+
+    def _query_shipping(self, query) -> Iterator:
+        """Execute at the server; ship request there and result back."""
+        kernel = self.cluster.kernel
+        params = self.server.engine.params
+        link_mb_request = params.query_request_bytes / (1024 * 1024)
+        shipped = link_mb_request
+        yield from self._transfer(link_mb_request)
+        profile = yield kernel.spawn(self.server.execute_query(query),
+                                     name=f"qs:{self.name}")
+        # Client-side submit/merge/display work.
+        yield self.node.compute(0.2)
+        result_mb = profile.result_bytes(params) / (1024 * 1024)
+        shipped += result_mb
+        yield from self._transfer(result_mb)
+        return profile, shipped
+
+    def _data_shipping(self, query) -> Iterator:
+        """Fault missing pages from the server, execute locally."""
+        kernel = self.cluster.kernel
+        profile = self.server.engine.execute(query, self.cache)
+        shipped = 0.0
+        if profile.page_misses > 0:
+            shipped = yield kernel.spawn(
+                self.server.serve_pages(profile.page_misses),
+                name=f"ds-pages:{self.name}")
+            yield from self._transfer(shipped)
+        # Local execution: CPU only — faulted pages arrived by network, so
+        # the engine's io_seconds (a *disk* cost) does not apply here.
+        if profile.cpu_seconds > 0:
+            yield self.node.compute(profile.cpu_seconds)
+        return profile, shipped
+
+    def _transfer(self, megabytes: float) -> Iterator:
+        if megabytes <= 0:
+            return
+        links = self.cluster.path_links(self.hostname,
+                                        self.server.hostname)
+        for link in links:
+            yield link.transfer(megabytes)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def response_time_series(self) -> list[tuple[float, float]]:
+        return [(record.start_time, record.response_seconds)
+                for record in self.stats.records]
+
+    def mean_response(self, since: float = 0.0,
+                      option: str | None = None) -> float | None:
+        values = [record.response_seconds for record in self.stats.records
+                  if record.start_time >= since
+                  and (option is None or record.option == option)]
+        if not values:
+            return None
+        return sum(values) / len(values)

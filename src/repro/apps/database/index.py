@@ -1,0 +1,65 @@
+"""Secondary indexes for the mini relational engine.
+
+A :class:`SortedIndex` is a sorted array of (key, page id, row) entries with
+binary-search point and range lookups — functionally what the paper's
+"selected on an indexed attribute" requires, with the page ids needed for
+buffer-pool accounting.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+from repro.apps.database.storage import PageId
+from repro.errors import DatabaseError
+
+__all__ = ["SortedIndex", "IndexEntry"]
+
+IndexEntry = tuple[float, PageId, tuple]
+
+
+class SortedIndex:
+    """An ordered secondary index over one attribute."""
+
+    def __init__(self, field: str, entries: list[IndexEntry]):
+        self.field = field
+        self._entries = entries
+        self._keys = [entry[0] for entry in entries]
+
+    @classmethod
+    def build(cls, field: str,
+              entries: Iterable[tuple[float, PageId, tuple]],
+              ) -> "SortedIndex":
+        ordered = sorted(entries, key=lambda entry: entry[0])
+        return cls(field, ordered)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: float) -> list[IndexEntry]:
+        """All entries with exactly this key."""
+        lo = bisect.bisect_left(self._keys, key)
+        hi = bisect.bisect_right(self._keys, key)
+        return self._entries[lo:hi]
+
+    def range(self, low: float, high: float) -> list[IndexEntry]:
+        """Entries with ``low <= key <= high`` (inclusive both ends)."""
+        if low > high:
+            raise DatabaseError(f"bad index range [{low}, {high}]")
+        lo = bisect.bisect_left(self._keys, low)
+        hi = bisect.bisect_right(self._keys, high)
+        return self._entries[lo:hi]
+
+    def scan(self) -> Iterator[IndexEntry]:
+        return iter(self._entries)
+
+    def distinct_pages(self, entries: list[IndexEntry]) -> list[PageId]:
+        """Unique page ids referenced by ``entries``, in first-seen order."""
+        seen: set[PageId] = set()
+        pages: list[PageId] = []
+        for _key, page_id, _row in entries:
+            if page_id not in seen:
+                seen.add(page_id)
+                pages.append(page_id)
+        return pages

@@ -1,0 +1,141 @@
+"""Wisconsin benchmark relations.
+
+The paper's workload is "randomly perturbed join queries over two instances
+of the Wisconsin benchmark relations, each of which contains 100,000
+208-byte tuples".  This module generates the classic Wisconsin schema
+deterministically (seeded), stores it in a :class:`HeapFile`, and builds the
+standard indexes.
+
+Schema (DeWitt's Wisconsin benchmark):
+
+* ``unique1`` — 0..n-1, random order (candidate key),
+* ``unique2`` — 0..n-1, sequential (clustered key),
+* ``two, four, ten, twenty`` — ``unique1 mod k``,
+* ``onePercent, tenPercent, twentyPercent, fiftyPercent`` — selection
+  helpers (``unique1 mod 100 / 10 / 5 / 2``),
+* ``unique3`` — copy of unique1,
+* ``evenOnePercent, oddOnePercent`` — ``onePercent*2`` and ``+1``,
+* ``stringu1, stringu2, string4`` — 52-byte padding strings.
+
+With three 52-byte strings and thirteen 4-byte integers a tuple is exactly
+208 bytes, matching the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.apps.database.index import SortedIndex
+from repro.apps.database.storage import HeapFile, PageId
+from repro.errors import DatabaseError
+
+__all__ = ["WISCONSIN_FIELDS", "TUPLE_BYTES", "WisconsinRelation",
+           "make_wisconsin_pair"]
+
+WISCONSIN_FIELDS = (
+    "unique1", "unique2", "two", "four", "ten", "twenty",
+    "onePercent", "tenPercent", "twentyPercent", "fiftyPercent",
+    "unique3", "evenOnePercent", "oddOnePercent",
+    "stringu1", "stringu2", "string4",
+)
+
+#: 13 integers x 4 bytes + 3 strings x 52 bytes = 208 bytes.
+TUPLE_BYTES = 208
+
+_FIELD_INDEX = {name: i for i, name in enumerate(WISCONSIN_FIELDS)}
+
+_STRING4_CYCLE = ("AAAA", "HHHH", "OOOO", "VVVV")
+
+
+def _unique_string(value: int) -> str:
+    """The benchmark's 52-byte string encoding of an integer."""
+    letters = []
+    remainder = value
+    for _ in range(7):
+        letters.append(chr(ord("A") + remainder % 26))
+        remainder //= 26
+    return "".join(reversed(letters)).ljust(52, "x")
+
+
+@dataclass(frozen=True)
+class _Stats:
+    tuple_count: int
+    page_count: int
+    megabytes: float
+
+
+class WisconsinRelation:
+    """One generated Wisconsin relation with its heap file and indexes."""
+
+    def __init__(self, name: str, tuple_count: int = 100_000,
+                 seed: int = 1):
+        if tuple_count <= 0:
+            raise DatabaseError("tuple_count must be positive")
+        self.name = name
+        self.tuple_count = tuple_count
+        self.heap = HeapFile(name, TUPLE_BYTES)
+        rng = random.Random(seed)
+        unique1_values = list(range(tuple_count))
+        rng.shuffle(unique1_values)
+
+        placements: list[tuple[PageId, tuple]] = []
+        for unique2, unique1 in enumerate(unique1_values):
+            row = self._make_row(unique1, unique2)
+            page_id = self.heap.append(row)
+            placements.append((page_id, row))
+
+        self.indexes: dict[str, SortedIndex] = {}
+        for field in ("unique1", "unique2", "tenPercent", "onePercent"):
+            self.indexes[field] = SortedIndex.build(
+                field, ((row[_FIELD_INDEX[field]], page_id, row)
+                        for page_id, row in placements))
+
+    @staticmethod
+    def _make_row(unique1: int, unique2: int) -> tuple:
+        one_percent = unique1 % 100
+        return (
+            unique1,
+            unique2,
+            unique1 % 2,
+            unique1 % 4,
+            unique1 % 10,
+            unique1 % 20,
+            one_percent,
+            unique1 % 10,          # tenPercent
+            unique1 % 5,           # twentyPercent
+            unique1 % 2,           # fiftyPercent
+            unique1,               # unique3
+            one_percent * 2,       # evenOnePercent
+            one_percent * 2 + 1,   # oddOnePercent
+            _unique_string(unique1),
+            _unique_string(unique2),
+            _STRING4_CYCLE[unique1 % 4],
+        )
+
+    # -- field access -------------------------------------------------------
+
+    @staticmethod
+    def field_index(field: str) -> int:
+        if field not in _FIELD_INDEX:
+            raise DatabaseError(f"unknown Wisconsin field {field!r}")
+        return _FIELD_INDEX[field]
+
+    def index_on(self, field: str) -> SortedIndex:
+        if field not in self.indexes:
+            raise DatabaseError(
+                f"{self.name}: no index on {field!r} "
+                f"(indexed: {sorted(self.indexes)})")
+        return self.indexes[field]
+
+    def stats(self) -> _Stats:
+        return _Stats(tuple_count=self.heap.tuple_count,
+                      page_count=self.heap.page_count,
+                      megabytes=self.heap.page_count * 8192 / (1024 * 1024))
+
+
+def make_wisconsin_pair(tuple_count: int = 100_000, seed: int = 7,
+                        ) -> tuple[WisconsinRelation, WisconsinRelation]:
+    """The paper's "two instances of the Wisconsin benchmark relations"."""
+    return (WisconsinRelation("wisconsinA", tuple_count, seed=seed),
+            WisconsinRelation("wisconsinB", tuple_count, seed=seed + 1))

@@ -1,0 +1,88 @@
+"""The harmonized database server application.
+
+"We assume a single, always available server and one or more clients.  The
+interface to Harmony is handled entirely by the clients."  The server app is
+therefore passive with respect to Harmony: it owns the relations, the server
+buffer pool, and the server node's CPU, and offers two services to client
+processes — executing whole queries (query shipping) and serving pages
+(data shipping).  Because the server CPU is a fair-share resource,
+concurrent clients contend exactly as on the paper's shared SP-2 server
+node, including the cooperative-caching effect: all clients share one
+server buffer pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.apps.database.executor import DatabaseEngine, ExecutionProfile
+from repro.apps.database.query import JoinQuery
+from repro.apps.database.storage import PAGE_BYTES, BufferPool
+from repro.cluster.topology import Cluster
+
+__all__ = ["DatabaseServerApp", "ServerStatistics"]
+
+
+@dataclass
+class ServerStatistics:
+    """Counters for tests and the experiment report."""
+
+    queries_executed: int = 0
+    pages_served: int = 0
+    server_cpu_seconds: float = 0.0
+    result_megabytes: float = 0.0
+    profiles: list[ExecutionProfile] = field(default_factory=list)
+
+
+class DatabaseServerApp:
+    """The always-available database server at one cluster node."""
+
+    def __init__(self, cluster: Cluster, hostname: str,
+                 engine: DatabaseEngine, buffer_pool_mb: float = 64.0,
+                 keep_profiles: bool = False):
+        self.cluster = cluster
+        self.hostname = hostname
+        self.engine = engine
+        self.node = cluster.node(hostname)
+        self.pool = BufferPool(buffer_pool_mb, name=f"server:{hostname}")
+        self.stats = ServerStatistics()
+        self._keep_profiles = keep_profiles
+
+    # -- query shipping ----------------------------------------------------------
+
+    def execute_query(self, query: JoinQuery,
+                      ) -> Generator[object, object, ExecutionProfile]:
+        """Run a query at the server (a simulation sub-process).
+
+        Yields server CPU work; returns the execution profile.  The caller
+        (the client process) is responsible for shipping the result back
+        over its link.
+        """
+        profile = self.engine.execute(query, self.pool)
+        self.stats.queries_executed += 1
+        self.stats.server_cpu_seconds += profile.compute_seconds
+        self.stats.result_megabytes += \
+            profile.result_bytes(self.engine.params) / (1024 * 1024)
+        if self._keep_profiles:
+            self.stats.profiles.append(profile)
+        if profile.compute_seconds > 0:
+            yield self.node.compute(profile.compute_seconds)
+        return profile
+
+    # -- data shipping ----------------------------------------------------------
+
+    def serve_pages(self, page_count: int,
+                    ) -> Generator[object, object, float]:
+        """Ship ``page_count`` pages to a client; returns megabytes shipped.
+
+        Charges the server the per-page service CPU; the caller transfers
+        the returned megabytes over its link.
+        """
+        if page_count <= 0:
+            return 0.0
+        service_seconds = page_count * self.engine.params.page_service_seconds
+        self.stats.pages_served += page_count
+        self.stats.server_cpu_seconds += service_seconds
+        yield self.node.compute(service_seconds)
+        return page_count * PAGE_BYTES / (1024 * 1024)

@@ -1,0 +1,111 @@
+"""The paper's "Simple" application (Figure 2(a)).
+
+"'Simple' is a generic parallel application that runs on four processors.
+There are two high-level resource requests.  The first specifies the
+required characteristics of a worker node.  Each node requires 300 seconds
+of computation on the reference machine and 32 Mbytes of memory.  The
+'replicate' tag specifies that this node definition should be used to match
+four distinct nodes ...  Second, we use the 'communication' tag to specify
+communication requirements for the entire application."
+
+Besides the RSL, this module provides a runnable simulated version: four
+worker processes compute in parallel on their assigned nodes while the
+application's general communication flows between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.api.client import HarmonyClient
+from repro.cluster.kernel import Process
+from repro.cluster.topology import Cluster
+
+__all__ = ["simple_bundle_rsl", "SimpleParallelApp", "SimpleRunReport"]
+
+
+def simple_bundle_rsl(app_name: str = "Simple", workers: int = 4,
+                      seconds_per_worker: float = 300.0,
+                      memory_mb: float = 32.0,
+                      communication_mb: float = 64.0) -> str:
+    """The Figure 2(a) bundle: one option, N replicated worker nodes."""
+    return f"""
+harmonyBundle {app_name} run {{
+    {{fixed
+        {{node worker {{seconds {seconds_per_worker}}}
+                     {{memory {memory_mb}}}
+                     {{replicate {workers}}}}}
+        {{communication {communication_mb}}}}}}}
+"""
+
+
+@dataclass
+class SimpleRunReport:
+    """What one execution of Simple did."""
+
+    started_at: float
+    finished_at: float
+    placements: dict[str, str]
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class SimpleParallelApp:
+    """A runnable four-processor job driven by its Harmony placement."""
+
+    def __init__(self, cluster: Cluster, harmony: HarmonyClient,
+                 app_name: str = "Simple", workers: int = 4,
+                 seconds_per_worker: float = 300.0,
+                 memory_mb: float = 32.0,
+                 communication_mb: float = 64.0):
+        self.cluster = cluster
+        self.harmony = harmony
+        self.app_name = app_name
+        self.workers = workers
+        self.seconds_per_worker = seconds_per_worker
+        self.memory_mb = memory_mb
+        self.communication_mb = communication_mb
+        self.report: SimpleRunReport | None = None
+
+    def start(self) -> Process:
+        return self.cluster.kernel.spawn(self._run(),
+                                         name=f"simple:{self.app_name}")
+
+    def _run(self) -> Iterator:
+        kernel = self.cluster.kernel
+        self.harmony.startup(self.app_name)
+        config = self.harmony.bundle_setup(simple_bundle_rsl(
+            self.app_name, self.workers, self.seconds_per_worker,
+            self.memory_mb, self.communication_mb))
+        placements = dict(config["placements"])
+        started = kernel.now
+
+        compute_events = [
+            self.cluster.node(hostname).compute(self.seconds_per_worker)
+            for hostname in placements.values()
+        ]
+        yield kernel.all_of(compute_events)
+        yield from self._communicate(placements)
+
+        self.report = SimpleRunReport(started_at=started,
+                                      finished_at=kernel.now,
+                                      placements=placements)
+        self.harmony.end()
+
+    def _communicate(self, placements: dict[str, str]) -> Iterator:
+        """General communication: total MB spread over all node pairs."""
+        hosts = sorted(set(placements.values()))
+        pairs = [(a, b) for i, a in enumerate(hosts)
+                 for b in hosts[i + 1:] if a != b]
+        if not pairs or self.communication_mb <= 0:
+            return
+        per_pair_mb = self.communication_mb / len(pairs)
+        transfers = []
+        for host_a, host_b in pairs:
+            for link in self.cluster.path_links(host_a, host_b):
+                transfers.append(link.transfer(per_pair_mb))
+        if transfers:
+            yield self.cluster.kernel.all_of(transfers)

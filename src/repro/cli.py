@@ -1,0 +1,234 @@
+"""Command-line interface for the Harmony reproduction.
+
+Installed as ``harmony-repro`` (or run as ``python -m repro.cli``):
+
+* ``harmony-repro check FILE.rsl``  — parse, build, and lint an RSL file;
+  exits non-zero on syntax/semantic errors (lint findings are warnings
+  unless ``--strict``);
+* ``harmony-repro tags``            — print the paper's Table 1 tag set;
+* ``harmony-repro fig7 [...]``      — run the Section 6 database
+  experiment and print the Figure 7 phases;
+* ``harmony-repro fig4 [...]``      — run the Figure 4 repartitioning
+  experiment;
+* ``harmony-repro serve [...]``     — start a real TCP Harmony server over
+  a cluster described by ``harmonyNode`` declarations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Sequence
+
+from repro.errors import HarmonyError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="harmony-repro",
+        description="Reproduction of 'Exposing Application Alternatives' "
+                    "(ICDCS 1999) — the Active Harmony tuning interface.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    check = subparsers.add_parser(
+        "check", help="parse, build, and lint an RSL file")
+    check.add_argument("file", help="path to an RSL script")
+    check.add_argument("--strict", action="store_true",
+                       help="treat lint findings as errors")
+
+    subparsers.add_parser("tags", help="print the Table 1 tag registry")
+
+    fmt = subparsers.add_parser(
+        "format", help="canonically reformat an RSL file (to stdout)")
+    fmt.add_argument("file", help="path to an RSL script")
+
+    fig7 = subparsers.add_parser(
+        "fig7", help="run the Section 6 database experiment (Figure 7)")
+    fig7.add_argument("--policy", choices=("rule", "model"),
+                      default="rule")
+    fig7.add_argument("--tuples", type=int, default=10_000)
+    fig7.add_argument("--clients", type=int, default=3)
+
+    fig4 = subparsers.add_parser(
+        "fig4", help="run the repartitioning experiment (Figure 4)")
+    fig4.add_argument("--apps", type=int, default=3)
+
+    serve = subparsers.add_parser(
+        "serve", help="start a TCP Harmony server (the Section 5 "
+                      "prototype)")
+    serve.add_argument("--nodes", required=True,
+                       help="RSL file of harmonyNode declarations "
+                            "describing the cluster")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--bandwidth", type=float, default=40.0,
+                       help="full-mesh link bandwidth, MB/s")
+    serve.add_argument("--once", action="store_true",
+                       help="bind, print the address, and exit "
+                            "(for scripting/tests)")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "check": _cmd_check,
+        "tags": _cmd_tags,
+        "format": _cmd_format,
+        "fig7": _cmd_fig7,
+        "fig4": _cmd_fig4,
+        "serve": _cmd_serve,
+    }[args.command]
+    try:
+        return handler(args)
+    except HarmonyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.rsl import Bundle, build_script, lint_bundle
+
+    with open(args.file, encoding="utf-8") as handle:
+        text = handle.read()
+    results = build_script(text)
+    bundles = [r for r in results if isinstance(r, Bundle)]
+    adverts = len(results) - len(bundles)
+    print(f"{args.file}: {len(bundles)} bundle(s), "
+          f"{adverts} node advertisement(s)")
+
+    findings = 0
+    for bundle in bundles:
+        configurations = bundle.configuration_count()
+        print(f"  harmonyBundle {bundle.app_name} {bundle.bundle_name}: "
+              f"{len(bundle.options)} option(s), "
+              f"{configurations} configuration(s)")
+        for finding in lint_bundle(bundle):
+            findings += 1
+            print(f"    warning: {finding}")
+    if findings:
+        print(f"{findings} lint finding(s)")
+        if args.strict:
+            return 2
+    else:
+        print("no lint findings")
+    return 0
+
+
+def _cmd_format(args: argparse.Namespace) -> int:
+    from repro.rsl import (
+        Bundle,
+        build_script,
+        pretty_bundle,
+        unparse_advertisement,
+    )
+
+    with open(args.file, encoding="utf-8") as handle:
+        results = build_script(handle.read())
+    chunks = []
+    for result in results:
+        if isinstance(result, Bundle):
+            chunks.append(pretty_bundle(result))
+        else:
+            chunks.append(unparse_advertisement(result) + "\n")
+    print("".join(chunks), end="")
+    return 0
+
+
+def _cmd_tags(_args: argparse.Namespace) -> int:
+    from repro.rsl.tags import TAG_REGISTRY
+
+    width = max(len(name) for name in TAG_REGISTRY)
+    print(f"{'Tag'.ljust(width)}  Purpose")
+    for name, info in TAG_REGISTRY.items():
+        print(f"{name.ljust(width)}  {info.purpose}")
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    from repro.apps.database import (
+        DatabaseExperimentConfig,
+        run_database_experiment,
+    )
+
+    result = run_database_experiment(DatabaseExperimentConfig(
+        tuple_count=args.tuples, policy=args.policy,
+        client_count=args.clients,
+        total_duration_seconds=200.0 * (args.clients + 1)))
+    print(f"{result.queries_total} queries; switch at "
+          f"t={result.switch_time}")
+    for phase in result.phases:
+        means = ", ".join(f"{c}={v:.1f}s" for c, v in sorted(
+            phase.mean_response_by_client.items()))
+        print(f"  [{phase.start_time:5.0f},{phase.end_time:5.0f}) "
+              f"{phase.active_clients} client(s) "
+              f"{phase.dominant_option}: {means}")
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.apps.parallel_experiment import (
+        ParallelExperimentConfig,
+        run_parallel_experiment,
+    )
+
+    result = run_parallel_experiment(ParallelExperimentConfig(
+        app_count=args.apps,
+        total_duration_seconds=1500.0 * (args.apps + 1)))
+    for frame in result.frames:
+        partition = "+".join(str(n) for n in frame.partition())
+        print(f"  frame {frame.frame_index} "
+              f"({frame.active_apps} app(s)): {partition}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import HarmonyServer
+    from repro.cluster import Cluster
+    from repro.controller import AdaptationController
+    from repro.rsl import NodeAdvertisement, build_script
+
+    with open(args.nodes, encoding="utf-8") as handle:
+        results = build_script(handle.read())
+    adverts = [r for r in results if isinstance(r, NodeAdvertisement)]
+    if not adverts:
+        print("error: no harmonyNode declarations found",
+              file=sys.stderr)
+        return 1
+
+    cluster = Cluster()
+    for advert in adverts:
+        memory = advert.memory if not math.isinf(advert.memory) else 1024.0
+        cluster.add_node(advert.hostname, speed=advert.speed,
+                         memory_mb=memory, os=advert.os or "linux",
+                         attributes=dict(advert.attributes))
+    hostnames = cluster.hostnames()
+    for index, host_a in enumerate(hostnames):
+        for host_b in hostnames[index + 1:]:
+            cluster.add_link(host_a, host_b, args.bandwidth)
+
+    controller = AdaptationController(cluster)
+    server = HarmonyServer(controller)
+    host, port = server.serve_tcp(args.host, args.port)
+    print(f"Harmony server on {host}:{port} managing "
+          f"{len(hostnames)} node(s): {', '.join(hostnames)}")
+    if args.once:
+        server.stop()
+        return 0
+    try:
+        import time
+        while True:  # pragma: no cover - interactive loop
+            time.sleep(1.0)
+    except KeyboardInterrupt:  # pragma: no cover
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

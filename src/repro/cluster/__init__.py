@@ -1,0 +1,29 @@
+"""Simulated meta-computing environment.
+
+This package stands in for the paper's IBM SP-2 testbed: a process-based
+discrete-event kernel (:mod:`repro.cluster.kernel`), fair-share CPU and link
+models (:mod:`repro.cluster.resources`), nodes and links with reservation
+accounting, topology queries, and background-load injection.
+"""
+
+from repro.cluster.kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupted,
+    Kernel,
+    Process,
+    Timeout,
+)
+from repro.cluster.link import SimLink
+from repro.cluster.load import BackgroundCpuLoad, BackgroundTrafficLoad, LoadPhase
+from repro.cluster.node import MemoryAccount, SimNode
+from repro.cluster.resources import FairShareServer, SlotResource, Store
+from repro.cluster.topology import Cluster
+
+__all__ = [
+    "Kernel", "Event", "Timeout", "Process", "AnyOf", "AllOf", "Interrupted",
+    "FairShareServer", "SlotResource", "Store",
+    "SimNode", "MemoryAccount", "SimLink", "Cluster",
+    "LoadPhase", "BackgroundCpuLoad", "BackgroundTrafficLoad",
+]

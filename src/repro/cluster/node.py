@@ -1,0 +1,105 @@
+"""Simulated cluster nodes.
+
+A :class:`SimNode` couples the static description Harmony sees (hostname,
+speed relative to the 400 MHz Pentium II reference machine, memory, OS) with
+runtime state: a processor-sharing CPU and a memory accountant.  CPU demand
+everywhere in this library is expressed in *reference seconds*; a node of
+speed 2.0 serves one reference second in half a wall-clock (simulated)
+second, matching the paper's relative-speed convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.cluster.kernel import Event, Kernel
+from repro.cluster.resources import FairShareServer
+from repro.errors import AllocationError, SimulationError
+from repro.rsl.model import NodeAdvertisement
+
+__all__ = ["SimNode", "MemoryAccount"]
+
+
+@dataclass
+class MemoryAccount:
+    """Tracks reserved memory (MB) on a node."""
+
+    total_mb: float
+    reserved_mb: float = 0.0
+    _holders: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def available_mb(self) -> float:
+        return self.total_mb - self.reserved_mb
+
+    def reserve(self, holder: str, amount_mb: float) -> None:
+        """Reserve memory for ``holder``; additive across calls."""
+        if amount_mb < 0:
+            raise SimulationError(f"negative memory reservation {amount_mb}")
+        if amount_mb > self.available_mb + 1e-9:
+            raise AllocationError(
+                f"memory reservation of {amount_mb} MB exceeds available "
+                f"{self.available_mb} MB")
+        self.reserved_mb += amount_mb
+        self._holders[holder] = self._holders.get(holder, 0.0) + amount_mb
+
+    def release(self, holder: str) -> float:
+        """Release everything held by ``holder``; returns the amount."""
+        amount = self._holders.pop(holder, 0.0)
+        self.reserved_mb -= amount
+        return amount
+
+    def held_by(self, holder: str) -> float:
+        return self._holders.get(holder, 0.0)
+
+
+class SimNode:
+    """One machine in the simulated cluster."""
+
+    def __init__(self, kernel: Kernel, hostname: str, speed: float = 1.0,
+                 memory_mb: float = 256.0, os: str = "linux",
+                 attributes: Mapping[str, str] | None = None):
+        if speed <= 0:
+            raise SimulationError(f"node {hostname!r}: speed must be positive")
+        self.kernel = kernel
+        self.hostname = hostname
+        self.speed = speed
+        self.os = os
+        self.attributes = dict(attributes or {})
+        self.cpu = FairShareServer(kernel, capacity=speed,
+                                   name=f"cpu:{hostname}")
+        self.memory = MemoryAccount(total_mb=memory_mb)
+        #: False once the machine has left the meta-computer ("the
+        #: addition or deletion of nodes" from the paper's abstract).
+        #: Failed nodes are invisible to the matcher; in-flight simulated
+        #: work is not interrupted (callers decide what failure means for
+        #: running jobs).
+        self.available = True
+
+    def fail(self) -> None:
+        """Remove this machine from the pool of allocatable nodes."""
+        self.available = False
+
+    def restore(self) -> None:
+        """Return this machine to the pool."""
+        self.available = True
+
+    def compute(self, reference_seconds: float) -> Event:
+        """Run ``reference_seconds`` of reference-machine work on this CPU.
+
+        Returns the completion event; its value is the job's sojourn time.
+        With no contention the sojourn is ``reference_seconds / speed``.
+        """
+        return self.cpu.submit(reference_seconds)
+
+    def advertisement(self) -> NodeAdvertisement:
+        """The RSL ``harmonyNode`` view of this node."""
+        return NodeAdvertisement(
+            hostname=self.hostname, speed=self.speed,
+            memory=self.memory.total_mb, os=self.os,
+            attributes=dict(self.attributes))
+
+    def __repr__(self) -> str:
+        return (f"SimNode({self.hostname!r}, speed={self.speed}, "
+                f"memory={self.memory.total_mb} MB)")

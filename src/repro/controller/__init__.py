@@ -1,0 +1,45 @@
+"""The Harmony adaptation controller: objectives, optimizers, policies."""
+
+from repro.controller.controller import (
+    AdaptationController,
+    DecisionPolicy,
+    DecisionRecord,
+    ModelDrivenPolicy,
+    ReconfigurationEvent,
+)
+from repro.controller.events import PerformanceEvent, PerformanceEventMonitor
+from repro.controller.friction import FrictionPolicy, SwitchDecision
+from repro.controller.objective import (
+    MaxResponseTime,
+    MeanResponseTime,
+    Objective,
+    ThroughputObjective,
+    WeightedMeanResponseTime,
+)
+from repro.controller.optimizer import (
+    Candidate,
+    ExhaustiveOptimizer,
+    GreedyOptimizer,
+    OptimizationContext,
+    enumerate_candidates,
+)
+from repro.controller.policies import ClientCountRulePolicy
+from repro.controller.registry import (
+    AppInstance,
+    ApplicationRegistry,
+    BundleState,
+    ChosenConfiguration,
+)
+
+__all__ = [
+    "AdaptationController", "DecisionPolicy", "ModelDrivenPolicy",
+    "ClientCountRulePolicy", "DecisionRecord", "ReconfigurationEvent",
+    "Objective", "MeanResponseTime", "MaxResponseTime",
+    "ThroughputObjective", "WeightedMeanResponseTime",
+    "GreedyOptimizer", "ExhaustiveOptimizer", "Candidate",
+    "OptimizationContext", "enumerate_candidates",
+    "FrictionPolicy", "SwitchDecision",
+    "PerformanceEventMonitor", "PerformanceEvent",
+    "ApplicationRegistry", "AppInstance", "BundleState",
+    "ChosenConfiguration",
+]

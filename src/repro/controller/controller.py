@@ -1,0 +1,594 @@
+"""The Harmony adaptation controller (paper Sections 2, 4 and 5).
+
+"The adaptation controller is the heart of the system.  The controller must
+gather relevant information about both the applications and the environment,
+project the effects of proposed changes ... and weigh competing costs and
+expected benefits of making various changes."
+
+:class:`AdaptationController` ties everything together:
+
+* applications register (:meth:`register_app`) and export bundles
+  (:meth:`setup_bundle`), receiving a system-chosen instance id;
+* the controller matches, allocates, and chooses configurations through a
+  pluggable :class:`DecisionPolicy` — the default
+  :class:`ModelDrivenPolicy` runs the paper's greedy objective optimization,
+  :class:`~repro.controller.policies.ClientCountRulePolicy` reproduces the
+  "simple rule" used for the paper's Figure 7 experiment;
+* choices are published into the hierarchical namespace and pushed to
+  reconfiguration listeners (the client library's variable mechanism);
+* a periodic process re-evaluates all bundles "to adapt the system due to
+  changes out of Harmony's control".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+from repro.allocation.allocation import allocate
+from repro.allocation.matcher import Matcher, MatchStrategy
+from repro.cluster.kernel import Interrupted, Process
+from repro.cluster.topology import Cluster
+from repro.controller.friction import FrictionPolicy
+from repro.controller.objective import MeanResponseTime, Objective
+from repro.controller.optimizer import (
+    Candidate,
+    GreedyOptimizer,
+    OptimizationContext,
+)
+from repro.controller.registry import (
+    AppInstance,
+    ApplicationRegistry,
+    BundleState,
+    ChosenConfiguration,
+)
+from repro.errors import AllocationError, ControllerError
+from repro.metrics import MetricInterface
+from repro.namespace import Namespace
+from repro.prediction.contention import SystemView
+from repro.prediction.models import DefaultModel, PerformanceModel
+from repro.rsl import Bundle, build_bundle
+
+__all__ = ["AdaptationController", "DecisionRecord", "ReconfigurationEvent",
+           "ModelDrivenPolicy", "DecisionPolicy"]
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One controller decision, for logs, tests and the Figure 4 bench."""
+
+    time: float
+    app_key: str
+    bundle_name: str
+    old_configuration: str | None
+    new_configuration: str
+    reason: str
+    objective_before: float
+    objective_after: float
+
+
+@dataclass(frozen=True)
+class ReconfigurationEvent:
+    """Pushed to listeners when an application's choice changes."""
+
+    time: float
+    app_key: str
+    bundle_name: str
+    option_name: str
+    variable_assignment: Mapping[str, float]
+    placements: Mapping[str, str]
+    memory_grants: Mapping[str, float]
+
+
+class DecisionPolicy:
+    """Strategy interface for choosing configurations."""
+
+    def configure_new_bundle(self, controller: "AdaptationController",
+                             instance: AppInstance,
+                             state: BundleState) -> None:
+        raise NotImplementedError
+
+    def reevaluate(self, controller: "AdaptationController") -> int:
+        """Re-decide every bundle; returns the number of changes applied."""
+        raise NotImplementedError
+
+
+class ModelDrivenPolicy(DecisionPolicy):
+    """The paper's objective-optimizing policy (Section 4.3).
+
+    ``pairwise_exchange`` enables a joint two-bundle improvement pass after
+    the per-bundle greedy sweep.  Coordinate descent alone cannot reach the
+    equal partitions of the paper's Figure 4(b) (a (5, 3) node split is a
+    local optimum even when (4, 4) is globally better); the pairwise pass
+    realizes the paper's "allocation decisions that require running
+    applications to be reconfigured".  ``max_pairwise_bundles`` caps the
+    quadratic pass.
+    """
+
+    def __init__(self, optimizer: GreedyOptimizer | None = None,
+                 pairwise_exchange: bool = True,
+                 max_pairwise_bundles: int = 12):
+        self.optimizer = optimizer or GreedyOptimizer()
+        self.pairwise_exchange = pairwise_exchange
+        self.max_pairwise_bundles = max_pairwise_bundles
+
+    def configure_new_bundle(self, controller: "AdaptationController",
+                             instance: AppInstance,
+                             state: BundleState) -> None:
+        result = self.optimizer.optimize_bundle(
+            instance, state, controller.optimization_context())
+        if result.best is None:
+            raise AllocationError(
+                f"{instance.key}: no feasible configuration for bundle "
+                f"{state.bundle.bundle_name!r}")
+        controller.apply_candidate(instance, state, result.best,
+                                   reason="initial",
+                                   objective_before=result.current_objective)
+
+    def reevaluate(self, controller: "AdaptationController") -> int:
+        changes = 0
+        # "we simply iterate through the list of active applications and
+        # within each application through the list of options"
+        for instance in controller.registry.instances():
+            for state in instance.bundles.values():
+                if self._reevaluate_bundle(controller, instance, state):
+                    changes += 1
+        if self.pairwise_exchange:
+            changes += self._pairwise_pass(controller)
+        return changes
+
+    def _pairwise_pass(self, controller: "AdaptationController") -> int:
+        """One joint-improvement sweep over all bundle pairs."""
+        entries: list[tuple] = []
+        for instance in controller.registry.instances():
+            for state in instance.bundles.values():
+                if state.chosen is not None:
+                    entries.append((instance, state))
+        if len(entries) < 2 or len(entries) > self.max_pairwise_bundles:
+            return 0
+        changes = 0
+        now = controller.now
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                first, second = entries[i], entries[j]
+                if not (first[1].granularity_allows_switch(now)
+                        and second[1].granularity_allows_switch(now)):
+                    continue
+                context = controller.optimization_context()
+                current = controller.objective.evaluate(
+                    context.predict_all(context.view))
+                best = self.optimizer.optimize_pair(first, second, context)
+                if best is None:
+                    continue
+                cand_a, cand_b, objective = best
+                if _same_configuration(first[1], cand_a) and \
+                        _same_configuration(second[1], cand_b):
+                    continue
+                friction = (
+                    controller.friction_cost(first[1], cand_a.option_name)
+                    + controller.friction_cost(second[1],
+                                               cand_b.option_name))
+                decision = controller.friction_policy.evaluate(
+                    current_objective=current,
+                    candidate_objective=objective,
+                    friction_cost_seconds=friction,
+                    candidate_response_seconds=min(
+                        cand_a.predicted_seconds, cand_b.predicted_seconds))
+                if not decision:
+                    continue
+                if not _same_configuration(first[1], cand_a):
+                    controller.apply_candidate(
+                        first[0], first[1], cand_a,
+                        reason="pairwise exchange",
+                        objective_before=current)
+                    changes += 1
+                if not _same_configuration(second[1], cand_b):
+                    controller.apply_candidate(
+                        second[0], second[1], cand_b,
+                        reason="pairwise exchange",
+                        objective_before=current)
+                    changes += 1
+        return changes
+
+    def _reevaluate_bundle(self, controller: "AdaptationController",
+                           instance: AppInstance,
+                           state: BundleState) -> bool:
+        now = controller.now
+        if state.chosen is None:
+            return False
+        if not state.granularity_allows_switch(now):
+            return False
+        context = controller.optimization_context()
+        result = self.optimizer.optimize_bundle(instance, state, context)
+        best = result.best
+        if best is None:
+            return False
+        if best.option_name == state.chosen.option_name and \
+                best.variable_assignment == state.chosen.variable_assignment \
+                and best.assignment.placements == \
+                state.chosen.assignment.placements:
+            return False  # already there
+        friction_cost = controller.friction_cost(state, best.option_name)
+        decision = controller.friction_policy.evaluate(
+            current_objective=result.current_objective,
+            candidate_objective=best.objective_value,
+            friction_cost_seconds=friction_cost,
+            candidate_response_seconds=best.predicted_seconds)
+        if not decision:
+            return False
+        controller.apply_candidate(
+            instance, state, best,
+            reason=f"reevaluation (gain {decision.objective_gain:.3g}s, "
+                   f"friction {friction_cost:.3g}s)",
+            objective_before=result.current_objective)
+        return True
+
+
+def _same_configuration(state: BundleState, candidate: Candidate) -> bool:
+    """Whether a candidate equals the bundle's current configuration."""
+    chosen = state.chosen
+    return (chosen is not None
+            and chosen.option_name == candidate.option_name
+            and chosen.variable_assignment == candidate.variable_assignment
+            and chosen.assignment.placements
+            == candidate.assignment.placements)
+
+
+class AdaptationController:
+    """Central resource manager for a simulated Harmony deployment."""
+
+    def __init__(self, cluster: Cluster,
+                 metrics: MetricInterface | None = None,
+                 namespace: Namespace | None = None,
+                 objective: Objective | None = None,
+                 policy: DecisionPolicy | None = None,
+                 friction_policy: FrictionPolicy | None = None,
+                 default_model: PerformanceModel | None = None,
+                 match_strategy: MatchStrategy = MatchStrategy.FIRST_FIT,
+                 reevaluation_period_seconds: float = 30.0):
+        self.cluster = cluster
+        self.metrics = metrics or MetricInterface()
+        self.namespace = namespace or Namespace()
+        self.objective = objective or MeanResponseTime()
+        self.policy = policy or ModelDrivenPolicy()
+        self.friction_policy = friction_policy or FrictionPolicy()
+        self.default_model = default_model or DefaultModel()
+        self.matcher = Matcher(cluster, strategy=match_strategy)
+        self.registry = ApplicationRegistry(namespace=self.namespace)
+        self.view = SystemView(cluster)
+        self.reevaluation_period_seconds = reevaluation_period_seconds
+        self.decision_log: list[DecisionRecord] = []
+        self._listeners: list[Callable[[ReconfigurationEvent], None]] = []
+        self._reevaluation_process: Process | None = None
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.cluster.now
+
+    # -- application lifecycle (the Figure 5 API, controller side) ----------
+
+    def register_app(self, app_name: str) -> AppInstance:
+        """``harmony_startup``: register and assign an instance id."""
+        instance = self.registry.register(app_name, self.now)
+        self.metrics.report("controller.registered_apps", self.now,
+                            float(len(self.registry)))
+        return instance
+
+    def setup_bundle(self, instance: AppInstance,
+                     bundle: Bundle | str) -> BundleState:
+        """``harmony_bundle_setup``: export a bundle and configure it.
+
+        Accepts RSL text or a prebuilt :class:`Bundle`.  Runs the initial
+        optimization for the new bundle, then re-evaluates every existing
+        application — the paper's add-new-application procedure.
+        """
+        if isinstance(bundle, str):
+            bundle = build_bundle(bundle)
+        state = self.registry.add_bundle(instance, bundle)
+        self.policy.configure_new_bundle(self, instance, state)
+        self.policy.reevaluate(self)
+        return state
+
+    def end_app(self, instance: AppInstance) -> None:
+        """``harmony_end``: release resources and re-evaluate the rest."""
+        self.view.remove(instance.key)
+        self.registry.remove(instance)
+        self.metrics.report("controller.registered_apps", self.now,
+                            float(len(self.registry)))
+        self.policy.reevaluate(self)
+
+    def register_model(self, instance: AppInstance, bundle_name: str,
+                       model: PerformanceModel,
+                       option_name: str | None = None) -> None:
+        """Attach an explicit prediction model (the TCL-script analogue)."""
+        key = bundle_name if option_name is None \
+            else f"{bundle_name}.{option_name}"
+        instance.models[key] = model
+
+    # -- reconfiguration plumbing -------------------------------------------
+
+    def add_listener(self, listener: Callable[[ReconfigurationEvent], None],
+                     ) -> Callable[[], None]:
+        """Subscribe to configuration changes (used by the client library)."""
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return unsubscribe
+
+    def apply_candidate(self, instance: AppInstance, state: BundleState,
+                        candidate: Candidate, reason: str,
+                        objective_before: float = math.inf) -> None:
+        """Make ``candidate`` the live configuration of this bundle."""
+        old = state.chosen
+        old_description = old.describe() if old else None
+        option_changed = old is None or \
+            old.option_name != candidate.option_name or \
+            old.variable_assignment != candidate.variable_assignment
+
+        if old is not None:
+            old.allocation.release()
+        try:
+            allocation = allocate(
+                self.cluster, candidate.demands, candidate.assignment,
+                memory_grants=candidate.memory_grants,
+                predicted_duration_seconds=None,
+                holder=f"{instance.key}:{state.bundle.bundle_name}")
+        except AllocationError:
+            if old is not None:
+                # The old allocation is gone and the new one failed: the
+                # bundle is explicitly unconfigured — and must disappear
+                # from the system view so predictions stop counting it.
+                state.chosen = None
+                self.view.remove(instance.key)
+                raise ControllerError(
+                    f"{instance.key}: lost resources while reconfiguring "
+                    f"{state.bundle.bundle_name!r}") from None
+            raise
+
+        state.chosen = ChosenConfiguration(
+            option_name=candidate.option_name,
+            variable_assignment=dict(candidate.variable_assignment),
+            demands=candidate.demands,
+            assignment=candidate.assignment,
+            allocation=allocation,
+            predicted_seconds=candidate.predicted_seconds,
+            chosen_at=self.now)
+        if option_changed:
+            state.last_switch_time = self.now
+            state.switch_count += 1
+        self.view.place(instance.key, candidate.demands,
+                        candidate.assignment)
+        self.registry.publish_choice(instance, state.bundle.bundle_name,
+                                     memory_grants=candidate.memory_grants)
+
+        objective_after = self.objective.evaluate(
+            self.predict_all(self.view))
+        self.decision_log.append(DecisionRecord(
+            time=self.now, app_key=instance.key,
+            bundle_name=state.bundle.bundle_name,
+            old_configuration=old_description,
+            new_configuration=state.chosen.describe(),
+            reason=reason,
+            objective_before=objective_before,
+            objective_after=objective_after))
+        option_index = state.bundle.option_names().index(
+            candidate.option_name)
+        self.metrics.report(
+            f"controller.{instance.key}.{state.bundle.bundle_name}.option",
+            self.now, float(option_index))
+        self.metrics.report("controller.objective", self.now,
+                            objective_after)
+
+        if option_changed:
+            event = ReconfigurationEvent(
+                time=self.now, app_key=instance.key,
+                bundle_name=state.bundle.bundle_name,
+                option_name=candidate.option_name,
+                variable_assignment=dict(candidate.variable_assignment),
+                placements=dict(candidate.assignment.placements),
+                memory_grants=allocation.memory_grants())
+            for listener in list(self._listeners):
+                listener(event)
+
+    def friction_cost(self, state: BundleState,
+                      target_option_name: str) -> float:
+        """Cost of switching this bundle into ``target_option_name``."""
+        if state.chosen is not None and \
+                state.chosen.option_name == target_option_name:
+            return 0.0
+        option = state.bundle.option_named(target_option_name)
+        if option.friction is None:
+            return 0.0
+        return option.friction.cost()
+
+    # -- prediction ----------------------------------------------------------
+
+    def predict_all(self, view: SystemView) -> dict[str, float]:
+        """Predicted response seconds for every placed application."""
+        predictions: dict[str, float] = {}
+        for placed in view.configurations():
+            try:
+                instance = self.registry.instance(placed.app_key)
+            except ControllerError:
+                continue  # app ended while exploring
+            bundle_name = self._bundle_of_option(instance,
+                                                 placed.demands.option_name)
+            model = instance.model_for(bundle_name,
+                                       placed.demands.option_name,
+                                       default=self.default_model)
+            predictions[placed.app_key] = model.predict(
+                placed.demands, placed.assignment, view,
+                app_key=placed.app_key)
+        return predictions
+
+    def _bundle_of_option(self, instance: AppInstance,
+                          option_name: str) -> str:
+        for bundle_name, state in instance.bundles.items():
+            if any(option.name == option_name
+                   for option in state.bundle.options):
+                return bundle_name
+        raise ControllerError(
+            f"{instance.key}: no bundle contains option {option_name!r}")
+
+    def optimization_context(self) -> OptimizationContext:
+        return OptimizationContext(
+            view=self.view, matcher=self.matcher,
+            objective=self.objective, predict_all=self.predict_all,
+            now=self.now)
+
+    # -- topology changes -----------------------------------------------------
+
+    def handle_node_failure(self, hostname: str) -> list[str]:
+        """A machine left the meta-computer; displace everything on it.
+
+        The paper's abstract: applications "can be made to adapt to
+        changes in their execution environment due to ... the addition or
+        deletion of nodes".  Every bundle whose chosen configuration
+        touches the failed node is reconfigured immediately; bundles with
+        no feasible remaining configuration are left explicitly
+        unconfigured (``chosen is None``) and reported back.
+
+        Returns the keys of applications that could not be replaced.
+        """
+        node = self.cluster.node(hostname)
+        node.fail()
+        stranded: list[str] = []
+        for instance in self.registry.instances():
+            for state in instance.bundles.values():
+                chosen = state.chosen
+                if chosen is None or \
+                        hostname not in chosen.assignment.hostnames():
+                    continue
+                chosen.allocation.release()
+                state.chosen = None
+                self.view.remove(instance.key)
+                try:
+                    self.policy.configure_new_bundle(self, instance, state)
+                    record = self.decision_log[-1]
+                    self.decision_log[-1] = DecisionRecord(
+                        time=record.time, app_key=record.app_key,
+                        bundle_name=record.bundle_name,
+                        old_configuration=chosen.describe(),
+                        new_configuration=record.new_configuration,
+                        reason=f"node failure: {hostname}",
+                        objective_before=record.objective_before,
+                        objective_after=record.objective_after)
+                except AllocationError:
+                    stranded.append(instance.key)
+        self.policy.reevaluate(self)
+        self.metrics.report("controller.node_failures", self.now, 1.0)
+        return stranded
+
+    def handle_node_restored(self, hostname: str) -> int:
+        """A machine (re)joined; re-evaluate everyone to exploit it."""
+        self.cluster.node(hostname).restore()
+        changes = self.policy.reevaluate(self)
+        self.metrics.report("controller.node_restorations", self.now, 1.0)
+        return changes
+
+    def configure_stranded(self) -> int:
+        """Retry applications left unconfigured by a failure; returns the
+        number successfully (re)configured."""
+        recovered = 0
+        for instance in self.registry.instances():
+            for state in instance.bundles.values():
+                if state.chosen is not None:
+                    continue
+                try:
+                    self.policy.configure_new_bundle(self, instance, state)
+                    recovered += 1
+                except AllocationError:
+                    continue
+        return recovered
+
+    # -- external (measured) load -------------------------------------------
+
+    def update_external_load(self, window_seconds: float = 60.0) -> None:
+        """Fold measured environment load into the system view.
+
+        Section 4.3: the periodic re-evaluation exists "to adapt the system
+        due to changes out of Harmony's control (such as network traffic
+        due to other applications)".  The controller only sees such load
+        through the metric interface (a
+        :class:`~repro.metrics.ClusterCollector` must be feeding
+        ``node.<host>.cpu_load`` / ``link.<a>--<b>.active_transfers``).
+
+        Measured load includes the work of Harmony's own applications, so
+        the expected contribution of placed configurations is subtracted;
+        only the surplus counts as external.
+        """
+        from repro.metrics.collectors import link_metric_name, node_metric_name
+
+        for hostname in self.cluster.hostnames():
+            measured = self.metrics.windowed_mean(
+                node_metric_name(hostname, "cpu_load"),
+                now=self.now, window_seconds=window_seconds)
+            if measured is None:
+                continue
+            own = self.view.cpu_consumers(hostname)
+            self.view.set_external_cpu_load(
+                hostname, max(0.0, measured - own))
+        for link in self.cluster.links():
+            measured = self.metrics.windowed_mean(
+                link_metric_name(link.host_a, link.host_b,
+                                 "active_transfers"),
+                now=self.now, window_seconds=window_seconds)
+            if measured is None:
+                continue
+            own = self.view.flows_between(link.host_a, link.host_b)
+            self.view.set_external_link_load(
+                link.host_a, link.host_b, max(0.0, measured - own))
+
+    # -- periodic re-evaluation ------------------------------------------------
+
+    def reevaluate(self) -> int:
+        """One re-evaluation sweep; returns the number of changes."""
+        self.update_external_load()
+        return self.policy.reevaluate(self)
+
+    def start_periodic_reevaluation(self) -> Process:
+        """Spawn the Section 4.3 periodic adaptation process."""
+        if self._reevaluation_process is not None \
+                and self._reevaluation_process.is_alive:
+            raise ControllerError("periodic re-evaluation already running")
+        self._reevaluation_process = self.cluster.kernel.spawn(
+            self._reevaluation_loop(), name="controller-reevaluation")
+        return self._reevaluation_process
+
+    def stop_periodic_reevaluation(self) -> None:
+        if self._reevaluation_process is not None \
+                and self._reevaluation_process.is_alive:
+            self._reevaluation_process.interrupt("stop")
+        self._reevaluation_process = None
+
+    def _reevaluation_loop(self) -> Iterator:
+        kernel = self.cluster.kernel
+        try:
+            while True:
+                yield kernel.timeout(self.reevaluation_period_seconds)
+                changes = self.reevaluate()
+                self.metrics.report("controller.reevaluation_changes",
+                                    self.now, float(changes))
+        except Interrupted:
+            return
+
+    # -- introspection ------------------------------------------------------------
+
+    def current_choice(self, instance: AppInstance,
+                       bundle_name: str) -> ChosenConfiguration | None:
+        return instance.bundle_state(bundle_name).chosen
+
+    def describe_system(self) -> list[str]:
+        """One line per application: key, bundle, chosen configuration."""
+        lines = []
+        for instance in self.registry.instances():
+            for bundle_name, state in instance.bundles.items():
+                chosen = state.chosen.describe() if state.chosen else "-"
+                lines.append(f"{instance.key} {bundle_name} -> {chosen}")
+        return lines

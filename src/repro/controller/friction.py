@@ -1,0 +1,74 @@
+"""Frictional-cost gating of reconfigurations (paper Sections 2 and 3).
+
+"Since changing implementations or data layout could require significant
+time, Harmony's interface includes a frictional cost function that can be
+used by the tuning system to evaluate if a tuning option is worth the
+effort required."
+
+:class:`FrictionPolicy` amortizes the one-time switching cost over a time
+horizon: a switch is worthwhile when the objective improvement, accumulated
+over ``amortization_seconds`` of continued execution, exceeds the friction.
+The objective is in seconds-of-mean-response, so the improvement *rate* is
+interpreted as seconds saved per job and scaled by the expected number of
+jobs in the horizon (``horizon / new_response``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FrictionPolicy", "SwitchDecision"]
+
+
+@dataclass(frozen=True)
+class SwitchDecision:
+    """The outcome of a friction evaluation, kept for explainability."""
+
+    worthwhile: bool
+    objective_gain: float
+    friction_cost: float
+    amortized_gain: float
+
+    def __bool__(self) -> bool:
+        return self.worthwhile
+
+
+@dataclass
+class FrictionPolicy:
+    """Decides whether an objective improvement justifies switching.
+
+    ``amortization_seconds`` — how far ahead the controller credits gains;
+    the paper targets long-lived/persistent applications precisely so such
+    costs "can be amortized across the life of the object".
+
+    ``min_relative_gain`` — hysteresis: improvements smaller than this
+    fraction of the current objective are ignored even when frictionless,
+    preventing oscillation on prediction noise.
+    """
+
+    amortization_seconds: float = 600.0
+    min_relative_gain: float = 0.01
+
+    def evaluate(self, current_objective: float, candidate_objective: float,
+                 friction_cost_seconds: float,
+                 candidate_response_seconds: float | None = None,
+                 ) -> SwitchDecision:
+        """Is moving from current to candidate worth ``friction_cost``?"""
+        gain = current_objective - candidate_objective
+        if gain <= 0:
+            return SwitchDecision(False, gain, friction_cost_seconds, 0.0)
+        if current_objective > 0 and \
+                gain / current_objective < self.min_relative_gain:
+            return SwitchDecision(False, gain, friction_cost_seconds, 0.0)
+        if friction_cost_seconds <= 0:
+            return SwitchDecision(True, gain, 0.0, float("inf"))
+        # Jobs completed over the horizon at the *candidate* speed; each
+        # saves `gain` seconds relative to staying put.
+        response = candidate_response_seconds or candidate_objective
+        if response <= 0:
+            jobs_in_horizon = 1.0
+        else:
+            jobs_in_horizon = max(1.0, self.amortization_seconds / response)
+        amortized_gain = gain * jobs_in_horizon
+        return SwitchDecision(amortized_gain > friction_cost_seconds,
+                              gain, friction_cost_seconds, amortized_gain)

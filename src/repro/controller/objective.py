@@ -1,0 +1,106 @@
+"""Objective functions (paper Section 4.2).
+
+"Our objective function currently minimizes the average completion time of
+the jobs currently in the system" — that is :class:`MeanResponseTime`, the
+default.  The paper also names system throughput as the usual overall
+objective and asks only that an objective "be a single variable that
+represents the overall behavior of the system ... a measure of goodness for
+each application scaled into a common currency"; :class:`ThroughputObjective`
+and :class:`WeightedMeanResponseTime` provide that flexibility.
+
+Conventions: objectives consume a mapping of application key to predicted
+response seconds and return a scalar where **lower is better** (throughput
+is negated).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol
+
+from repro.errors import ControllerError
+
+__all__ = ["Objective", "MeanResponseTime", "ThroughputObjective",
+           "WeightedMeanResponseTime", "MaxResponseTime"]
+
+
+class Objective(Protocol):
+    """Scalarizes per-application predictions; lower is better."""
+
+    name: str
+
+    def evaluate(self, predictions: Mapping[str, float]) -> float:
+        ...  # pragma: no cover - protocol
+
+
+class MeanResponseTime:
+    """The paper's default: average predicted completion time."""
+
+    name = "mean-response-time"
+
+    def evaluate(self, predictions: Mapping[str, float]) -> float:
+        if not predictions:
+            return 0.0
+        return sum(predictions.values()) / len(predictions)
+
+
+class MaxResponseTime:
+    """Makespan-style objective: the slowest application's response."""
+
+    name = "max-response-time"
+
+    def evaluate(self, predictions: Mapping[str, float]) -> float:
+        if not predictions:
+            return 0.0
+        return max(predictions.values())
+
+
+class ThroughputObjective:
+    """System throughput: jobs per second, negated so lower is better."""
+
+    name = "throughput"
+
+    def evaluate(self, predictions: Mapping[str, float]) -> float:
+        total = 0.0
+        for key, seconds in predictions.items():
+            if seconds <= 0:
+                raise ControllerError(
+                    f"non-positive prediction {seconds} for {key!r}")
+            total += 1.0 / seconds
+        return -total
+
+
+class WeightedMeanResponseTime:
+    """Mean response with per-application importance weights.
+
+    Unknown applications get weight 1.0 — "a measure of goodness for each
+    application scaled into a common currency".
+    """
+
+    name = "weighted-mean-response-time"
+
+    def __init__(self, weights: Mapping[str, float] | None = None):
+        self.weights = dict(weights or {})
+        for key, weight in self.weights.items():
+            if weight < 0:
+                raise ControllerError(
+                    f"negative weight {weight} for {key!r}")
+
+    def weight_of(self, app_key: str) -> float:
+        # Allow weights keyed by app name as well as full app.instance keys.
+        if app_key in self.weights:
+            return self.weights[app_key]
+        app_name = app_key.split(".", 1)[0]
+        return self.weights.get(app_name, 1.0)
+
+    def evaluate(self, predictions: Mapping[str, float]) -> float:
+        if not predictions:
+            return 0.0
+        total_weight = 0.0
+        total = 0.0
+        for key, seconds in predictions.items():
+            weight = self.weight_of(key)
+            total += weight * seconds
+            total_weight += weight
+        if total_weight == 0:
+            return 0.0
+        return total / total_weight

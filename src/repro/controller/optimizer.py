@@ -1,0 +1,425 @@
+"""Option-setting optimizers (paper Section 4.3).
+
+"Currently, we optimize one bundle at a time when adding new applications to
+the system.  Bundles are evaluated in the same lexical order as they were
+defined.  This is a simple form of greedy optimization that will not
+necessarily produce a globally optimal value, but it is simple and easy to
+implement."
+
+:class:`GreedyOptimizer` is that algorithm: for one bundle it enumerates the
+configuration space (options x variable assignments x elastic-memory
+grants), matches each against the cluster, evaluates the global objective
+with every *other* application held fixed, and returns the best candidate.
+:class:`ExhaustiveOptimizer` searches the full cross-product of all
+applications' configurations — exponential, provided for the ablation
+benchmark quantifying the greedy gap.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+from repro.allocation.allocation import Allocation
+from repro.allocation.instantiate import (
+    ConcreteDemands,
+    NodeDemand,
+    instantiate_option,
+)
+from repro.allocation.matcher import Assignment, Matcher
+from repro.controller.objective import Objective
+from repro.controller.registry import AppInstance, BundleState
+from repro.errors import AllocationError, RslSemanticError
+from repro.prediction.contention import SystemView
+from repro.rsl.model import TuningOption
+
+__all__ = ["Candidate", "OptimizationContext", "GreedyOptimizer",
+           "ExhaustiveOptimizer", "enumerate_candidates"]
+
+#: predict_all(view) -> {app_key: predicted seconds} for every placed app.
+PredictAll = Callable[[SystemView], Mapping[str, float]]
+
+
+@dataclass
+class Candidate:
+    """One concrete, matchable configuration of one bundle."""
+
+    option_name: str
+    variable_assignment: dict[str, float]
+    memory_grants: dict[str, float]
+    demands: ConcreteDemands
+    assignment: Assignment
+    objective_value: float = math.inf
+    predicted_seconds: float = math.inf
+
+    def describe(self) -> str:
+        parts = [self.option_name]
+        if self.variable_assignment:
+            parts.append(",".join(
+                f"{k}={v:g}" for k, v in
+                sorted(self.variable_assignment.items())))
+        return ":".join(parts)
+
+
+@dataclass
+class OptimizationContext:
+    """Everything an optimizer needs to score candidates."""
+
+    view: SystemView              # all apps' current placements
+    matcher: Matcher
+    objective: Objective
+    predict_all: PredictAll
+    now: float = 0.0
+    #: Cap on elastic-memory probe values per node demand.
+    memory_probe_limit: int = 3
+
+
+def bundle_holder(instance: AppInstance, state: BundleState) -> str:
+    """The allocation-holder id for one (instance, bundle) pair."""
+    return f"{instance.key}:{state.bundle.bundle_name}"
+
+
+def enumerate_candidates(instance: AppInstance, state: BundleState,
+                         context: OptimizationContext,
+                         extra_ignore_holders: frozenset[str] = frozenset(),
+                         ordering_view: SystemView | None = None,
+                         ) -> Iterator[Candidate]:
+    """Yield every matchable configuration of ``state``'s bundle.
+
+    The application's own current reservations are ignored while matching
+    (``ignore_holders``), so it can re-use the resources it currently
+    holds.  Placements prefer the least CPU-loaded nodes of
+    ``ordering_view`` (default: the context view without this application),
+    so new configurations spread away from other applications when room
+    exists.
+    """
+    ignore = frozenset({bundle_holder(instance, state)}) \
+        | extra_ignore_holders
+    if ordering_view is None:
+        ordering_view = context.view.copy()
+        ordering_view.remove(instance.key)
+    order_key = _load_order_key(ordering_view)
+    for option in state.bundle.options:
+        for variable_assignment in option.variable_assignments():
+            yield from _candidates_for_assignment(
+                option, dict(variable_assignment), context, ignore,
+                order_key)
+
+
+def _load_order_key(view: SystemView):
+    """Prefer idle nodes; among equally loaded ones, prefer faster nodes.
+
+    Load includes measured external consumers, so candidates also spread
+    away from work Harmony does not manage.
+    """
+    keys = {}
+    for hostname in view.cluster.hostnames():
+        load = (float(view.cpu_consumers(hostname))
+                + view.external_cpu_load(hostname))
+        speed = view.cluster.node(hostname).speed
+        keys[hostname] = (load, -speed)
+    return lambda hostname: keys.get(hostname, (0.0, 0.0))
+
+
+def _candidates_for_assignment(option: TuningOption,
+                               variable_assignment: dict[str, float],
+                               context: OptimizationContext,
+                               ignore_holders: frozenset[str],
+                               order_key,
+                               ) -> Iterator[Candidate]:
+    try:
+        base = instantiate_option(option, variable_assignment)
+    except RslSemanticError:
+        return
+    for grants in _memory_grant_choices(option, base,
+                                        context.memory_probe_limit):
+        try:
+            demands = (base if not grants
+                       else instantiate_option(option, variable_assignment,
+                                               grants=grants))
+            assignment = context.matcher.match(
+                demands, extra_memory=_extra_memory(demands, grants),
+                ignore_holders=ignore_holders, order_key=order_key)
+        except (AllocationError, RslSemanticError):
+            continue
+        yield Candidate(option_name=option.name,
+                        variable_assignment=dict(variable_assignment),
+                        memory_grants=dict(grants),
+                        demands=demands,
+                        assignment=assignment)
+
+
+def _extra_memory(demands: ConcreteDemands,
+                  grants: Mapping[str, float]) -> dict[str, float]:
+    extra: dict[str, float] = {}
+    for demand in demands.nodes:
+        granted = grants.get(f"{demand.local_name}.memory")
+        if granted is not None and granted > demand.memory_min_mb:
+            extra[demand.local_name] = granted - demand.memory_min_mb
+    return extra
+
+
+def _memory_grant_choices(option: TuningOption, base: ConcreteDemands,
+                          probe_limit: int,
+                          ) -> Iterator[dict[str, float]]:
+    """Enumerate elastic-memory grants worth considering.
+
+    The controller gives extra memory only when it changes something it can
+    see — i.e. when a link/communication expression depends on the node's
+    memory (Figure 3's data-shipping bandwidth).  For each such node we probe
+    integer memory values above the minimum and keep the earliest value that
+    minimizes total traffic; the choices offered are then {minimum} and
+    {minimum with that node boosted}.
+    """
+    yield {}
+    dependent = _memory_dependent_demands(option, base)
+    for demand in dependent[:probe_limit]:
+        best = _best_memory_for(option, base, demand)
+        if best is not None and best > demand.memory_min_mb:
+            yield {f"{demand.local_name}.memory": best}
+
+
+def _memory_dependent_demands(option: TuningOption, base: ConcreteDemands,
+                              ) -> list[NodeDemand]:
+    referenced: set[str] = set()
+    for link in option.links:
+        referenced |= link.megabytes.free_variables()
+    if option.communication is not None:
+        referenced |= option.communication.megabytes.free_variables()
+    wanted = []
+    for demand in base.nodes:
+        if demand.memory_elastic and \
+                f"{demand.local_name}.memory" in referenced:
+            wanted.append(demand)
+    return wanted
+
+
+def _best_memory_for(option: TuningOption, base: ConcreteDemands,
+                     demand: NodeDemand, span_mb: float = 64.0,
+                     ) -> float | None:
+    """Probe integer memory values; return the cheapest-traffic one."""
+    low = int(math.ceil(demand.memory_min_mb))
+    high = int(min(demand.memory_max_mb, demand.memory_min_mb + span_mb))
+    best_memory: float | None = None
+    best_traffic = math.inf
+    key = f"{demand.local_name}.memory"
+    for memory in range(low, high + 1):
+        try:
+            probed = instantiate_option(option, base.variable_assignment,
+                                        grants={key: float(memory)})
+        except RslSemanticError:
+            continue
+        traffic = probed.total_traffic_mb()
+        if traffic < best_traffic - 1e-9:
+            best_traffic = traffic
+            best_memory = float(memory)
+    return best_memory
+
+
+@dataclass
+class OptimizationResult:
+    """Best candidate found for one bundle, with search statistics."""
+
+    best: Candidate | None
+    candidates_evaluated: int = 0
+    current_objective: float = math.inf
+
+
+class GreedyOptimizer:
+    """The paper's one-bundle-at-a-time greedy search.
+
+    :meth:`optimize_pair` extends it with a joint search over *two* bundles
+    at once.  Pure coordinate descent cannot reach the equal partitions of
+    the paper's Figure 4(b) — from a (5 nodes, 3 nodes) split neither app
+    improves alone, but (4, 4) is globally better — while a pairwise
+    exchange pass finds them.  This is the concrete form of the paper's
+    "allocation decisions that require running applications to be
+    reconfigured".
+    """
+
+    def optimize_pair(self, first: tuple[AppInstance, BundleState],
+                      second: tuple[AppInstance, BundleState],
+                      context: OptimizationContext,
+                      ) -> tuple[Candidate, Candidate, float] | None:
+        """Jointly choose configurations for two bundles.
+
+        Returns ``(candidate_first, candidate_second, objective)`` for the
+        best feasible combination, or ``None`` when either side has no
+        feasible candidate.
+        """
+        instance_a, state_a = first
+        instance_b, state_b = second
+        ignore = frozenset({bundle_holder(instance_a, state_a),
+                            bundle_holder(instance_b, state_b)})
+        base_view = context.view.copy()
+        base_view.remove(instance_a.key)
+        base_view.remove(instance_b.key)
+        candidates_a = list(enumerate_candidates(
+            instance_a, state_a, context, extra_ignore_holders=ignore,
+            ordering_view=base_view))
+        if not candidates_a:
+            return None
+
+        best: tuple[Candidate, Candidate, float] | None = None
+        for cand_a in candidates_a:
+            # Re-enumerate the second bundle with the first candidate
+            # placed, so its placements spread away from cand_a's nodes.
+            view_with_a = base_view.copy()
+            view_with_a.place(instance_a.key, cand_a.demands,
+                              cand_a.assignment)
+            for cand_b in enumerate_candidates(
+                    instance_b, state_b, context,
+                    extra_ignore_holders=ignore,
+                    ordering_view=view_with_a):
+                if not _pair_memory_ok(context.view.cluster, ignore,
+                                       cand_a, cand_b):
+                    continue
+                trial_view = view_with_a.copy()
+                trial_view.place(instance_b.key, cand_b.demands,
+                                 cand_b.assignment)
+                predictions = context.predict_all(trial_view)
+                objective = context.objective.evaluate(predictions)
+                if best is None or objective < best[2] - 1e-12:
+                    copy_a = Candidate(**{**cand_a.__dict__})
+                    copy_b = Candidate(**{**cand_b.__dict__})
+                    copy_a.objective_value = objective
+                    copy_b.objective_value = objective
+                    copy_a.predicted_seconds = predictions.get(
+                        instance_a.key, math.inf)
+                    copy_b.predicted_seconds = predictions.get(
+                        instance_b.key, math.inf)
+                    best = (copy_a, copy_b, objective)
+        return best
+
+    def optimize_bundle(self, instance: AppInstance, state: BundleState,
+                        context: OptimizationContext) -> OptimizationResult:
+        """Pick the configuration of this bundle minimizing the objective,
+        holding every other application (and bundle) fixed."""
+        current_objective = context.objective.evaluate(
+            context.predict_all(context.view))
+
+        best: Candidate | None = None
+        evaluated = 0
+        for candidate in enumerate_candidates(instance, state, context):
+            evaluated += 1
+            trial_view = context.view.copy()
+            trial_view.place(instance.key, candidate.demands,
+                             candidate.assignment)
+            predictions = context.predict_all(trial_view)
+            candidate.objective_value = context.objective.evaluate(predictions)
+            candidate.predicted_seconds = predictions.get(
+                instance.key, math.inf)
+            if best is None or \
+                    candidate.objective_value < best.objective_value - 1e-12:
+                best = candidate
+        return OptimizationResult(best=best, candidates_evaluated=evaluated,
+                                  current_objective=current_objective)
+
+
+class ExhaustiveOptimizer:
+    """Joint search over all applications' configurations (ablation only).
+
+    Searches the cross-product of candidate lists, one per (instance,
+    bundle).  ``max_combinations`` guards against explosion; the search
+    raises when exceeded so callers notice rather than silently truncate.
+    """
+
+    def __init__(self, max_combinations: int = 200_000):
+        self.max_combinations = max_combinations
+
+    def optimize_all(self, instances: list[AppInstance],
+                     context: OptimizationContext,
+                     ) -> tuple[dict[str, Candidate], float, int]:
+        """Returns (choice per app key, objective, combinations tried)."""
+        per_app: list[tuple[AppInstance, BundleState, list[Candidate]]] = []
+        for instance in instances:
+            for state in instance.bundles.values():
+                candidates = list(enumerate_candidates(
+                    instance, state, context))
+                if not candidates:
+                    raise AllocationError(
+                        f"{instance.key}: no feasible configuration for "
+                        f"bundle {state.bundle.bundle_name!r}")
+                per_app.append((instance, state, candidates))
+
+        total = math.prod(len(c) for _, _, c in per_app) if per_app else 0
+        if total > self.max_combinations:
+            raise AllocationError(
+                f"exhaustive search space {total} exceeds cap "
+                f"{self.max_combinations}")
+
+        best_choice: dict[str, Candidate] = {}
+        best_objective = math.inf
+        combinations = 0
+        for combo in itertools.product(*(c for _, _, c in per_app)):
+            combinations += 1
+            trial_view = context.view.copy()
+            feasible = True
+            usage: dict[str, float] = {}
+            for (instance, _state, _), candidate in zip(per_app, combo):
+                if not _memory_feasible(trial_view, candidate, usage):
+                    feasible = False
+                    break
+                trial_view.place(instance.key, candidate.demands,
+                                 candidate.assignment)
+            if not feasible:
+                continue
+            objective = context.objective.evaluate(
+                context.predict_all(trial_view))
+            if objective < best_objective - 1e-12:
+                best_objective = objective
+                best_choice = {
+                    instance.key: candidate
+                    for (instance, _s, _c), candidate in zip(per_app, combo)
+                }
+        return best_choice, best_objective, combinations
+
+
+def _pair_memory_ok(cluster, ignore_holders: frozenset[str],
+                    cand_a: Candidate, cand_b: Candidate) -> bool:
+    """Joint memory check for a candidate pair against the live cluster.
+
+    Each candidate matched individually (its own holder ignored); the pair
+    must also fit *together*: per node, both claims plus everyone else's
+    live reservations must not exceed total memory.
+    """
+    claims: dict[str, float] = {}
+    for candidate in (cand_a, cand_b):
+        for demand in candidate.demands.nodes:
+            hostname = candidate.assignment.hostname_of(demand.local_name)
+            granted = demand.memory_granted(candidate.memory_grants)
+            claims[hostname] = claims.get(hostname, 0.0) + granted
+    for hostname, claim in claims.items():
+        node = cluster.node(hostname)
+        free = node.memory.available_mb
+        for holder in ignore_holders:
+            free += node.memory.held_by(holder)
+        if claim > free + 1e-9:
+            return False
+    return True
+
+
+def _memory_feasible(view: SystemView, candidate: Candidate,
+                     usage: dict[str, float]) -> bool:
+    """Joint memory check across a combination under construction.
+
+    Per-candidate matching verified memory against the *live* cluster, but a
+    joint assignment must not oversubscribe a node across candidates.
+    ``usage`` accumulates MB already claimed by earlier combo members.
+    """
+    cluster = view.cluster
+    claims: dict[str, float] = {}
+    for demand in candidate.demands.nodes:
+        hostname = candidate.assignment.hostname_of(demand.local_name)
+        granted = demand.memory_granted(candidate.memory_grants)
+        claims[hostname] = claims.get(hostname, 0.0) + granted
+    for hostname, claim in claims.items():
+        node = cluster.node(hostname)
+        total_free = node.memory.total_mb  # joint check from a blank slate
+        if usage.get(hostname, 0.0) + claim > total_free + 1e-9:
+            return False
+    for hostname, claim in claims.items():
+        usage[hostname] = usage.get(hostname, 0.0) + claim
+    return True

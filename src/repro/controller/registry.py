@@ -1,0 +1,199 @@
+"""Application registry: the controller's book-keeping of running apps.
+
+Each registered application gets a system-chosen instance id (the paper's
+two-part ``application.instance`` names), carries its declared bundles, the
+currently chosen configuration per bundle, its allocations, and any explicit
+performance models.  The registry also publishes all of it into the shared
+hierarchical namespace, so paths like ``DBclient.66.where.DS.client.memory``
+resolve as in Section 3.2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.allocation.allocation import Allocation
+from repro.allocation.instantiate import ConcreteDemands
+from repro.allocation.matcher import Assignment
+from repro.errors import ControllerError
+from repro.namespace import Namespace, join_path
+from repro.prediction.models import PerformanceModel, model_for_spec
+from repro.rsl.model import Bundle
+
+__all__ = ["ChosenConfiguration", "BundleState", "AppInstance",
+           "ApplicationRegistry"]
+
+
+@dataclass
+class ChosenConfiguration:
+    """What the controller currently has an app's bundle set to."""
+
+    option_name: str
+    variable_assignment: dict[str, float]
+    demands: ConcreteDemands
+    assignment: Assignment
+    allocation: Allocation
+    predicted_seconds: float
+    chosen_at: float
+
+    def describe(self) -> str:
+        if self.variable_assignment:
+            variables = ",".join(f"{k}={_fmt(v)}" for k, v in
+                                 sorted(self.variable_assignment.items()))
+            return f"{self.option_name}({variables})"
+        return self.option_name
+
+
+def _fmt(value: float) -> str:
+    return str(int(value)) if value == int(value) else repr(value)
+
+
+@dataclass
+class BundleState:
+    """One bundle of one application instance."""
+
+    bundle: Bundle
+    chosen: ChosenConfiguration | None = None
+    last_switch_time: float | None = None
+    switch_count: int = 0
+
+    def granularity_allows_switch(self, now: float) -> bool:
+        """Whether enough time has passed since the last option switch."""
+        if self.chosen is None or self.last_switch_time is None:
+            return True
+        option = self.bundle.option_named(self.chosen.option_name)
+        if option.granularity is None:
+            return True
+        return (now - self.last_switch_time
+                >= option.granularity.min_interval_seconds)
+
+
+@dataclass
+class AppInstance:
+    """One running harmonized application."""
+
+    app_name: str
+    instance_id: int
+    registered_at: float
+    bundles: dict[str, BundleState] = field(default_factory=dict)
+    models: dict[str, PerformanceModel] = field(default_factory=dict)
+    ended: bool = False
+
+    @property
+    def key(self) -> str:
+        """Registry key and namespace root: ``app.instance``."""
+        return f"{self.app_name}.{self.instance_id}"
+
+    def bundle_state(self, bundle_name: str) -> BundleState:
+        if bundle_name not in self.bundles:
+            raise ControllerError(
+                f"{self.key}: unknown bundle {bundle_name!r}")
+        return self.bundles[bundle_name]
+
+    def model_for(self, bundle_name: str, option_name: str,
+                  default: PerformanceModel | None = None,
+                  ) -> PerformanceModel:
+        """The model for an option: app-registered > RSL spec > default."""
+        override = (self.models.get(f"{bundle_name}.{option_name}")
+                    or self.models.get(bundle_name))
+        if override is not None:
+            return override
+        option = self.bundle_state(bundle_name).bundle.option_named(
+            option_name)
+        return model_for_spec(option.performance, default=default)
+
+
+class ApplicationRegistry:
+    """All currently registered application instances."""
+
+    def __init__(self, namespace: Namespace | None = None):
+        self.namespace = namespace or Namespace()
+        self._instances: dict[str, AppInstance] = {}
+        self._ids = itertools.count(1)
+
+    def register(self, app_name: str, now: float) -> AppInstance:
+        """Create an instance with a fresh system-chosen id."""
+        instance = AppInstance(app_name=app_name,
+                               instance_id=next(self._ids),
+                               registered_at=now)
+        self._instances[instance.key] = instance
+        return instance
+
+    def add_bundle(self, instance: AppInstance, bundle: Bundle) -> BundleState:
+        if bundle.bundle_name in instance.bundles:
+            raise ControllerError(
+                f"{instance.key}: bundle {bundle.bundle_name!r} already set up")
+        state = BundleState(bundle=bundle)
+        instance.bundles[bundle.bundle_name] = state
+        return state
+
+    def remove(self, instance: AppInstance) -> None:
+        """Drop an instance, releasing every allocation it still holds."""
+        instance.ended = True
+        for state in instance.bundles.values():
+            if state.chosen is not None:
+                state.chosen.allocation.release()
+                state.chosen = None
+        self._instances.pop(instance.key, None)
+        if self.namespace.exists(instance.key):
+            self.namespace.delete(instance.key)
+
+    def instances(self) -> list[AppInstance]:
+        """Active instances in registration order (the paper's greedy
+        optimizer walks them in this order)."""
+        return list(self._instances.values())
+
+    def instance(self, key: str) -> AppInstance:
+        if key not in self._instances:
+            raise ControllerError(f"unknown application instance {key!r}")
+        return self._instances[key]
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    # -- namespace publication -------------------------------------------------
+
+    def publish_choice(self, instance: AppInstance, bundle_name: str,
+                       memory_grants: Mapping[str, float] | None = None,
+                       ) -> None:
+        """Write the chosen configuration into the shared namespace.
+
+        Produces the Section 3.2 layout, e.g. for instance 66 of DBclient
+        choosing data shipping::
+
+            DBclient.66.where.DS.client.memory = 32
+            DBclient.66.where.DS.client.hostname = "c1"
+            DBclient.66.where.option = "DS"
+        """
+        state = instance.bundle_state(bundle_name)
+        chosen = state.chosen
+        if chosen is None:
+            return
+        root = join_path(instance.key, bundle_name)
+        # Clear any previous option subtree to avoid stale resources.
+        if self.namespace.exists(root):
+            self.namespace.delete(root)
+        self.namespace.set(join_path(root, "option"), chosen.option_name)
+        for name, value in chosen.variable_assignment.items():
+            self.namespace.set(join_path(root, "variables", name), value)
+        option_root = join_path(root, chosen.option_name)
+        grants = memory_grants or {}
+        for demand in chosen.demands.nodes:
+            hostname = chosen.assignment.hostname_of(demand.local_name)
+            # Bracketed replica names are one namespace component.
+            node_root = join_path(option_root, demand.local_name)
+            self.namespace.set(join_path(node_root, "hostname"), hostname)
+            granted = grants.get(f"{demand.local_name}.memory",
+                                 demand.memory_min_mb)
+            self.namespace.set(join_path(node_root, "memory"), granted)
+            if demand.seconds is not None:
+                self.namespace.set(join_path(node_root, "seconds"),
+                                   demand.seconds)
+        for index, link in enumerate(chosen.demands.links):
+            link_root = join_path(option_root, f"link{index}")
+            self.namespace.set(join_path(link_root, "endpoints"),
+                               f"{link.endpoint_a}-{link.endpoint_b}")
+            self.namespace.set(join_path(link_root, "megabytes"),
+                               link.total_mb)

@@ -1,0 +1,80 @@
+"""Exception hierarchy shared across the Harmony reproduction.
+
+Every package raises subclasses of :class:`HarmonyError` so that callers can
+catch the whole family with a single ``except`` clause while still being able
+to discriminate parse errors from allocation failures, protocol violations,
+and so on.
+"""
+
+from __future__ import annotations
+
+
+class HarmonyError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class RslError(HarmonyError):
+    """Base class for errors in the resource specification language."""
+
+
+class RslSyntaxError(RslError):
+    """The RSL text could not be tokenized or parsed.
+
+    Carries the ``line`` and ``column`` (1-based) of the offending input when
+    they are known, so callers can point users at the problem.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class RslSemanticError(RslError):
+    """The RSL parsed but describes something meaningless.
+
+    Examples: a ``link`` naming a node that no option defines, a bundle with
+    zero options, a ``variable`` tag with an empty value list.
+    """
+
+
+class ExpressionError(RslError):
+    """An RSL parametric expression failed to parse or evaluate."""
+
+
+class NamespaceError(HarmonyError):
+    """A namespace path was malformed or did not resolve."""
+
+
+class AllocationError(HarmonyError):
+    """The resource matcher could not satisfy a set of requirements."""
+
+
+class PredictionError(HarmonyError):
+    """A performance model could not produce an estimate."""
+
+
+class ControllerError(HarmonyError):
+    """The adaptation controller was asked to do something inconsistent."""
+
+
+class ProtocolError(HarmonyError):
+    """A malformed or out-of-order message arrived on a transport."""
+
+
+class TransportError(HarmonyError):
+    """The underlying transport (socket or in-process queue) failed."""
+
+
+class SimulationError(HarmonyError):
+    """The discrete-event kernel detected an inconsistency."""
+
+
+class DatabaseError(HarmonyError):
+    """The mini relational engine detected an inconsistency."""

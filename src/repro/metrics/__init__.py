@@ -1,0 +1,14 @@
+"""The Harmony metric interface: histories, registry, pub/sub, collectors."""
+
+from repro.metrics.collectors import (
+    ClusterCollector,
+    link_metric_name,
+    node_metric_name,
+)
+from repro.metrics.history import Observation, TimeSeries
+from repro.metrics.interface import MetricInterface
+
+__all__ = [
+    "MetricInterface", "TimeSeries", "Observation",
+    "ClusterCollector", "node_metric_name", "link_metric_name",
+]

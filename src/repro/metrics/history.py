@@ -1,0 +1,81 @@
+"""Time-series storage for metric observations."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Observation", "TimeSeries"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One timestamped metric sample."""
+
+    time: float
+    value: float
+
+
+class TimeSeries:
+    """An append-only series of observations ordered by time.
+
+    Appends must be non-decreasing in time (the simulation clock is
+    monotonic).  Queries are binary-search based, so windowed statistics stay
+    cheap even for long runs.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, time: float, value: float) -> None:
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"time series {self.name!r}: non-monotonic append "
+                f"({time} after {self._times[-1]})")
+        self._times.append(time)
+        self._values.append(float(value))
+
+    def latest(self) -> Observation | None:
+        if not self._times:
+            return None
+        return Observation(self._times[-1], self._values[-1])
+
+    def first(self) -> Observation | None:
+        if not self._times:
+            return None
+        return Observation(self._times[0], self._values[0])
+
+    def between(self, start: float, end: float) -> list[Observation]:
+        """Observations with ``start <= time <= end``."""
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_right(self._times, end)
+        return [Observation(t, v)
+                for t, v in zip(self._times[lo:hi], self._values[lo:hi])]
+
+    def mean(self, start: float | None = None,
+             end: float | None = None) -> float | None:
+        """Arithmetic mean of values in the window (whole series default)."""
+        lo = 0 if start is None else bisect.bisect_left(self._times, start)
+        hi = (len(self._times) if end is None
+              else bisect.bisect_right(self._times, end))
+        window = self._values[lo:hi]
+        if not window:
+            return None
+        return sum(window) / len(window)
+
+    def windowed_mean(self, now: float, window_seconds: float) -> float | None:
+        """Mean over the trailing window ``[now - window, now]``."""
+        return self.mean(now - window_seconds, now)
+
+    def values(self) -> list[float]:
+        return list(self._values)
+
+    def __iter__(self) -> Iterator[Observation]:
+        return (Observation(t, v)
+                for t, v in zip(self._times, self._values))

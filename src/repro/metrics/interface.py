@@ -1,0 +1,87 @@
+"""The Harmony metric interface (paper Section 2).
+
+"The metric interface provides a unified way to gather data about the
+performance of applications and their execution environment.  Data about
+system conditions and application resource requirements flow into the metric
+interface, and on to both the adaptation controller and individual
+applications."
+
+:class:`MetricInterface` is that hub: producers call :meth:`report`,
+consumers either query histories or subscribe for push notification.  Metric
+names are dotted, conventionally ``<scope>.<entity>.<quantity>`` — e.g.
+``app.DBclient.66.response_time`` or ``node.host3.cpu_utilization``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.metrics.history import Observation, TimeSeries
+
+__all__ = ["MetricInterface"]
+
+Subscriber = Callable[[str, Observation], None]
+
+
+class MetricInterface:
+    """Central metric registry, history store, and pub/sub hub."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, TimeSeries] = {}
+        self._subscribers: list[tuple[str, Subscriber]] = []
+
+    # -- producing ----------------------------------------------------------
+
+    def report(self, name: str, time: float, value: float) -> None:
+        """Record one observation and push it to matching subscribers."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = TimeSeries(name)
+        series.append(time, value)
+        observation = Observation(time, float(value))
+        for prefix, subscriber in list(self._subscribers):
+            if name == prefix or name.startswith(prefix + "."):
+                subscriber(name, observation)
+
+    # -- consuming ----------------------------------------------------------
+
+    def series(self, name: str) -> TimeSeries:
+        """The history for ``name`` (an empty series if never reported)."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def latest(self, name: str) -> float | None:
+        obs = self.series(name).latest()
+        return obs.value if obs else None
+
+    def windowed_mean(self, name: str, now: float,
+                      window_seconds: float) -> float | None:
+        return self.series(name).windowed_mean(now, window_seconds)
+
+    def names(self, prefix: str | None = None) -> list[str]:
+        """Registered metric names, optionally filtered by dotted prefix."""
+        if prefix is None:
+            return sorted(self._series)
+        return sorted(name for name in self._series
+                      if name == prefix or name.startswith(prefix + "."))
+
+    def subscribe(self, prefix: str, subscriber: Subscriber,
+                  ) -> Callable[[], None]:
+        """Push every future observation under ``prefix`` to ``subscriber``.
+
+        Returns an unsubscribe function.
+        """
+        entry = (prefix, subscriber)
+        self._subscribers.append(entry)
+
+        def unsubscribe() -> None:
+            if entry in self._subscribers:
+                self._subscribers.remove(entry)
+
+        return unsubscribe
+
+    def walk(self, prefix: str | None = None,
+             ) -> Iterator[tuple[str, TimeSeries]]:
+        for name in self.names(prefix):
+            yield name, self._series[name]

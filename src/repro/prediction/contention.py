@@ -1,0 +1,230 @@
+"""The system view: who shares what, for contention-aware prediction.
+
+Harmony's default model scales resource requirements "to reflect resource
+contention".  To do that it needs a picture of every *proposed* placement at
+once: a :class:`SystemView` accumulates the configurations the optimizer is
+currently considering and answers, per node, how many applications would
+compute there and, per link, how many flows would cross it.
+
+The view deliberately models contention the way a processor-sharing server
+behaves in steady state: a node serving ``k`` concurrent applications gives
+each a ``1/k`` share, so CPU times stretch by ``k``; likewise link
+bandwidth.  That is exactly the mechanism that produces the paper's
+Figure 7 shape (two query-shipping clients -> double response time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.allocation.instantiate import ConcreteDemands
+from repro.allocation.matcher import Assignment
+from repro.cluster.topology import Cluster
+
+__all__ = ["PlacedConfiguration", "SystemView"]
+
+
+@dataclass(frozen=True)
+class PlacedConfiguration:
+    """One application's proposed configuration and placement."""
+
+    app_key: str
+    demands: ConcreteDemands
+    assignment: Assignment
+
+
+class SystemView:
+    """Aggregated proposed load over a cluster.
+
+    Besides the configurations Harmony itself placed, the view carries
+    *external* load estimates — competing work "out of Harmony's control
+    (such as network traffic due to other applications)" that the
+    controller measures through the metric interface.  External load is
+    expressed as equivalent concurrent consumers per node/link; each
+    stretches co-located work like an equal-length processor-sharing
+    competitor (the conservative assumption when only a load count, not
+    a demand, is observable).
+    """
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self._configurations: dict[str, PlacedConfiguration] = {}
+        self._external_cpu: dict[str, float] = {}
+        self._external_flows: dict[frozenset[str], float] = {}
+
+    # -- membership ----------------------------------------------------------
+
+    def place(self, app_key: str, demands: ConcreteDemands,
+              assignment: Assignment) -> None:
+        """Add or replace one application's proposed configuration."""
+        self._configurations[app_key] = PlacedConfiguration(
+            app_key=app_key, demands=demands, assignment=assignment)
+
+    def remove(self, app_key: str) -> None:
+        self._configurations.pop(app_key, None)
+
+    def configurations(self) -> list[PlacedConfiguration]:
+        return list(self._configurations.values())
+
+    def configuration_of(self, app_key: str) -> PlacedConfiguration | None:
+        return self._configurations.get(app_key)
+
+    def copy(self) -> "SystemView":
+        """A shallow copy the optimizer can mutate while exploring."""
+        view = SystemView(self.cluster)
+        view._configurations = dict(self._configurations)
+        view._external_cpu = dict(self._external_cpu)
+        view._external_flows = dict(self._external_flows)
+        return view
+
+    # -- external (measured) load ----------------------------------------------
+
+    def set_external_cpu_load(self, hostname: str, consumers: float) -> None:
+        """Record measured competing CPU consumers on a node."""
+        if consumers <= 0:
+            self._external_cpu.pop(hostname, None)
+        else:
+            self._external_cpu[hostname] = consumers
+
+    def external_cpu_load(self, hostname: str) -> float:
+        return self._external_cpu.get(hostname, 0.0)
+
+    def set_external_link_load(self, host_a: str, host_b: str,
+                               flows: float) -> None:
+        """Record measured competing flows on a direct link."""
+        key = frozenset((host_a, host_b))
+        if flows <= 0:
+            self._external_flows.pop(key, None)
+        else:
+            self._external_flows[key] = flows
+
+    def external_link_load(self, host_a: str, host_b: str) -> float:
+        return self._external_flows.get(frozenset((host_a, host_b)), 0.0)
+
+    def clear_external_load(self) -> None:
+        self._external_cpu.clear()
+        self._external_flows.clear()
+
+    # -- contention queries ----------------------------------------------------
+
+    def cpu_consumers(self, hostname: str) -> int:
+        """Number of placed node demands with CPU work on ``hostname``."""
+        count = 0
+        for config in self._configurations.values():
+            for demand in config.demands.nodes:
+                if demand.seconds and demand.seconds > 0 and \
+                        config.assignment.placements.get(demand.local_name) \
+                        == hostname:
+                    count += 1
+        return count
+
+    def cpu_seconds_on(self, hostname: str) -> float:
+        """Total reference CPU seconds proposed for ``hostname``."""
+        total = 0.0
+        for config in self._configurations.values():
+            for demand in config.demands.nodes:
+                if demand.seconds and \
+                        config.assignment.placements.get(demand.local_name) \
+                        == hostname:
+                    total += demand.seconds
+        return total
+
+    def flows_between(self, host_a: str, host_b: str) -> int:
+        """Number of placed link demands whose path uses link (a, b)."""
+        if host_a == host_b:
+            return 0
+        count = 0
+        target = self.cluster.link_between(host_a, host_b)
+        for config in self._configurations.values():
+            for link_demand in config.demands.links:
+                if link_demand.total_mb <= 0:
+                    continue
+                endpoint_a = config.assignment.placements.get(
+                    link_demand.endpoint_a)
+                endpoint_b = config.assignment.placements.get(
+                    link_demand.endpoint_b)
+                if endpoint_a is None or endpoint_b is None \
+                        or endpoint_a == endpoint_b:
+                    continue
+                if target is not None and any(
+                        link is target for link in
+                        self.cluster.path_links(endpoint_a, endpoint_b)):
+                    count += 1
+        return count
+
+    def contention_factor(self, hostname: str) -> float:
+        """CPU stretch factor on a node: max(1, consumers + external)."""
+        return float(max(1.0, self.cpu_consumers(hostname)
+                         + self.external_cpu_load(hostname)))
+
+    def link_contention_factor(self, host_a: str, host_b: str) -> float:
+        """Bandwidth stretch factor on a link: max(1, flows + external)."""
+        return float(max(1.0, self.flows_between(host_a, host_b)
+                         + self.external_link_load(host_a, host_b)))
+
+    # -- processor-sharing sojourn estimates -----------------------------------
+
+    def cpu_effective_seconds(self, hostname: str, own_seconds: float,
+                              own_app_key: str | None = None) -> float:
+        """Reference seconds a job of ``own_seconds`` effectively needs.
+
+        Under processor sharing with (approximately) simultaneous arrivals,
+        a job of service demand ``s`` among jobs ``s_j`` completes after
+        ``sum_j min(s_j, s)``: every competitor delays it by at most its own
+        length.  This closed form is exact for simultaneous PS arrivals and
+        captures the asymmetry the Figure 3 database bundle relies on —
+        a 1-second page-server request barely delays a 9-second query, while
+        a second 9-second query doubles it.
+
+        When ``own_app_key`` names a configuration already placed in this
+        view, its own demands on the node are excluded (the ``own_seconds``
+        term accounts for them).
+        """
+        if own_seconds <= 0:
+            return 0.0
+        effective = own_seconds
+        for config in self._configurations.values():
+            if config.app_key == own_app_key:
+                continue
+            for demand in config.demands.nodes:
+                if demand.seconds and \
+                        config.assignment.placements.get(demand.local_name) \
+                        == hostname:
+                    effective += min(demand.seconds, own_seconds)
+        # Each external consumer is assumed to be at least as long as the
+        # job itself (no demand information is observable, only presence).
+        effective += self.external_cpu_load(hostname) * own_seconds
+        return effective
+
+    def transfer_effective_mb(self, host_a: str, host_b: str,
+                              own_mb: float,
+                              own_app_key: str | None = None) -> float:
+        """Effective megabytes for a transfer sharing link (a, b) fairly.
+
+        Same ``sum min`` sojourn form as :meth:`cpu_effective_seconds`,
+        applied to flows whose placement path crosses the given link.
+        """
+        if own_mb <= 0:
+            return 0.0
+        target = self.cluster.link_between(host_a, host_b)
+        if target is None:
+            return own_mb
+        effective = own_mb
+        for config in self._configurations.values():
+            if config.app_key == own_app_key:
+                continue
+            for link_demand in config.demands.links:
+                if link_demand.total_mb <= 0:
+                    continue
+                endpoint_a = config.assignment.placements.get(
+                    link_demand.endpoint_a)
+                endpoint_b = config.assignment.placements.get(
+                    link_demand.endpoint_b)
+                if endpoint_a is None or endpoint_b is None \
+                        or endpoint_a == endpoint_b:
+                    continue
+                if any(link is target for link in
+                       self.cluster.path_links(endpoint_a, endpoint_b)):
+                    effective += min(link_demand.total_mb, own_mb)
+        effective += self.external_link_load(host_a, host_b) * own_mb
+        return effective

@@ -1,0 +1,121 @@
+"""Critical-path performance model (the paper's suggested extension).
+
+Section 4.2: "we might use the critical path notion to take inter-process
+dependencies into account [Hollingsworth 1998]".  This model lets an
+application describe its computation as a DAG of tasks, each pinned to one
+of the option's local node names; the predicted response time is the longest
+contention-stretched path through the DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.allocation.instantiate import ConcreteDemands
+from repro.allocation.matcher import Assignment
+from repro.errors import PredictionError
+from repro.prediction.contention import SystemView
+
+__all__ = ["Task", "CriticalPathModel"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One DAG task: reference-seconds of CPU on a named local node.
+
+    ``transfer_mb`` is data shipped to each successor (charged on the link
+    between the two tasks' placed hosts).
+    """
+
+    name: str
+    node: str
+    seconds: float
+    transfer_mb: float = 0.0
+    depends_on: tuple[str, ...] = field(default_factory=tuple)
+
+
+class CriticalPathModel:
+    """Longest weighted path through a task DAG under contention."""
+
+    def __init__(self, tasks: list[Task]):
+        if not tasks:
+            raise PredictionError("critical-path model needs tasks")
+        self.tasks = {task.name: task for task in tasks}
+        if len(self.tasks) != len(tasks):
+            raise PredictionError("duplicate task names")
+        self.graph = nx.DiGraph()
+        for task in tasks:
+            self.graph.add_node(task.name)
+        for task in tasks:
+            for dep in task.depends_on:
+                if dep not in self.tasks:
+                    raise PredictionError(
+                        f"task {task.name!r} depends on unknown {dep!r}")
+                self.graph.add_edge(dep, task.name)
+        if not nx.is_directed_acyclic_graph(self.graph):
+            raise PredictionError("task graph has a cycle")
+        self._order = list(nx.topological_sort(self.graph))
+
+    def predict(self, demands: ConcreteDemands, assignment: Assignment,
+                view: SystemView, app_key: str | None = None) -> float:
+        finish: dict[str, float] = {}
+        for name in self._order:
+            task = self.tasks[name]
+            start = 0.0
+            for dep in task.depends_on:
+                dep_task = self.tasks[dep]
+                arrival = finish[dep] + self._edge_transfer_time(
+                    dep_task, task, assignment, view)
+                start = max(start, arrival)
+            finish[name] = start + self._task_time(task, assignment, view)
+        return max(finish.values())
+
+    def _task_time(self, task: Task, assignment: Assignment,
+                   view: SystemView) -> float:
+        hostname = assignment.hostname_of(task.node)
+        node = view.cluster.node(hostname)
+        return task.seconds * view.contention_factor(hostname) / node.speed
+
+    def _edge_transfer_time(self, producer: Task, consumer: Task,
+                            assignment: Assignment, view: SystemView,
+                            ) -> float:
+        if producer.transfer_mb <= 0:
+            return 0.0
+        host_a = assignment.hostname_of(producer.node)
+        host_b = assignment.hostname_of(consumer.node)
+        if host_a == host_b:
+            return 0.0
+        worst = 0.0
+        for link in view.cluster.path_links(host_a, host_b):
+            stretch = view.link_contention_factor(link.host_a, link.host_b)
+            seconds = producer.transfer_mb * stretch / link.bandwidth_mbps \
+                + link.latency_seconds
+            worst = max(worst, seconds)
+        return worst
+
+    def critical_path(self, demands: ConcreteDemands,
+                      assignment: Assignment,
+                      view: SystemView) -> list[str]:
+        """The task names along the longest path, in execution order."""
+        finish: dict[str, float] = {}
+        predecessor: dict[str, str | None] = {}
+        for name in self._order:
+            task = self.tasks[name]
+            start, best_dep = 0.0, None
+            for dep in task.depends_on:
+                dep_task = self.tasks[dep]
+                arrival = finish[dep] + self._edge_transfer_time(
+                    dep_task, task, assignment, view)
+                if arrival > start:
+                    start, best_dep = arrival, dep
+            predecessor[name] = best_dep
+            finish[name] = start + self._task_time(task, assignment, view)
+        tail = max(finish, key=lambda n: finish[n])
+        path: list[str] = []
+        cursor: str | None = tail
+        while cursor is not None:
+            path.append(cursor)
+            cursor = predecessor[cursor]
+        return list(reversed(path))

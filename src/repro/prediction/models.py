@@ -1,0 +1,241 @@
+"""Performance-model interfaces and the default Harmony model.
+
+Section 4.2: "Harmony has a very simple default performance model that
+combines resource usage with a simple contention model."  The default model
+here computes, for one placed configuration:
+
+* per node demand: the processor-sharing sojourn estimate
+  ``sum_j min(s_j, s) / speed(node)`` over all demands sharing the node —
+  the CPU phase;
+* per link demand: the same estimate over flows sharing each hop,
+  ``sum_j min(mb_j, mb) / bandwidth`` at the bottleneck — the network phase;
+* general ``communication`` traffic is charged at the worst placed pair.
+
+Node phases of a parallel configuration overlap (max), the network phase is
+additive: ``response = max(cpu phases) + network``.
+
+Applications with richer behaviour provide an *explicit* model — a
+piecewise-linear curve from the ``performance`` tag (see
+:class:`ExplicitSpecModel`) or an arbitrary callable
+(:class:`CallableModel`) — exactly the paper's escape hatch for "complex
+interactions between constituent processes".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Protocol
+
+from repro.allocation.instantiate import ConcreteDemands
+from repro.allocation.matcher import Assignment
+from repro.errors import PredictionError
+from repro.prediction.contention import SystemView
+from repro.prediction.piecewise import PiecewiseLinearModel
+from repro.rsl.model import PerformanceSpec
+
+__all__ = ["PerformanceModel", "DefaultModel", "ExplicitSpecModel",
+           "ExpressionSpecModel", "CallableModel", "model_for_spec"]
+
+
+class PerformanceModel(Protocol):
+    """Predicts a configuration's response time under a system view."""
+
+    def predict(self, demands: ConcreteDemands, assignment: Assignment,
+                view: SystemView, app_key: str | None = None) -> float:
+        """Projected completion seconds for one job/query/iteration.
+
+        ``app_key`` identifies this configuration inside ``view`` so that
+        contention estimates do not double-count the job against itself.
+        """
+        ...  # pragma: no cover - protocol
+
+
+class DefaultModel:
+    """Harmony's default CPU + network contention model.
+
+    CPU contention uses the processor-sharing sojourn estimate
+    :meth:`SystemView.cpu_effective_seconds` (``sum_j min(s_j, s)``), so a
+    short competitor adds only its own length while an equal competitor
+    doubles the job — the asymmetry that drives the database crossover.
+    """
+
+    def predict(self, demands: ConcreteDemands, assignment: Assignment,
+                view: SystemView, app_key: str | None = None) -> float:
+        cluster = view.cluster
+        cpu_phase = 0.0
+        for demand in demands.nodes:
+            if not demand.seconds:
+                continue
+            hostname = assignment.hostname_of(demand.local_name)
+            node = cluster.node(hostname)
+            effective = view.cpu_effective_seconds(
+                hostname, demand.seconds, own_app_key=app_key)
+            cpu_phase = max(cpu_phase, effective / node.speed)
+
+        network_phase = 0.0
+        for link_demand in demands.links:
+            if link_demand.total_mb <= 0:
+                continue
+            host_a = assignment.hostname_of(link_demand.endpoint_a)
+            host_b = assignment.hostname_of(link_demand.endpoint_b)
+            if host_a == host_b:
+                continue
+            network_phase += self._transfer_time(
+                view, host_a, host_b, link_demand.total_mb, app_key)
+
+        if demands.communication_mb and demands.communication_mb > 0:
+            network_phase += self._general_communication_time(
+                demands, assignment, view, app_key)
+
+        return cpu_phase + network_phase
+
+    def _transfer_time(self, view: SystemView, host_a: str, host_b: str,
+                       total_mb: float, app_key: str | None) -> float:
+        cluster = view.cluster
+        worst = 0.0
+        for link in cluster.path_links(host_a, host_b):
+            effective = view.transfer_effective_mb(
+                link.host_a, link.host_b, total_mb, own_app_key=app_key)
+            seconds = effective / link.bandwidth_mbps \
+                + link.latency_seconds
+            worst = max(worst, seconds)
+        return worst
+
+    def _general_communication_time(self, demands: ConcreteDemands,
+                                    assignment: Assignment,
+                                    view: SystemView,
+                                    app_key: str | None) -> float:
+        """Charge all-pairs traffic at the slowest placed pair."""
+        hosts = sorted(assignment.hostnames())
+        if len(hosts) < 2:
+            return 0.0
+        worst = 0.0
+        for i, host_a in enumerate(hosts):
+            for host_b in hosts[i + 1:]:
+                worst = max(worst, self._transfer_time(
+                    view, host_a, host_b,
+                    demands.communication_mb or 0.0, app_key))
+        return worst
+
+
+class ExplicitSpecModel:
+    """An application-supplied piecewise-linear model over one parameter.
+
+    The parameter is a variable of the configuration (e.g. ``workerNodes``);
+    when the spec names none, the number of placed nodes is used — matching
+    the paper's Bag example, whose data points map node counts to expected
+    running times.  Contention on the placed nodes still stretches the
+    curve's prediction: the user curve describes the *unloaded* runtime.
+    """
+
+    def __init__(self, spec: PerformanceSpec, apply_contention: bool = True):
+        self.spec = spec
+        self.curve = PiecewiseLinearModel.from_spec(spec)
+        self.apply_contention = apply_contention
+
+    def predict(self, demands: ConcreteDemands, assignment: Assignment,
+                view: SystemView, app_key: str | None = None) -> float:
+        x = self._parameter_value(demands)
+        base = self.curve.predict(x)
+        if not self.apply_contention:
+            return base
+        stretch = 1.0
+        for demand in demands.nodes:
+            if not demand.seconds:
+                continue
+            hostname = assignment.hostname_of(demand.local_name)
+            node = view.cluster.node(hostname)
+            stretch = max(stretch,
+                          view.contention_factor(hostname) / node.speed)
+        return base * stretch
+
+    def _parameter_value(self, demands: ConcreteDemands) -> float:
+        if self.spec.parameter is not None:
+            value = demands.variable_assignment.get(self.spec.parameter)
+            if value is None:
+                raise PredictionError(
+                    f"performance parameter {self.spec.parameter!r} is not "
+                    f"a variable of configuration {demands.option_name!r}")
+            return value
+        if len(demands.variable_assignment) == 1:
+            return next(iter(demands.variable_assignment.values()))
+        return float(len(demands.nodes))
+
+
+class ExpressionSpecModel:
+    """An application-supplied closed-form runtime expression.
+
+    The paper's alternative to data points: "an explicit specification
+    might include either an expression or a function".  The expression is
+    evaluated against the configuration's variable assignment plus the
+    per-node memory the controller granted (under ``<node>.memory``) and
+    the placed node count (``nodes``); node contention stretches the
+    result exactly as for the piecewise model.
+    """
+
+    def __init__(self, spec: PerformanceSpec, apply_contention: bool = True):
+        if spec.expression is None:
+            raise PredictionError(
+                "ExpressionSpecModel needs a performance expression")
+        self.spec = spec
+        self.expression = spec.expression
+        self.apply_contention = apply_contention
+
+    def predict(self, demands: ConcreteDemands, assignment: Assignment,
+                view: SystemView, app_key: str | None = None) -> float:
+        env = dict(demands.variable_assignment)
+        env["nodes"] = float(len(demands.nodes))
+        for demand in demands.nodes:
+            env.setdefault(f"{demand.local_name}.memory",
+                           demand.memory_min_mb)
+        base = self.expression.evaluate(env)
+        if base < 0:
+            raise PredictionError(
+                f"performance expression produced negative time {base}")
+        if not self.apply_contention:
+            return base
+        stretch = 1.0
+        for demand in demands.nodes:
+            if not demand.seconds:
+                continue
+            hostname = assignment.hostname_of(demand.local_name)
+            node = view.cluster.node(hostname)
+            stretch = max(stretch,
+                          view.contention_factor(hostname) / node.speed)
+        return base * stretch
+
+
+class CallableModel:
+    """Adapts an arbitrary function into a performance model.
+
+    The callable receives ``(demands, assignment, view)`` keyword-free and
+    returns seconds — the Python analogue of the paper's TCL prediction
+    scripts.
+    """
+
+    def __init__(self, func: Callable[[ConcreteDemands, Assignment,
+                                       SystemView], float]):
+        self._func = func
+
+    def predict(self, demands: ConcreteDemands, assignment: Assignment,
+                view: SystemView, app_key: str | None = None) -> float:
+        value = float(self._func(demands, assignment, view))
+        if value < 0:
+            raise PredictionError(
+                f"callable model returned negative time {value}")
+        return value
+
+
+def model_for_spec(spec: PerformanceSpec | None,
+                   default: PerformanceModel | None = None,
+                   ) -> PerformanceModel:
+    """The model to use for an option: explicit when a spec exists.
+
+    This is the dispatch rule of Section 3.1's "performance prediction":
+    Harmony's default model unless the application overrides it — with
+    data points (piecewise interpolation) or a closed-form expression.
+    """
+    if spec is not None and spec.points:
+        return ExplicitSpecModel(spec)
+    if spec is not None and spec.expression is not None:
+        return ExpressionSpecModel(spec)
+    return default if default is not None else DefaultModel()

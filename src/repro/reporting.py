@@ -1,0 +1,156 @@
+"""Exporting experiment results for plotting and papers.
+
+The experiment harnesses return rich result objects; this module renders
+them to interchange formats:
+
+* CSV for the raw time series (one row per query/iteration), ready for any
+  plotting tool;
+* Markdown tables for the phase/frame summaries EXPERIMENTS.md quotes;
+* a one-call :func:`write_database_report` / :func:`write_parallel_report`
+  that drops all artifacts for one run into a directory.
+
+Everything is plain text; no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+
+from repro.apps.database.experiment import DatabaseExperimentResult
+from repro.apps.parallel_experiment import ParallelExperimentResult
+from repro.controller.controller import DecisionRecord
+
+__all__ = [
+    "response_series_csv",
+    "iteration_series_csv",
+    "decisions_csv",
+    "phases_markdown",
+    "frames_markdown",
+    "write_database_report",
+    "write_parallel_report",
+]
+
+
+def response_series_csv(result: DatabaseExperimentResult) -> str:
+    """``client,time_s,response_s`` rows for every completed query."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["client", "time_s", "response_s"])
+    for client, series in sorted(result.response_series.items()):
+        for time, response in series:
+            writer.writerow([client, f"{time:.3f}", f"{response:.4f}"])
+    return buffer.getvalue()
+
+
+def iteration_series_csv(result: ParallelExperimentResult) -> str:
+    """``app,start_s,elapsed_s,workers`` rows for every iteration."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["app", "start_s", "elapsed_s", "workers"])
+    for app, series in sorted(result.iteration_series.items()):
+        for start, elapsed, workers in series:
+            writer.writerow([app, f"{start:.3f}", f"{elapsed:.3f}",
+                             workers])
+    return buffer.getvalue()
+
+
+def decisions_csv(decisions: list[DecisionRecord]) -> str:
+    """The controller decision log as CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["time_s", "app", "bundle", "old", "new", "reason",
+                     "objective_before", "objective_after"])
+    for record in decisions:
+        writer.writerow([
+            f"{record.time:.3f}", record.app_key, record.bundle_name,
+            record.old_configuration or "", record.new_configuration,
+            record.reason,
+            _finite(record.objective_before),
+            _finite(record.objective_after)])
+    return buffer.getvalue()
+
+
+def _finite(value: float) -> str:
+    return f"{value:.4f}" if value == value and value not in (
+        float("inf"), float("-inf")) else ""
+
+
+def phases_markdown(result: DatabaseExperimentResult) -> str:
+    """The Figure 7 phase summary as a Markdown table."""
+    lines = ["| phase | t range (s) | clients | option | "
+             "mean response per client (s) |",
+             "|---|---|---|---|---|"]
+    for phase in result.phases:
+        means = ", ".join(
+            f"{client}={seconds:.1f}"
+            for client, seconds in sorted(
+                phase.mean_response_by_client.items()))
+        lines.append(
+            f"| {phase.phase_index} "
+            f"| [{phase.start_time:.0f}, {phase.end_time:.0f}) "
+            f"| {phase.active_clients} "
+            f"| {phase.dominant_option} "
+            f"| {means} |")
+    if result.switch_time is not None:
+        lines.append("")
+        lines.append(f"Switch to data shipping at t = "
+                     f"{result.switch_time:.0f} s.")
+    return "\n".join(lines) + "\n"
+
+
+def frames_markdown(result: ParallelExperimentResult) -> str:
+    """The Figure 4 frame summary as a Markdown table."""
+    lines = ["| frame | t range (s) | apps | partition | "
+             "mean iteration per app (s) |",
+             "|---|---|---|---|---|"]
+    for frame in result.frames:
+        iterations = ", ".join(
+            f"{app}={seconds:.0f}"
+            for app, seconds in sorted(
+                frame.mean_iteration_seconds.items()))
+        partition = "+".join(str(n) for n in frame.partition())
+        lines.append(
+            f"| {frame.frame_index} "
+            f"| [{frame.start_time:.0f}, {frame.end_time:.0f}) "
+            f"| {frame.active_apps} "
+            f"| {partition} "
+            f"| {iterations} |")
+    return "\n".join(lines) + "\n"
+
+
+def write_database_report(result: DatabaseExperimentResult,
+                          directory: str | pathlib.Path) -> list[pathlib.Path]:
+    """Write response CSV, decisions CSV, and phase table to ``directory``."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    artifacts = {
+        "responses.csv": response_series_csv(result),
+        "decisions.csv": decisions_csv(result.decisions),
+        "phases.md": phases_markdown(result),
+    }
+    paths = []
+    for name, content in artifacts.items():
+        path = directory / name
+        path.write_text(content)
+        paths.append(path)
+    return paths
+
+
+def write_parallel_report(result: ParallelExperimentResult,
+                          directory: str | pathlib.Path) -> list[pathlib.Path]:
+    """Write iteration CSV, decisions CSV, and frame table to ``directory``."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    artifacts = {
+        "iterations.csv": iteration_series_csv(result),
+        "decisions.csv": decisions_csv(result.decisions),
+        "frames.md": frames_markdown(result),
+    }
+    paths = []
+    for name, content in artifacts.items():
+        path = directory / name
+        path.write_text(content)
+        paths.append(path)
+    return paths

@@ -1,0 +1,429 @@
+"""Semantic analysis: parsed RSL lists -> model objects.
+
+This is the layer at which the paper's Figures 2 and 3 become
+:class:`~repro.rsl.model.Bundle` values.  The accepted shape of a bundle
+declaration is::
+
+    harmonyBundle App:1 bundleName {
+        {optionName
+            {node <name> {hostname h} {os linux} {seconds Q} {memory Q}
+                         {replicate Q}}
+            {link <a> <b> Q}
+            {communication Q}
+            {performance {x seconds} {x seconds} ...}
+            {granularity seconds}
+            {variable name {v1 v2 ...} [default]}
+            {friction Q}}
+        ...}
+
+where ``Q`` (a *quantity*) is a bare number (``42``), an interval constraint
+(``>=32``), or a braced parametric expression
+(``{44 + (client.memory > 24 ? 24 : client.memory) - 17}``).
+
+Resource advertisements use::
+
+    harmonyNode hostname {speed 1.5} {memory 256} {os linux}
+"""
+
+from __future__ import annotations
+
+from repro.errors import RslSemanticError
+from repro.rsl.constraints import parse_constraint
+from repro.rsl.expressions import parse_expression
+from repro.rsl.model import (
+    Bundle,
+    CommunicationRequirement,
+    FrictionSpec,
+    GranularitySpec,
+    LinkRequirement,
+    NodeAdvertisement,
+    NodeRequirement,
+    PerformancePoint,
+    PerformanceSpec,
+    Quantity,
+    TuningOption,
+    VariableSpec,
+)
+from repro.rsl.parser import RslList, RslNode, RslWord, parse_script
+
+__all__ = ["build_script", "build_bundle", "build_bundle_command",
+           "build_node_command", "build_quantity"]
+
+
+def build_script(text: str) -> list[Bundle | NodeAdvertisement]:
+    """Build every ``harmonyBundle``/``harmonyNode`` command in ``text``."""
+    results: list[Bundle | NodeAdvertisement] = []
+    for command in parse_script(text):
+        head = command.head_word()
+        if head == "harmonyBundle":
+            results.append(build_bundle_command(command))
+        elif head == "harmonyNode":
+            results.append(build_node_command(command))
+        else:
+            raise RslSemanticError(
+                f"unknown top-level command {head!r} "
+                f"(line {command.line})")
+    return results
+
+
+def build_bundle(text: str) -> Bundle:
+    """Build exactly one bundle from ``text`` (convenience for the API)."""
+    results = build_script(text)
+    bundles = [r for r in results if isinstance(r, Bundle)]
+    if len(bundles) != 1 or len(results) != 1:
+        raise RslSemanticError(
+            f"expected exactly one harmonyBundle command, found "
+            f"{len(results)} commands ({len(bundles)} bundles)")
+    return bundles[0]
+
+
+# --------------------------------------------------------------------------
+# harmonyBundle
+# --------------------------------------------------------------------------
+
+def build_bundle_command(command: RslList) -> Bundle:
+    if len(command) != 4:
+        raise RslSemanticError(
+            "harmonyBundle requires: harmonyBundle App[:inst] bundleName "
+            f"{{options}} (line {command.line})")
+    app_word = _require_word(command[1], "application name")
+    bundle_name = _require_word(command[2], "bundle name")
+    options_list = _require_list(command[3], "options list")
+
+    app_name, declared_instance = _split_app_name(app_word)
+    options = tuple(_build_option(item) for item in options_list)
+    return Bundle(app_name=app_name, bundle_name=bundle_name,
+                  options=options, declared_instance=declared_instance)
+
+
+def _split_app_name(word: str) -> tuple[str, int | None]:
+    if ":" not in word:
+        return word, None
+    name, _, instance = word.partition(":")
+    if not name:
+        raise RslSemanticError(f"empty application name in {word!r}")
+    try:
+        return name, int(instance)
+    except ValueError:
+        raise RslSemanticError(
+            f"non-integer instance id in {word!r}") from None
+
+
+def _build_option(node: RslNode) -> TuningOption:
+    body = _require_list(node, "tuning option")
+    if len(body) < 1:
+        raise RslSemanticError(
+            f"empty tuning option (line {getattr(node, 'line', '?')})")
+    name = _require_word(body[0], "option name")
+
+    nodes: list[NodeRequirement] = []
+    links: list[LinkRequirement] = []
+    variables: list[VariableSpec] = []
+    communication: CommunicationRequirement | None = None
+    performance: PerformanceSpec | None = None
+    granularity: GranularitySpec | None = None
+    friction: FrictionSpec | None = None
+
+    for item in body.items[1:]:
+        entry = _require_list(item, f"tag inside option {name!r}")
+        tag = entry.head_word()
+        if tag == "node":
+            nodes.append(_build_node_requirement(entry))
+        elif tag == "link":
+            links.append(_build_link(entry))
+        elif tag == "communication":
+            communication = _single_assignment(
+                communication, "communication", name,
+                _build_communication(entry))
+        elif tag == "performance":
+            performance = _single_assignment(
+                performance, "performance", name, _build_performance(entry))
+        elif tag == "granularity":
+            granularity = _single_assignment(
+                granularity, "granularity", name, _build_granularity(entry))
+        elif tag == "variable":
+            variables.append(_build_variable(entry))
+        elif tag == "friction":
+            friction = _single_assignment(
+                friction, "friction", name, _build_friction(entry))
+        else:
+            raise RslSemanticError(
+                f"unknown tag {tag!r} in option {name!r} "
+                f"(line {entry.line})")
+
+    option = TuningOption(
+        name=name, nodes=tuple(nodes), links=tuple(links),
+        communication=communication, performance=performance,
+        granularity=granularity, variables=tuple(variables),
+        friction=friction)
+    _check_link_endpoints(option)
+    return option
+
+
+def _single_assignment(current, tag: str, option: str, value):
+    if current is not None:
+        raise RslSemanticError(
+            f"option {option!r} declares {tag!r} more than once")
+    return value
+
+
+def _check_link_endpoints(option: TuningOption) -> None:
+    node_names = {node.name for node in option.nodes}
+    for link in option.links:
+        for endpoint in link.endpoints():
+            if endpoint not in node_names:
+                raise RslSemanticError(
+                    f"option {option.name!r}: link endpoint {endpoint!r} "
+                    f"names no declared node (nodes: {sorted(node_names)})")
+
+
+def _build_node_requirement(entry: RslList) -> NodeRequirement:
+    if len(entry) < 2:
+        raise RslSemanticError(
+            f"node tag needs a name (line {entry.line})")
+    name = _require_word(entry[1], "node name")
+
+    hostname = "*"
+    os_name: str | None = None
+    seconds: Quantity | None = None
+    memory: Quantity | None = None
+    replicate = Quantity.of(1)
+    attributes: dict[str, str] = {}
+
+    for item in entry.items[2:]:
+        attr = _require_list(item, f"attribute of node {name!r}")
+        if len(attr) != 2:
+            raise RslSemanticError(
+                f"node attribute must be {{name value}} "
+                f"(node {name!r}, line {attr.line})")
+        key = _require_word(attr[0], "attribute name")
+        value_node = attr[1]
+        if key == "hostname":
+            hostname = _require_word(value_node, "hostname")
+        elif key == "os":
+            os_name = _require_word(value_node, "os")
+        elif key == "seconds":
+            seconds = build_quantity(value_node, f"node {name!r} seconds")
+        elif key == "memory":
+            memory = build_quantity(value_node, f"node {name!r} memory")
+        elif key == "replicate":
+            replicate = build_quantity(value_node,
+                                       f"node {name!r} replicate")
+        else:
+            attributes[key] = _flatten_text(value_node)
+
+    return NodeRequirement(name=name, hostname=hostname, os=os_name,
+                           seconds=seconds, memory=memory,
+                           replicate=replicate, attributes=attributes)
+
+
+def _build_link(entry: RslList) -> LinkRequirement:
+    if len(entry) != 4:
+        raise RslSemanticError(
+            f"link tag must be {{link a b megabytes}} (line {entry.line})")
+    return LinkRequirement(
+        endpoint_a=_require_word(entry[1], "link endpoint"),
+        endpoint_b=_require_word(entry[2], "link endpoint"),
+        megabytes=build_quantity(entry[3], "link megabytes"))
+
+
+def _build_communication(entry: RslList) -> CommunicationRequirement:
+    if len(entry) != 2:
+        raise RslSemanticError(
+            f"communication tag must be {{communication megabytes}} "
+            f"(line {entry.line})")
+    return CommunicationRequirement(
+        megabytes=build_quantity(entry[1], "communication megabytes"))
+
+
+def _build_performance(entry: RslList) -> PerformanceSpec:
+    """Either interpolation points or a closed-form expression.
+
+    ``{performance [param] {x seconds} {x seconds} ...}`` — data points
+    Harmony interpolates piecewise-linearly; or
+    ``{performance {<expression>}}`` — the paper's "explicit specification
+    might include either an expression or a function": a formula over the
+    option's variables evaluated directly.
+    """
+    items = list(entry.items[1:])
+    if not items:
+        raise RslSemanticError(
+            f"performance tag needs data points or an expression "
+            f"(line {entry.line})")
+
+    parameter: str | None = None
+    if isinstance(items[0], RslWord):
+        parameter = items[0].text
+        items = items[1:]
+        if not items:
+            raise RslSemanticError(
+                f"performance tag needs data points after the parameter "
+                f"name (line {entry.line})")
+
+    if len(items) == 1 and isinstance(items[0], RslList) \
+            and not _looks_like_point(items[0]):
+        text = _flatten_text(items[0])
+        try:
+            expression = parse_expression(text)
+        except Exception as exc:
+            raise RslSemanticError(
+                f"performance expression {text!r} does not parse "
+                f"({exc})") from exc
+        return PerformanceSpec(expression=expression, parameter=parameter)
+
+    points: list[PerformancePoint] = []
+    for item in items:
+        pair = _require_list(item, "performance data point")
+        if len(pair) != 2:
+            raise RslSemanticError(
+                f"performance data point must be {{x seconds}} "
+                f"(line {pair.line})")
+        points.append(PerformancePoint(
+            x=_require_number(pair[0], "performance x"),
+            seconds=_require_number(pair[1], "performance seconds")))
+    points.sort(key=lambda p: p.x)
+    return PerformanceSpec(points=tuple(points), parameter=parameter)
+
+
+def _looks_like_point(item: RslList) -> bool:
+    """A two-word all-numeric list is an (x, seconds) data point."""
+    if len(item) != 2:
+        return False
+    for node in item.items:
+        if not isinstance(node, RslWord):
+            return False
+        try:
+            float(node.text)
+        except ValueError:
+            return False
+    return True
+
+
+def _build_granularity(entry: RslList) -> GranularitySpec:
+    if len(entry) != 2:
+        raise RslSemanticError(
+            f"granularity tag must be {{granularity seconds}} "
+            f"(line {entry.line})")
+    return GranularitySpec(
+        min_interval_seconds=_require_number(entry[1], "granularity"))
+
+
+def _build_variable(entry: RslList) -> VariableSpec:
+    if len(entry) not in (3, 4):
+        raise RslSemanticError(
+            f"variable tag must be {{variable name {{values}} [default]}} "
+            f"(line {entry.line})")
+    name = _require_word(entry[1], "variable name")
+    values_list = _require_list(entry[2], f"domain of variable {name!r}")
+    values = tuple(_require_number(item, f"value of variable {name!r}")
+                   for item in values_list)
+    default: float | None = None
+    if len(entry) == 4:
+        default = _require_number(entry[3],
+                                  f"default of variable {name!r}")
+    return VariableSpec(name=name, values=values, default=default)
+
+
+def _build_friction(entry: RslList) -> FrictionSpec:
+    if len(entry) != 2:
+        raise RslSemanticError(
+            f"friction tag must be {{friction seconds}} (line {entry.line})")
+    return FrictionSpec(seconds=build_quantity(entry[1], "friction seconds"))
+
+
+# --------------------------------------------------------------------------
+# harmonyNode
+# --------------------------------------------------------------------------
+
+def build_node_command(command: RslList) -> NodeAdvertisement:
+    if len(command) < 2:
+        raise RslSemanticError(
+            f"harmonyNode requires a hostname (line {command.line})")
+    hostname = _require_word(command[1], "hostname")
+
+    speed = 1.0
+    memory = float("inf")
+    os_name: str | None = None
+    attributes: dict[str, str] = {}
+
+    for item in command.items[2:]:
+        attr = _require_list(item, f"attribute of harmonyNode {hostname!r}")
+        if len(attr) != 2:
+            raise RslSemanticError(
+                f"harmonyNode attribute must be {{name value}} "
+                f"(line {attr.line})")
+        key = _require_word(attr[0], "attribute name")
+        if key == "speed":
+            speed = _require_number(attr[1], "speed")
+        elif key == "memory":
+            memory = _require_number(attr[1], "memory")
+        elif key == "os":
+            os_name = _require_word(attr[1], "os")
+        else:
+            attributes[key] = _flatten_text(attr[1])
+
+    return NodeAdvertisement(hostname=hostname, speed=speed, memory=memory,
+                             os=os_name, attributes=attributes)
+
+
+# --------------------------------------------------------------------------
+# Quantities and low-level helpers
+# --------------------------------------------------------------------------
+
+def build_quantity(node: RslNode, context: str) -> Quantity:
+    """Build a quantity from a word (number/constraint) or braced expression.
+
+    Words that are neither numbers nor constraints are parsed as expressions,
+    so a bare variable reference (``{replicate workerNodes}``) works too.
+    """
+    if isinstance(node, RslWord):
+        constraint = parse_constraint(node.text)
+        if constraint is not None:
+            return Quantity(constraint=constraint)
+        try:
+            return Quantity.parametric(parse_expression(node.text))
+        except Exception as exc:
+            raise RslSemanticError(
+                f"{context}: {node.text!r} is neither a constraint nor an "
+                f"expression ({exc})") from exc
+    text = _flatten_text(node)
+    constraint = parse_constraint(text)
+    if constraint is not None:
+        return Quantity(constraint=constraint)
+    try:
+        return Quantity.parametric(parse_expression(text))
+    except Exception as exc:
+        raise RslSemanticError(
+            f"{context}: cannot parse expression {text!r} ({exc})") from exc
+
+
+def _flatten_text(node: RslNode) -> str:
+    """Render a node to flat text, joining list items with spaces."""
+    if isinstance(node, RslWord):
+        return node.text
+    return " ".join(_flatten_text(item) for item in node.items)
+
+
+def _require_word(node: RslNode, what: str) -> str:
+    if not isinstance(node, RslWord):
+        raise RslSemanticError(
+            f"expected a word for {what}, found a list "
+            f"(line {node.line})")
+    return node.text
+
+
+def _require_list(node: RslNode, what: str) -> RslList:
+    if not isinstance(node, RslList):
+        raise RslSemanticError(
+            f"expected a braced list for {what}, found word "
+            f"{node.text!r} (line {node.line})")
+    return node
+
+
+def _require_number(node: RslNode, what: str) -> float:
+    text = _require_word(node, what)
+    try:
+        return float(text)
+    except ValueError:
+        raise RslSemanticError(
+            f"{what}: expected a number, found {text!r}") from None

@@ -1,0 +1,202 @@
+"""Static diagnostics for Harmony RSL bundles.
+
+The builder rejects malformed RSL outright; this module goes further and
+flags bundles that are *valid but suspicious* — the kinds of specification
+mistakes that make the controller silently choose badly:
+
+* ``unknown-variable``      — an expression references a name that is
+  neither a declared variable nor a resource attribute of the option;
+* ``unused-variable``       — a declared ``variable`` that no expression
+  reads (its domain multiplies the search space for nothing);
+* ``duplicate-option-shape``— two options whose resource demands are
+  identical in every configuration (the controller can never distinguish
+  them);
+* ``zero-resources``        — an option demanding no CPU seconds anywhere
+  (predicted response 0: it will always win);
+* ``orphan-node``           — a declared node with no CPU, no memory, and
+  no link touching it;
+* ``non-positive-domain``   — a variable whose domain includes values ≤ 0;
+* ``replicate-variable-without-domain`` — ``replicate`` references a name
+  that is not a declared variable (it will fail at instantiation time);
+* ``performance-domain-mismatch`` — the explicit performance curve does
+  not cover the variable domain it is parameterized on (the controller
+  will extrapolate).
+
+Use :func:`lint_bundle` to get :class:`Diagnostic` records; each carries a
+stable ``code`` for filtering and a human-readable message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RslError
+from repro.rsl.model import Bundle, TuningOption
+
+__all__ = ["Diagnostic", "lint_bundle", "LINT_CODES"]
+
+LINT_CODES = frozenset({
+    "unknown-variable",
+    "unused-variable",
+    "duplicate-option-shape",
+    "zero-resources",
+    "orphan-node",
+    "non-positive-domain",
+    "replicate-variable-without-domain",
+    "performance-domain-mismatch",
+})
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding."""
+
+    code: str
+    option: str | None
+    message: str
+
+    def __str__(self) -> str:
+        scope = f"option {self.option!r}: " if self.option else ""
+        return f"[{self.code}] {scope}{self.message}"
+
+
+def lint_bundle(bundle: Bundle) -> list[Diagnostic]:
+    """Run every check against ``bundle``; returns findings in a stable
+    order (option order, then check order)."""
+    findings: list[Diagnostic] = []
+    for option in bundle.options:
+        findings.extend(_lint_option(option))
+    findings.extend(_lint_duplicate_shapes(bundle))
+    return findings
+
+
+def _option_vocabulary(option: TuningOption) -> set[str]:
+    """Names an expression may legally reference inside this option."""
+    names = {spec.name for spec in option.variables}
+    for node in option.nodes:
+        names.add(f"{node.name}.memory")
+        names.add(f"{node.name}.seconds")
+    return names
+
+
+def _referenced_names(option: TuningOption) -> set[str]:
+    names: set[str] = set()
+    for node in option.nodes:
+        for quantity in (node.seconds, node.memory, node.replicate):
+            if quantity is not None:
+                names |= quantity.free_variables()
+    for link in option.links:
+        names |= link.megabytes.free_variables()
+    if option.communication is not None:
+        names |= option.communication.megabytes.free_variables()
+    if option.friction is not None:
+        names |= option.friction.seconds.free_variables()
+    return names
+
+
+def _lint_option(option: TuningOption) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    vocabulary = _option_vocabulary(option)
+    referenced = _referenced_names(option)
+
+    for name in sorted(referenced - vocabulary):
+        findings.append(Diagnostic(
+            "unknown-variable", option.name,
+            f"expression references {name!r}, which is neither a declared "
+            f"variable nor a <node>.memory/<node>.seconds attribute"))
+
+    variable_names = {spec.name for spec in option.variables}
+    for name in sorted(variable_names - referenced):
+        findings.append(Diagnostic(
+            "unused-variable", option.name,
+            f"variable {name!r} is declared but no expression reads it; "
+            f"its {len(option.variable_named(name).values)}-value domain "
+            f"only inflates the search space"))
+
+    for spec in option.variables:
+        bad = [value for value in spec.values if value <= 0]
+        if bad:
+            findings.append(Diagnostic(
+                "non-positive-domain", option.name,
+                f"variable {spec.name!r} domain contains non-positive "
+                f"values {bad}"))
+
+    for node in option.nodes:
+        replicate_refs = node.replicate.free_variables()
+        for name in sorted(replicate_refs - variable_names):
+            findings.append(Diagnostic(
+                "replicate-variable-without-domain", option.name,
+                f"node {node.name!r} replicates by {name!r}, which is not "
+                f"a declared variable of this option"))
+
+    linked = {endpoint for link in option.links
+              for endpoint in link.endpoints()}
+    for node in option.nodes:
+        if node.seconds is None and node.memory is None \
+                and node.name not in linked:
+            findings.append(Diagnostic(
+                "orphan-node", option.name,
+                f"node {node.name!r} demands no CPU, no memory, and no "
+                f"link touches it"))
+
+    if _total_seconds_always_zero(option):
+        findings.append(Diagnostic(
+            "zero-resources", option.name,
+            "no configuration of this option demands any CPU seconds; "
+            "the default model will predict it infinitely fast"))
+
+    if option.performance is not None and option.performance.points \
+            and option.performance.parameter in variable_names:
+        spec = option.variable_named(option.performance.parameter)
+        xs = [point.x for point in option.performance.points]
+        uncovered = [value for value in spec.values
+                     if not (min(xs) <= value <= max(xs))]
+        if uncovered:
+            findings.append(Diagnostic(
+                "performance-domain-mismatch", option.name,
+                f"performance curve spans [{min(xs):g}, {max(xs):g}] but "
+                f"variable {spec.name!r} also takes {uncovered}; those "
+                f"configurations will be extrapolated"))
+
+    return findings
+
+
+def _instantiate(option, assignment):
+    # Imported lazily: repro.allocation depends on repro.rsl, so a
+    # top-level import here would be circular.
+    from repro.allocation.instantiate import instantiate_option
+    return instantiate_option(option, assignment)
+
+
+def _total_seconds_always_zero(option: TuningOption) -> bool:
+    try:
+        for assignment in option.variable_assignments():
+            demands = _instantiate(option, assignment)
+            if demands.total_cpu_seconds() > 0:
+                return False
+    except RslError:
+        return False  # other checks cover unresolvable expressions
+    return True
+
+
+def _lint_duplicate_shapes(bundle: Bundle) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    shapes: dict[tuple, str] = {}
+    for option in bundle.options:
+        try:
+            shape = tuple(sorted(
+                (demand.local_name, demand.hostname_pattern,
+                 demand.seconds, demand.memory_min_mb)
+                for assignment in option.variable_assignments()
+                for demand in _instantiate(option, assignment).nodes))
+        except RslError:
+            continue
+        if shape in shapes:
+            findings.append(Diagnostic(
+                "duplicate-option-shape", option.name,
+                f"identical resource demands to option "
+                f"{shapes[shape]!r}; the controller cannot distinguish "
+                f"them"))
+        else:
+            shapes[shape] = option.name
+    return findings

@@ -1,0 +1,180 @@
+"""Parser for the Harmony RSL surface syntax.
+
+Builds nested :class:`RslList` structures out of the token stream produced by
+:mod:`repro.rsl.tokens`.  The result mirrors TCL semantics: a *script* is a
+sequence of *commands*, and each command is a flat sequence of *words*, where
+a word is either a string or a nested list (from ``{ ... }``).
+
+The parser is purely syntactic.  Interpreting a command as, say, a
+``harmonyBundle`` declaration is the job of :mod:`repro.rsl.builder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.errors import RslSyntaxError
+from repro.rsl.tokens import Token, TokenType, tokenize
+
+__all__ = ["RslWord", "RslList", "RslNode", "parse_script", "parse_list",
+           "format_node"]
+
+
+@dataclass(frozen=True)
+class RslWord:
+    """A leaf word in an RSL structure (always stored as its source string)."""
+
+    text: str
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        return self.text
+
+
+@dataclass(frozen=True)
+class RslList:
+    """A ``{ ... }``-delimited (or top-level command) sequence of nodes."""
+
+    items: tuple["RslNode", ...] = field(default_factory=tuple)
+    line: int = 0
+    column: int = 0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator["RslNode"]:
+        return iter(self.items)
+
+    def __getitem__(self, index: int) -> "RslNode":
+        return self.items[index]
+
+    def head_word(self) -> str | None:
+        """Return the first item's text if it is a word, else ``None``."""
+        if self.items and isinstance(self.items[0], RslWord):
+            return self.items[0].text
+        return None
+
+
+RslNode = Union[RslWord, RslList]
+
+
+class _TokenCursor:
+    """Single-token lookahead over the token stream."""
+
+    def __init__(self, tokens: Iterator[Token]):
+        self._tokens = tokens
+        self._current = next(tokens)
+
+    @property
+    def current(self) -> Token:
+        return self._current
+
+    def advance(self) -> Token:
+        token = self._current
+        if token.type is not TokenType.EOF:
+            self._current = next(self._tokens)
+        return token
+
+
+def parse_script(text: str) -> list[RslList]:
+    """Parse an RSL script into a list of commands.
+
+    Each command is an :class:`RslList` whose items are the command's words.
+    Empty commands (blank lines, comment-only lines) are dropped.
+
+    >>> cmds = parse_script("harmonyNode alpha {speed 1.5}")
+    >>> cmds[0].head_word()
+    'harmonyNode'
+    """
+    cursor = _TokenCursor(tokenize(text))
+    commands: list[RslList] = []
+    while cursor.current.type is not TokenType.EOF:
+        if cursor.current.type is TokenType.COMMAND_END:
+            cursor.advance()
+            continue
+        commands.append(_parse_command(cursor))
+    return commands
+
+
+def parse_list(text: str) -> RslList:
+    """Parse ``text`` as a single list of words (no command separators).
+
+    Useful for parsing the *body* of a tag whose value is itself RSL, e.g. a
+    bundle definition string handed to ``harmony_bundle_setup``.
+    """
+    commands = parse_script(text)
+    if not commands:
+        return RslList()
+    if len(commands) == 1:
+        return commands[0]
+    raise RslSyntaxError(
+        f"expected a single RSL list, found {len(commands)} commands",
+        commands[1].line, commands[1].column)
+
+
+def _parse_command(cursor: _TokenCursor) -> RslList:
+    start = cursor.current
+    items: list[RslNode] = []
+    while True:
+        token = cursor.current
+        if token.type in (TokenType.EOF, TokenType.COMMAND_END):
+            if token.type is TokenType.COMMAND_END:
+                cursor.advance()
+            break
+        if token.type is TokenType.CLOSE_BRACE:
+            raise RslSyntaxError("unmatched '}'", token.line, token.column)
+        items.append(_parse_node(cursor))
+    return RslList(tuple(items), start.line, start.column)
+
+
+def _parse_node(cursor: _TokenCursor) -> RslNode:
+    token = cursor.current
+    if token.type is TokenType.WORD:
+        cursor.advance()
+        return RslWord(token.value, token.line, token.column)
+    if token.type is TokenType.OPEN_BRACE:
+        return _parse_braced(cursor)
+    raise RslSyntaxError(
+        f"unexpected token {token.value!r}", token.line, token.column)
+
+
+def _parse_braced(cursor: _TokenCursor) -> RslList:
+    open_token = cursor.advance()  # consume '{'
+    items: list[RslNode] = []
+    while True:
+        token = cursor.current
+        if token.type is TokenType.EOF:
+            raise RslSyntaxError(
+                "unterminated '{'", open_token.line, open_token.column)
+        if token.type is TokenType.CLOSE_BRACE:
+            cursor.advance()
+            break
+        if token.type is TokenType.COMMAND_END:
+            # Newlines inside braces are just whitespace for our list subset.
+            cursor.advance()
+            continue
+        items.append(_parse_node(cursor))
+    return RslList(tuple(items), open_token.line, open_token.column)
+
+
+def format_node(node: RslNode) -> str:
+    """Render a parsed node back to RSL text.
+
+    Round-trips through :func:`parse_list`: formatting then reparsing yields
+    an equal structure (source positions aside).
+    """
+    if isinstance(node, RslWord):
+        return _format_word(node.text)
+    return "{" + " ".join(format_node(item) for item in node.items) + "}"
+
+
+def _format_word(text: str) -> str:
+    if text == "":
+        return '""'
+    if any(ch in text for ch in " \t\n;{}\""):
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+        escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+        return f'"{escaped}"'
+    return text

@@ -1,0 +1,165 @@
+"""Tokenizer for the Harmony RSL.
+
+The RSL is hosted on a TCL-style surface syntax (the paper implements it
+directly in TCL).  The grammar we need is the TCL *list* subset:
+
+* whitespace separates words,
+* ``{ ... }`` groups words into a nested list; braces nest and nothing inside
+  is substituted,
+* ``" ... "`` produces a single word that may contain whitespace,
+* newlines and ``;`` end a command at the top level,
+* ``#`` at the start of a command introduces a comment to end of line.
+
+The tokenizer produces a flat stream of :class:`Token` objects; the parser in
+:mod:`repro.rsl.parser` builds nested lists from them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import RslSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+
+class TokenType(enum.Enum):
+    """Lexical categories of RSL tokens."""
+
+    WORD = "word"            # bare word: harmonyBundle, 42, client.memory
+    OPEN_BRACE = "{"         # start of a nested list
+    CLOSE_BRACE = "}"        # end of a nested list
+    COMMAND_END = ";"        # newline or semicolon at command level
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its 1-based source position."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+_WHITESPACE = " \t\r"
+_WORD_TERMINATORS = _WHITESPACE + "\n;{}"
+
+
+class _Scanner:
+    """Character-level cursor with line/column tracking."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def peek(self) -> str:
+        if self.pos >= len(self.text):
+            return ""
+        return self.text[self.pos]
+
+    def advance(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield the token stream for ``text``, ending with an EOF token.
+
+    Raises:
+        RslSyntaxError: on an unterminated quoted string or a stray close
+            brace is *not* raised here — brace balancing is the parser's job;
+            the tokenizer only rejects malformed quoting.
+    """
+    scanner = _Scanner(text)
+    at_command_start = True
+
+    while not scanner.at_end():
+        ch = scanner.peek()
+        line, column = scanner.line, scanner.column
+
+        if ch in _WHITESPACE:
+            scanner.advance()
+            continue
+
+        if ch == "\\" and scanner.pos + 1 < len(scanner.text) \
+                and scanner.text[scanner.pos + 1] == "\n":
+            # Backslash-newline is a line continuation in TCL.
+            scanner.advance()
+            scanner.advance()
+            continue
+
+        if ch in "\n;":
+            scanner.advance()
+            if not at_command_start:
+                yield Token(TokenType.COMMAND_END, ch, line, column)
+            at_command_start = True
+            continue
+
+        if ch == "#" and at_command_start:
+            while not scanner.at_end() and scanner.peek() != "\n":
+                scanner.advance()
+            continue
+
+        at_command_start = False
+
+        if ch == "{":
+            scanner.advance()
+            yield Token(TokenType.OPEN_BRACE, "{", line, column)
+            continue
+
+        if ch == "}":
+            scanner.advance()
+            yield Token(TokenType.CLOSE_BRACE, "}", line, column)
+            continue
+
+        if ch == '"':
+            yield _scan_quoted(scanner, line, column)
+            continue
+
+        yield _scan_word(scanner, line, column)
+
+    yield Token(TokenType.EOF, "", scanner.line, scanner.column)
+
+
+def _scan_quoted(scanner: _Scanner, line: int, column: int) -> Token:
+    """Consume a double-quoted word, handling backslash escapes."""
+    scanner.advance()  # opening quote
+    chars: list[str] = []
+    while True:
+        if scanner.at_end():
+            raise RslSyntaxError("unterminated quoted string", line, column)
+        ch = scanner.advance()
+        if ch == '"':
+            break
+        if ch == "\\" and not scanner.at_end():
+            escaped = scanner.advance()
+            chars.append({"n": "\n", "t": "\t"}.get(escaped, escaped))
+            continue
+        chars.append(ch)
+    return Token(TokenType.WORD, "".join(chars), line, column)
+
+
+def _scan_word(scanner: _Scanner, line: int, column: int) -> Token:
+    """Consume a bare word up to whitespace, newline, ``;`` or a brace."""
+    chars: list[str] = []
+    while not scanner.at_end() and scanner.peek() not in _WORD_TERMINATORS:
+        chars.append(scanner.advance())
+    return Token(TokenType.WORD, "".join(chars), line, column)

@@ -1,0 +1,116 @@
+"""Allocation accounting: reserve on apply, roll back on failure."""
+
+import pytest
+
+from repro.allocation import Matcher, allocate, instantiate_option
+from repro.errors import AllocationError
+from repro.rsl import build_bundle
+
+
+RSL = """
+harmonyBundle A b {
+    {o {node x {seconds 10} {memory >=48}}
+       {node y {seconds 10} {memory 16}}
+       {link x y 80}}}
+"""
+
+
+@pytest.fixture
+def matched(small_cluster):
+    demands = instantiate_option(build_bundle(RSL).option_named("o"))
+    assignment = Matcher(small_cluster).match(demands)
+    return small_cluster, demands, assignment
+
+
+class TestApplyRelease:
+    def test_memory_reserved_on_apply(self, matched):
+        cluster, demands, assignment = matched
+        allocation = allocate(cluster, demands, assignment, holder="app")
+        host_x = assignment.hostname_of("x")
+        assert cluster.node(host_x).memory.available_mb == \
+            pytest.approx(128 - 48)
+        allocation.release()
+        assert cluster.node(host_x).memory.available_mb == \
+            pytest.approx(128)
+
+    def test_release_is_idempotent(self, matched):
+        cluster, demands, assignment = matched
+        allocation = allocate(cluster, demands, assignment)
+        allocation.release()
+        allocation.release()
+        assert cluster.node(assignment.hostname_of("x")) \
+            .memory.available_mb == pytest.approx(128)
+
+    def test_context_manager_releases(self, matched):
+        cluster, demands, assignment = matched
+        with allocate(cluster, demands, assignment):
+            pass
+        assert cluster.node(assignment.hostname_of("x")) \
+            .memory.available_mb == pytest.approx(128)
+
+    def test_elastic_memory_grant_applied(self, matched):
+        cluster, demands, assignment = matched
+        allocation = allocate(cluster, demands, assignment,
+                              memory_grants={"x.memory": 60.0})
+        host_x = assignment.hostname_of("x")
+        assert cluster.node(host_x).memory.available_mb == \
+            pytest.approx(128 - 60)
+        assert allocation.memory_grants()["x.memory"] == 60.0
+        allocation.release()
+
+    def test_bandwidth_reserved_with_duration(self, matched):
+        cluster, demands, assignment = matched
+        allocation = allocate(cluster, demands, assignment,
+                              predicted_duration_seconds=10.0)
+        link = cluster.link_between(assignment.hostname_of("x"),
+                                    assignment.hostname_of("y"))
+        assert link.available_mbps == pytest.approx(40 - 8)
+        allocation.release()
+        assert link.available_mbps == pytest.approx(40)
+
+    def test_no_bandwidth_reservation_without_duration(self, matched):
+        cluster, demands, assignment = matched
+        allocation = allocate(cluster, demands, assignment)
+        link = cluster.link_between(assignment.hostname_of("x"),
+                                    assignment.hostname_of("y"))
+        assert link.available_mbps == pytest.approx(40)
+        allocation.release()
+
+
+class TestRollback:
+    def test_failed_memory_reservation_rolls_back(self, matched):
+        cluster, demands, assignment = matched
+        host_y = assignment.hostname_of("y")
+        cluster.node(host_y).memory.reserve("other", 120)
+        before = {h: cluster.node(h).memory.available_mb
+                  for h in cluster.hostnames()}
+        with pytest.raises(AllocationError):
+            allocate(cluster, demands, assignment)
+        after = {h: cluster.node(h).memory.available_mb
+                 for h in cluster.hostnames()}
+        assert before == after
+
+    def test_failed_bandwidth_reservation_rolls_back(self, matched):
+        cluster, demands, assignment = matched
+        link = cluster.link_between(assignment.hostname_of("x"),
+                                    assignment.hostname_of("y"))
+        link.reserve("hog", 39.0)
+        before_memory = cluster.node(
+            assignment.hostname_of("x")).memory.available_mb
+        with pytest.raises(AllocationError):
+            allocate(cluster, demands, assignment,
+                     predicted_duration_seconds=1.0)  # needs 8 MB/s
+        assert cluster.node(assignment.hostname_of("x")) \
+            .memory.available_mb == pytest.approx(before_memory)
+
+    def test_two_allocations_stack(self, matched):
+        cluster, demands, assignment = matched
+        first = allocate(cluster, demands, assignment, holder="app1")
+        second = allocate(cluster, demands, assignment, holder="app2")
+        host_x = assignment.hostname_of("x")
+        assert cluster.node(host_x).memory.available_mb == \
+            pytest.approx(128 - 96)
+        first.release()
+        second.release()
+        assert cluster.node(host_x).memory.available_mb == \
+            pytest.approx(128)

@@ -1,0 +1,124 @@
+"""Instantiating tuning options into concrete demands."""
+
+import math
+
+import pytest
+
+from repro.allocation import instantiate_option
+from repro.errors import RslSemanticError
+from repro.rsl import build_bundle
+
+
+class TestFigure2aInstantiation:
+    def test_replicas_expanded(self, figure2a_rsl):
+        option = build_bundle(figure2a_rsl).option_named("fixed")
+        demands = instantiate_option(option)
+        assert len(demands.nodes) == 4
+        assert [d.local_name for d in demands.nodes] == [
+            "worker[0]", "worker[1]", "worker[2]", "worker[3]"]
+        assert all(d.seconds == 300.0 for d in demands.nodes)
+        assert all(d.memory_min_mb == 32.0 for d in demands.nodes)
+
+    def test_totals(self, figure2a_rsl):
+        option = build_bundle(figure2a_rsl).option_named("fixed")
+        demands = instantiate_option(option)
+        assert demands.total_cpu_seconds() == 1200.0
+        assert demands.communication_mb == 64.0
+        assert demands.total_traffic_mb() == 64.0
+
+
+class TestFigure2bInstantiation:
+    def test_variable_defaults_to_first_value(self, figure2b_rsl):
+        option = build_bundle(figure2b_rsl).option_named("run")
+        demands = instantiate_option(option)
+        assert demands.variable_assignment == {"workerNodes": 1.0}
+        assert len(demands.nodes) == 1
+        assert demands.nodes[0].local_name == "worker"
+
+    def test_workers_scale_with_variable(self, figure2b_rsl):
+        option = build_bundle(figure2b_rsl).option_named("run")
+        demands = instantiate_option(option, {"workerNodes": 8})
+        assert len(demands.nodes) == 8
+        assert demands.nodes[0].seconds == pytest.approx(300.0)
+        assert demands.total_cpu_seconds() == pytest.approx(2400.0)
+
+    def test_total_work_constant_across_configurations(self, figure2b_rsl):
+        option = build_bundle(figure2b_rsl).option_named("run")
+        totals = {
+            n: instantiate_option(option,
+                                  {"workerNodes": n}).total_cpu_seconds()
+            for n in (1, 2, 4, 8)}
+        assert all(total == pytest.approx(2400.0)
+                   for total in totals.values())
+
+    def test_quadratic_communication(self, figure2b_rsl):
+        option = build_bundle(figure2b_rsl).option_named("run")
+        demands = instantiate_option(option, {"workerNodes": 8})
+        assert demands.communication_mb == pytest.approx(32.0)
+
+    def test_out_of_domain_value_rejected(self, figure2b_rsl):
+        option = build_bundle(figure2b_rsl).option_named("run")
+        with pytest.raises(RslSemanticError):
+            instantiate_option(option, {"workerNodes": 3})
+
+
+class TestFigure3Instantiation:
+    def test_qs_demands(self, figure3_rsl):
+        option = build_bundle(figure3_rsl).option_named("QS")
+        demands = instantiate_option(option)
+        server = demands.demand_named("server")
+        assert server.hostname_pattern == "harmony.cs.umd.edu"
+        assert server.seconds == 42.0
+        assert demands.links[0].total_mb == 2.0
+
+    def test_ds_link_uses_memory_minimum_by_default(self, figure3_rsl):
+        option = build_bundle(figure3_rsl).option_named("DS")
+        demands = instantiate_option(option)
+        # min memory 32 > 24, so the ternary clamps at 24: 44+24-17 = 51.
+        assert demands.links[0].total_mb == pytest.approx(51.0)
+
+    def test_ds_link_with_explicit_grant(self, figure3_rsl):
+        option = build_bundle(figure3_rsl).option_named("DS")
+        demands = instantiate_option(option,
+                                     grants={"client.memory": 40.0})
+        assert demands.links[0].total_mb == pytest.approx(51.0)
+        client = demands.demand_named("client")
+        assert client.memory_granted({"client.memory": 40.0}) == 40.0
+
+    def test_grant_below_minimum_rejected(self, figure3_rsl):
+        option = build_bundle(figure3_rsl).option_named("DS")
+        demands = instantiate_option(option)
+        with pytest.raises(RslSemanticError):
+            demands.demand_named("client").memory_granted(
+                {"client.memory": 8.0})
+
+    def test_elastic_flag_propagates(self, figure3_rsl):
+        option = build_bundle(figure3_rsl).option_named("DS")
+        demands = instantiate_option(option)
+        client = demands.demand_named("client")
+        assert client.memory_elastic
+        assert math.isinf(client.memory_max_mb)
+        server = demands.demand_named("server")
+        assert not server.memory_elastic
+
+
+class TestValidation:
+    def test_negative_seconds_rejected(self):
+        bundle = build_bundle(
+            "harmonyBundle A b {{o {variable v {1 2}}"
+            " {node n {seconds {1 - 2 * v}}}}}")
+        with pytest.raises(RslSemanticError, match="negative"):
+            instantiate_option(bundle.option_named("o"), {"v": 2})
+
+    def test_negative_link_rejected(self):
+        bundle = build_bundle(
+            "harmonyBundle A b {{o {node x {seconds 1}} {node y {seconds 1}}"
+            " {variable v {1 9}} {link x y {5 - v}}}}")
+        with pytest.raises(RslSemanticError, match="negative"):
+            instantiate_option(bundle.option_named("o"), {"v": 9})
+
+    def test_demand_named_missing_raises(self, figure3_rsl):
+        option = build_bundle(figure3_rsl).option_named("QS")
+        demands = instantiate_option(option)
+        with pytest.raises(RslSemanticError):
+            demands.demand_named("ghost")

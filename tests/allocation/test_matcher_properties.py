@@ -1,0 +1,125 @@
+"""Property-based soundness of the matcher.
+
+Whatever random cluster and demands we throw at it, any assignment the
+matcher returns must actually satisfy every constraint it was given —
+distinct nodes, hostname patterns, OS filters, memory floors, and link
+reachability.  (Completeness — finding a placement whenever one exists —
+is guaranteed by the backtracking search; a spot-check for that is
+included with a constructive witness.)
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.allocation import Matcher, MatchStrategy, instantiate_option
+from repro.cluster import Cluster
+from repro.errors import AllocationError
+from repro.rsl import build_bundle
+
+node_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=16, max_value=256),   # memory
+        st.sampled_from(["linux", "aix"]),          # os
+    ),
+    min_size=1, max_size=6)
+
+demand_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=128),    # memory needed
+        st.sampled_from([None, "linux", "aix"]),    # os filter
+    ),
+    min_size=1, max_size=4)
+
+
+def build_cluster(specs):
+    cluster = Cluster()
+    for index, (memory, os_name) in enumerate(specs):
+        cluster.add_node(f"h{index}", memory_mb=float(memory), os=os_name)
+    hostnames = cluster.hostnames()
+    for i, a in enumerate(hostnames):
+        for b in hostnames[i + 1:]:
+            cluster.add_link(a, b, 40.0)
+    return cluster
+
+
+def build_demands(specs):
+    parts = []
+    for index, (memory, os_name) in enumerate(specs):
+        os_clause = f" {{os {os_name}}}" if os_name else ""
+        parts.append(f"{{node d{index}{os_clause} "
+                     f"{{seconds 5}} {{memory {memory}}}}}")
+    rsl = "harmonyBundle A b {{o " + " ".join(parts) + "}}"
+    return instantiate_option(build_bundle(rsl).option_named("o"))
+
+
+@settings(max_examples=120, deadline=None)
+@given(node_specs, demand_specs,
+       st.sampled_from(list(MatchStrategy)))
+def test_returned_assignments_satisfy_all_constraints(nodes, demands_in,
+                                                      strategy):
+    cluster = build_cluster(nodes)
+    demands = build_demands(demands_in)
+    matcher = Matcher(cluster, strategy=strategy)
+    try:
+        assignment = matcher.match(demands)
+    except AllocationError:
+        return  # nothing to check; soundness only
+
+    # Distinct machines for distinct demands (paper semantics).
+    assert len(assignment.hostnames()) == len(demands.nodes)
+    claimed: dict[str, float] = {}
+    for demand in demands.nodes:
+        hostname = assignment.hostname_of(demand.local_name)
+        node = cluster.node(hostname)
+        if demand.os is not None:
+            assert node.os == demand.os
+        claimed[hostname] = claimed.get(hostname, 0.0) \
+            + demand.memory_min_mb
+    for hostname, needed in claimed.items():
+        assert cluster.node(hostname).memory.available_mb + 1e-9 >= needed
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(min_value=1, max_value=6),
+       st.integers(min_value=1, max_value=6))
+def test_feasibility_is_decided_exactly_for_uniform_demands(node_count,
+                                                            replicas):
+    """With identical nodes and identical demands, feasibility is exactly
+    ``replicas <= node_count`` — the matcher must agree in both directions."""
+    cluster = build_cluster([(64, "linux")] * node_count)
+    rsl = (f"harmonyBundle A b {{{{o {{node w {{seconds 1}} {{memory 32}} "
+           f"{{replicate {replicas}}}}}}}}}")
+    demands = instantiate_option(build_bundle(rsl).option_named("o"))
+    matcher = Matcher(cluster)
+    if replicas <= node_count:
+        assignment = matcher.match(demands)
+        assert len(assignment) == replicas
+    else:
+        try:
+            matcher.match(demands)
+        except AllocationError:
+            pass
+        else:
+            raise AssertionError("matched more replicas than nodes")
+
+
+@settings(max_examples=60, deadline=None)
+@given(node_specs)
+def test_order_key_permutation_does_not_change_feasibility(nodes):
+    """Reordering candidates (the load-aware hook) may change *which*
+    placement is returned but never whether one is found."""
+    cluster = build_cluster(nodes)
+    demands = build_demands([(16, None), (16, None)])
+    matcher = Matcher(cluster)
+
+    def outcome(order_key):
+        try:
+            return ("ok", len(matcher.match(demands,
+                                            order_key=order_key)))
+        except AllocationError:
+            return ("fail", 0)
+
+    natural = outcome(None)
+    reversed_order = outcome(lambda hostname: -int(hostname[1:]))
+    assert natural[0] == reversed_order[0]

@@ -1,0 +1,118 @@
+"""Wire protocol framing and message validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.api.protocol import (
+    FrameDecoder,
+    encode_message,
+    make_message,
+    require_field,
+)
+from repro.errors import ProtocolError
+
+
+class TestMessages:
+    def test_make_message_with_fields(self):
+        message = make_message("register", app_name="DB",
+                               use_interrupts=False)
+        assert message == {"type": "register", "app_name": "DB",
+                           "use_interrupts": False}
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_message("frobnicate")
+
+    def test_require_field_present(self):
+        assert require_field({"type": "x", "a": 1}, "a") == 1
+
+    def test_require_field_missing(self):
+        with pytest.raises(ProtocolError, match="missing"):
+            require_field({"type": "x"}, "a")
+
+
+class TestFraming:
+    def test_roundtrip_single_message(self):
+        message = make_message("register", app_name="DB",
+                               use_interrupts=True)
+        decoder = FrameDecoder()
+        [decoded] = decoder.feed(encode_message(message))
+        assert decoded == message
+
+    def test_multiple_messages_one_buffer(self):
+        messages = [make_message("end"), make_message("wait_for_update")]
+        data = b"".join(encode_message(m) for m in messages)
+        assert FrameDecoder().feed(data) == messages
+
+    def test_byte_by_byte_delivery(self):
+        message = make_message("report_metric", name="rt", value=1.25)
+        data = encode_message(message)
+        decoder = FrameDecoder()
+        received = []
+        for index in range(len(data)):
+            received.extend(decoder.feed(data[index:index + 1]))
+        assert received == [message]
+        assert decoder.pending_bytes() == 0
+
+    def test_split_across_header_boundary(self):
+        message = make_message("end")
+        data = encode_message(message)
+        decoder = FrameDecoder()
+        assert decoder.feed(data[:2]) == []
+        assert decoder.feed(data[2:]) == [message]
+
+    def test_unicode_payload(self):
+        message = make_message("error", message="överraskning ☃")
+        [decoded] = FrameDecoder().feed(encode_message(message))
+        assert decoded["message"] == "överraskning ☃"
+
+    def test_malformed_json_rejected(self):
+        import struct
+        bad = b"not json"
+        framed = struct.pack(">I", len(bad)) + bad
+        with pytest.raises(ProtocolError, match="malformed"):
+            FrameDecoder().feed(framed)
+
+    def test_non_object_frame_rejected(self):
+        import struct
+        payload = b"[1, 2, 3]"
+        framed = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(framed)
+
+    def test_oversized_frame_rejected_on_decode(self):
+        import struct
+        header = struct.pack(">I", 1 << 30)
+        with pytest.raises(ProtocolError, match="exceeds limit"):
+            FrameDecoder().feed(header)
+
+    def test_encode_requires_type(self):
+        with pytest.raises(ProtocolError):
+            encode_message({"no_type": 1})
+
+
+@given(st.dictionaries(
+    st.from_regex(r"[a-z_]{1,10}", fullmatch=True),
+    st.one_of(st.integers(-1000, 1000), st.text(max_size=30),
+              st.booleans(), st.floats(allow_nan=False,
+                                       allow_infinity=False,
+                                       min_value=-1e6, max_value=1e6)),
+    max_size=6))
+def test_any_payload_roundtrips(payload):
+    payload.pop("type", None)
+    message = make_message("report_metric", **payload)
+    [decoded] = FrameDecoder().feed(encode_message(message))
+    assert decoded == message
+
+
+@given(st.lists(st.sampled_from(["end", "wait_for_update", "register"]),
+                min_size=1, max_size=10),
+       st.integers(min_value=1, max_value=7))
+def test_chunked_streams_preserve_order(types, chunk):
+    messages = [make_message(t, seq=i) for i, t in enumerate(types)]
+    data = b"".join(encode_message(m) for m in messages)
+    decoder = FrameDecoder()
+    received = []
+    for start in range(0, len(data), chunk):
+        received.extend(decoder.feed(data[start:start + chunk]))
+    assert received == messages

@@ -1,0 +1,79 @@
+"""The resource-availability query (harmonyNode over the wire)."""
+
+import pytest
+
+from repro.api import HarmonyClient, HarmonyServer, connected_pair
+from repro.cluster import Cluster
+from repro.controller import AdaptationController
+from repro.errors import ProtocolError
+from repro.rsl import NodeAdvertisement, build_script
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster()
+    cluster.add_node("fast", speed=2.0, memory_mb=256, os="aix")
+    cluster.add_node("slow", speed=0.5, memory_mb=64)
+    cluster.add_link("fast", "slow", 40.0)
+    controller = AdaptationController(cluster)
+    return cluster, controller, HarmonyServer(controller)
+
+
+def connect(server):
+    client_end, server_end = connected_pair()
+    server.attach(server_end)
+    client = HarmonyClient(client_end)
+    client.startup("App")
+    return client
+
+
+class TestQueryNodes:
+    def test_structured_records(self, world):
+        _cluster, _controller, server = world
+        client = connect(server)
+        answer = client.query_nodes()
+        by_host = {node["hostname"]: node for node in answer["nodes"]}
+        assert by_host.keys() == {"fast", "slow"}
+        assert by_host["fast"]["speed"] == 2.0
+        assert by_host["fast"]["os"] == "aix"
+        assert by_host["slow"]["memory_total_mb"] == 64.0
+
+    def test_availability_reflects_reservations(self, world):
+        cluster, _controller, server = world
+        cluster.node("fast").memory.reserve("other", 100.0)
+        client = connect(server)
+        answer = client.query_nodes()
+        fast = next(node for node in answer["nodes"]
+                    if node["hostname"] == "fast")
+        assert fast["memory_available_mb"] == pytest.approx(156.0)
+        assert fast["memory_total_mb"] == pytest.approx(256.0)
+
+    def test_rsl_payload_parses_as_harmony_nodes(self, world):
+        _cluster, _controller, server = world
+        client = connect(server)
+        answer = client.query_nodes()
+        adverts = build_script(answer["rsl"])
+        assert len(adverts) == 2
+        assert all(isinstance(advert, NodeAdvertisement)
+                   for advert in adverts)
+        assert {advert.hostname for advert in adverts} == {"fast", "slow"}
+
+    def test_requires_registration(self, world):
+        _cluster, _controller, server = world
+        client_end, server_end = connected_pair()
+        server.attach(server_end)
+        client = HarmonyClient(client_end)
+        with pytest.raises(ProtocolError):
+            client.query_nodes()
+
+    def test_bundle_authoring_from_answer(self, world):
+        """The advertised hostnames can drive a concrete bundle."""
+        _cluster, controller, server = world
+        client = connect(server)
+        answer = client.query_nodes()
+        fastest = max(answer["nodes"], key=lambda node: node["speed"])
+        config = client.bundle_setup(f"""
+harmonyBundle App pick {{
+    {{best {{node n {{hostname {fastest['hostname']}}}
+                   {{seconds 10}} {{memory 8}}}}}}}}""")
+        assert config["placements"]["n"] == "fast"

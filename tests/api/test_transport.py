@@ -1,0 +1,141 @@
+"""Transports: in-process semantics and the real TCP path."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api.protocol import make_message
+from repro.api.transport import TcpTransport, connected_pair
+from repro.errors import TransportError
+
+
+class TestInProcessTransport:
+    def test_send_reaches_peer_receiver(self):
+        a, b = connected_pair()
+        received = []
+        b.set_receiver(received.append)
+        a.send(make_message("end"))
+        assert received == [{"type": "end"}]
+
+    def test_messages_before_receiver_are_backlogged(self):
+        a, b = connected_pair()
+        a.send(make_message("end"))
+        a.send(make_message("wait_for_update"))
+        received = []
+        b.set_receiver(received.append)
+        assert [m["type"] for m in received] == ["end", "wait_for_update"]
+
+    def test_bidirectional(self):
+        a, b = connected_pair()
+        got_a, got_b = [], []
+        a.set_receiver(got_a.append)
+        b.set_receiver(got_b.append)
+        a.send(make_message("end"))
+        b.send(make_message("ended"))
+        assert got_b[0]["type"] == "end"
+        assert got_a[0]["type"] == "ended"
+
+    def test_send_after_close_rejected(self):
+        a, _b = connected_pair()
+        a.close()
+        with pytest.raises(TransportError):
+            a.send(make_message("end"))
+
+    def test_unencodable_message_rejected(self):
+        a, b = connected_pair()
+        b.set_receiver(lambda m: None)
+        with pytest.raises(Exception):
+            a.send({"type": "end", "bad": object()})
+
+    def test_closed_peer_swallows_silently(self):
+        a, b = connected_pair()
+        b.set_receiver(lambda m: None)
+        b.close()
+        a.send(make_message("end"))  # must not raise
+
+
+class TestTcpTransport:
+    @pytest.fixture
+    def listener(self):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        sock.listen()
+        yield sock
+        sock.close()
+
+    def _accept(self, listener, out):
+        conn, _addr = listener.accept()
+        out.append(TcpTransport(conn))
+
+    def test_roundtrip_over_real_sockets(self, listener):
+        host, port = listener.getsockname()
+        server_side = []
+        acceptor = threading.Thread(target=self._accept,
+                                    args=(listener, server_side))
+        acceptor.start()
+        client = TcpTransport.connect(host, port)
+        acceptor.join(timeout=5)
+        server = server_side[0]
+
+        received_at_server = []
+        received_at_client = []
+        event = threading.Event()
+        client_event = threading.Event()
+
+        def server_receiver(message):
+            received_at_server.append(message)
+            event.set()
+
+        def client_receiver(message):
+            received_at_client.append(message)
+            client_event.set()
+
+        server.set_receiver(server_receiver)
+        client.set_receiver(client_receiver)
+
+        client.send(make_message("register", app_name="DB",
+                                 use_interrupts=False))
+        assert event.wait(5)
+        assert received_at_server[0]["app_name"] == "DB"
+
+        server.send(make_message("registered", instance_id=1,
+                                 key="DB.1"))
+        assert client_event.wait(5)
+        assert received_at_client[0]["key"] == "DB.1"
+
+        client.close()
+        server.close()
+
+    def test_connect_failure_raises(self):
+        with pytest.raises(TransportError):
+            TcpTransport.connect("127.0.0.1", 1, timeout=0.5)
+
+    def test_send_after_close_raises(self, listener):
+        host, port = listener.getsockname()
+        server_side = []
+        acceptor = threading.Thread(target=self._accept,
+                                    args=(listener, server_side))
+        acceptor.start()
+        client = TcpTransport.connect(host, port)
+        acceptor.join(timeout=5)
+        client.close()
+        with pytest.raises(TransportError):
+            client.send(make_message("end"))
+        server_side[0].close()
+
+    def test_peer_close_marks_transport_closed(self, listener):
+        host, port = listener.getsockname()
+        server_side = []
+        acceptor = threading.Thread(target=self._accept,
+                                    args=(listener, server_side))
+        acceptor.start()
+        client = TcpTransport.connect(host, port)
+        acceptor.join(timeout=5)
+        server_side[0].close()
+        deadline = time.time() + 5
+        while not client.closed and time.time() < deadline:
+            time.sleep(0.01)
+        assert client.closed

@@ -1,0 +1,233 @@
+"""Harmonized database server and client applications."""
+
+import pytest
+
+from repro.api import HarmonyClient, HarmonyServer, connected_pair
+from repro.apps.database import (
+    CostParameters,
+    DatabaseClientApp,
+    DatabaseServerApp,
+    OPTION_DATA_SHIPPING,
+    OPTION_QUERY_SHIPPING,
+    WisconsinWorkload,
+    database_bundle_numbers,
+    database_bundle_rsl,
+    make_wisconsin_pair,
+)
+from repro.apps.database.executor import DatabaseEngine
+from repro.cluster import Cluster
+from repro.controller import AdaptationController, ClientCountRulePolicy
+from repro.metrics import MetricInterface
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster()
+    cluster.add_node("server0", speed=1.0, memory_mb=256)
+    cluster.add_node("c1", speed=0.5, memory_mb=128)
+    cluster.add_link("server0", "c1", 40.0)
+    a, b = make_wisconsin_pair(tuple_count=2000, seed=5)
+    engine = DatabaseEngine(a, b, CostParameters())
+    server_app = DatabaseServerApp(cluster, "server0", engine,
+                                   buffer_pool_mb=64.0)
+    policy = ClientCountRulePolicy(
+        app_name="DBclient", bundle_name="where", threshold=3,
+        below_option=OPTION_QUERY_SHIPPING,
+        at_or_above_option=OPTION_DATA_SHIPPING)
+    controller = AdaptationController(cluster, policy=policy)
+    harmony_server = HarmonyServer(controller)
+    return cluster, engine, server_app, controller, harmony_server
+
+
+def make_client(world, host="c1", seed=0, cache_mb=48.0):
+    cluster, engine, server_app, controller, harmony_server = world
+    client_end, server_end = connected_pair()
+    harmony_server.attach(server_end)
+    numbers = database_bundle_numbers(engine)
+    return DatabaseClientApp(
+        name="client-test", cluster=cluster, hostname=host,
+        server=server_app, harmony=HarmonyClient(client_end),
+        bundle_rsl=database_bundle_rsl(host, "server0", numbers),
+        workload=WisconsinWorkload(seed=seed),
+        metrics=controller.metrics,
+        initial_cache_mb=cache_mb)
+
+
+class TestQueryShipping:
+    def test_queries_complete_with_responses(self, world):
+        cluster = world[0]
+        app = make_client(world)
+        app.start(query_limit=5)
+        cluster.run()
+        assert app.stats.queries_completed == 5
+        assert app.stats.qs_queries == 5
+        assert all(r.response_seconds > 0 for r in app.stats.records)
+
+    def test_server_statistics_updated(self, world):
+        cluster, _engine, server_app = world[0], world[1], world[2]
+        app = make_client(world)
+        app.start(query_limit=3)
+        cluster.run()
+        assert server_app.stats.queries_executed == 3
+        assert server_app.stats.server_cpu_seconds > 0
+
+    def test_response_metric_reported(self, world):
+        cluster, controller = world[0], world[3]
+        app = make_client(world)
+        app.start(query_limit=2)
+        cluster.run()
+        series = controller.metrics.series("db.client-test.response_time")
+        assert len(series) == 2
+
+    def test_qs_response_dominated_by_server_cpu(self, world):
+        cluster, engine = world[0], world[1]
+        app = make_client(world)
+        app.start(query_limit=4)
+        cluster.run()
+        # Warm queries: roughly selected * per-tuple costs at speed 1.
+        warm = app.stats.records[-1]
+        expected_cpu = 400 * (engine.params.select_tuple_seconds
+                              + engine.params.join_tuple_seconds)
+        assert warm.response_seconds == pytest.approx(
+            expected_cpu + 0.4 + 0.05, rel=0.3)
+
+
+class TestDataShipping:
+    def force_ds(self, world, app, cache_mb=None):
+        """Flip the client's option variable directly (unit-level)."""
+        cluster = world[0]
+        app.start(query_limit=5)
+
+        def flip():
+            yield cluster.kernel.timeout(0.01)
+            app._option_var.apply_update(OPTION_DATA_SHIPPING)
+            if cache_mb is not None:
+                app._memory_var.apply_update(cache_mb)
+        cluster.kernel.spawn(flip())
+        cluster.run()
+
+    def test_first_ds_query_ships_working_set(self, world):
+        app = make_client(world)
+        self.force_ds(world, app)
+        assert app.stats.ds_queries >= 4
+        ds_records = [r for r in app.stats.records
+                      if r.option == OPTION_DATA_SHIPPING]
+        # First DS query pays the bulk transfer (working set ~0.85 MB at
+        # 2000-tuple relations); later ones are cached.
+        assert ds_records[0].shipped_mb > 0.5
+
+    def test_warm_ds_queries_ship_little(self, world):
+        app = make_client(world, cache_mb=48.0)
+        self.force_ds(world, app)
+        ds_records = [r for r in app.stats.records
+                      if r.option == OPTION_DATA_SHIPPING]
+        assert ds_records[-1].shipped_mb < ds_records[0].shipped_mb / 10
+
+    def test_small_cache_keeps_reshipping(self, world):
+        # Pin the cache below the working set so pages thrash.
+        app = make_client(world, cache_mb=0.3)
+        self.force_ds(world, app, cache_mb=0.3)
+        ds_records = [r for r in app.stats.records
+                      if r.option == OPTION_DATA_SHIPPING]
+        assert ds_records[-1].shipped_mb > 0.1
+
+    def test_server_serves_pages_not_queries(self, world):
+        server_app = world[2]
+        app = make_client(world)
+        self.force_ds(world, app)
+        assert server_app.stats.pages_served > 0
+        assert server_app.stats.queries_executed <= 1
+
+    def test_ds_slower_than_qs_when_alone(self, world):
+        """Solo, query shipping wins (the fast server does the work)."""
+        cluster = world[0]
+        app = make_client(world)
+        app.start(query_limit=8)
+        cluster.run()
+        qs_mean = app.mean_response(option=OPTION_QUERY_SHIPPING)
+
+        world2_cluster = world[0]
+        app2 = make_client(world, seed=1)
+        self.force_ds(world, app2)
+        ds_records = [r for r in app2.stats.records
+                      if r.option == OPTION_DATA_SHIPPING][1:]
+        ds_mean = sum(r.response_seconds for r in ds_records) \
+            / len(ds_records)
+        assert ds_mean > qs_mean
+
+
+class TestHarmonyIntegration:
+    def test_client_registers_and_gets_qs(self, world):
+        cluster, controller = world[0], world[3]
+        app = make_client(world)
+        app.start(query_limit=2)
+        cluster.run()
+        assert app.current_option == OPTION_QUERY_SHIPPING
+        # App ended after the limit -> deregistered.
+        assert len(controller.registry) == 0
+
+    def test_memory_grant_resizes_cache(self, world):
+        cluster = world[0]
+        app = make_client(world, cache_mb=8.0)
+        app.start(query_limit=1)
+        cluster.run()
+        # The bundle's DS minimum is 16 MB; under QS the grant is the QS
+        # client memory (2 MB) -> cache resized down from 8 MB.
+        assert app.cache.capacity_pages == pytest.approx(
+            2 * 1024 * 1024 // 8192, abs=1)
+
+    def test_stop_interrupts_loop(self, world):
+        cluster = world[0]
+        app = make_client(world)
+        process = app.start()
+
+        def stopper():
+            yield cluster.kernel.timeout(10.0)
+            app.stop()
+        cluster.kernel.spawn(stopper())
+        cluster.run(until=100.0)
+        assert not process.is_alive
+        assert app.stats.queries_completed > 0
+
+
+class TestCooperativeCaching:
+    """The paper's Figure 7 aside: one client's responses dip below the
+    others' — "likely due to cooperative caching effects on the server
+    since all clients are accessing the same relations".  Our server
+    buffer pool is shared, so a second client's cold queries hit pages
+    the first client already faulted in."""
+
+    def test_second_client_benefits_from_warm_server_pool(self, world):
+        cluster, engine, server_app, controller, harmony_server = world
+        cluster.add_node("c2", speed=0.5, memory_mb=128)
+        cluster.add_link("server0", "c2", 40.0)
+
+        first = make_client(world, host="c1", seed=0)
+        first.start(query_limit=6)
+        cluster.run()
+        pool_misses_after_first = server_app.pool.misses
+        assert pool_misses_after_first > 0
+
+        second = make_client(world, host="c2", seed=1)
+        second.start(query_limit=6)
+        cluster.run()
+        # The warm pool absorbs the second client's accesses: few or no
+        # new misses beyond the first client's cold start.
+        new_misses = server_app.pool.misses - pool_misses_after_first
+        assert new_misses < pool_misses_after_first / 4
+
+    def test_second_client_first_query_faster_than_firsts(self, world):
+        cluster, engine, server_app, _controller, _hs = world
+        cluster.add_node("c2", speed=0.5, memory_mb=128)
+        cluster.add_link("server0", "c2", 40.0)
+
+        first = make_client(world, host="c1", seed=0)
+        first.start(query_limit=1)
+        cluster.run()
+        cold = first.stats.records[0].response_seconds
+
+        second = make_client(world, host="c2", seed=0)  # same query stream
+        second.start(query_limit=1)
+        cluster.run()
+        warm = second.stats.records[0].response_seconds
+        assert warm < cold  # no page I/O the second time around

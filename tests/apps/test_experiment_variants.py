@@ -1,0 +1,114 @@
+"""Experiment variants: how the crossover moves when the world changes.
+
+The paper's Figure 7 crossover at three clients is not a constant of
+nature — it falls out of the cost structure.  These variants check that
+the reproduction responds the right way when that structure shifts:
+
+* a much faster server serves more QS clients before saturating;
+* scarce bandwidth makes data shipping unattractive;
+* more clients past the threshold stay in data shipping;
+* a higher rule threshold delays the switch.
+"""
+
+import pytest
+
+from repro.apps.database import (
+    DatabaseExperimentConfig,
+    OPTION_DATA_SHIPPING,
+    OPTION_QUERY_SHIPPING,
+    run_database_experiment,
+)
+
+
+def late_options(result, factor=2.5):
+    cutoff = factor * result.config.arrival_interval_seconds
+    return {option
+            for samples in result.options_over_time.values()
+            for time, option in samples if time > cutoff}
+
+
+class TestServerSpeed:
+    def test_fast_server_raises_qs_tolerance(self):
+        """With a 4x server, three QS clients each see ~27/4 + overhead
+        seconds — better than DS on the slow clients, so the model-driven
+        controller keeps everyone on query shipping."""
+        result = run_database_experiment(DatabaseExperimentConfig(
+            tuple_count=4000, policy="model", server_speed=4.0,
+            total_duration_seconds=700.0))
+        assert late_options(result) == {OPTION_QUERY_SHIPPING}
+
+    def test_slow_client_nodes_also_favor_qs(self):
+        result = run_database_experiment(DatabaseExperimentConfig(
+            tuple_count=4000, policy="model", client_speed=0.2,
+            server_speed=2.0, total_duration_seconds=700.0))
+        assert OPTION_QUERY_SHIPPING in late_options(result)
+
+
+class TestBandwidth:
+    def test_scarce_bandwidth_handicaps_data_shipping(self):
+        """At 1 MB/s the initial working-set ship costs ~minutes; the
+        first data-shipping query is visibly more expensive than under
+        the default 40 MB/s switch."""
+        narrow = run_database_experiment(DatabaseExperimentConfig(
+            tuple_count=4000, policy="rule", bandwidth_mbps=1.0,
+            total_duration_seconds=800.0))
+        wide = run_database_experiment(DatabaseExperimentConfig(
+            tuple_count=4000, policy="rule", bandwidth_mbps=40.0,
+            total_duration_seconds=800.0))
+
+        def first_ds_response(result):
+            responses = [response
+                         for series in result.response_series.values()
+                         for time, response in series
+                         if result.switch_time is not None
+                         and time >= result.switch_time]
+            return responses[0] if responses else None
+
+        narrow_first = first_ds_response(narrow)
+        wide_first = first_ds_response(wide)
+        assert narrow_first is not None and wide_first is not None
+        assert narrow_first > wide_first * 1.5
+
+
+class TestClientCount:
+    def test_four_clients_stay_in_data_shipping(self):
+        result = run_database_experiment(DatabaseExperimentConfig(
+            tuple_count=4000, client_count=4,
+            total_duration_seconds=1000.0))
+        assert result.switch_time is not None
+        final = {option
+                 for samples in result.options_over_time.values()
+                 for time, option in samples if time > 900.0}
+        assert final == {OPTION_DATA_SHIPPING}
+
+    def test_higher_threshold_delays_the_switch(self):
+        result = run_database_experiment(DatabaseExperimentConfig(
+            tuple_count=4000, client_count=4,
+            switch_threshold_clients=4,
+            total_duration_seconds=1000.0))
+        # The rule holds until the 4th client (t=600) plus reaction time.
+        assert result.switch_time is not None
+        assert result.switch_time >= 600.0
+        # Before the 4th arrival everyone was still query shipping.
+        early = {option
+                 for samples in result.options_over_time.values()
+                 for time, option in samples if time < 600.0}
+        assert early == {OPTION_QUERY_SHIPPING}
+
+
+class TestDeterminism:
+    def test_same_config_same_results(self):
+        config = DatabaseExperimentConfig(tuple_count=2000,
+                                          total_duration_seconds=500.0)
+        first = run_database_experiment(config)
+        second = run_database_experiment(config)
+        assert first.response_series == second.response_series
+        assert first.switch_time == second.switch_time
+
+    def test_different_seed_different_queries_same_shape(self):
+        base = run_database_experiment(DatabaseExperimentConfig(
+            tuple_count=2000, total_duration_seconds=500.0, seed=7))
+        other = run_database_experiment(DatabaseExperimentConfig(
+            tuple_count=2000, total_duration_seconds=500.0, seed=8))
+        assert base.response_series != other.response_series
+        assert base.switch_time == other.switch_time  # rule is seed-free

@@ -1,0 +1,76 @@
+"""State migration on reconfiguration (the physical frictional cost)."""
+
+import pytest
+
+from repro.api import HarmonyClient, HarmonyServer, connected_pair
+from repro.apps import BagOfTasksApp
+from repro.cluster import Cluster
+from repro.controller import AdaptationController
+
+
+def make_world(bandwidth_mbps=40.0):
+    cluster = Cluster.full_mesh([f"n{i}" for i in range(8)],
+                                memory_mb=128,
+                                bandwidth_mbps=bandwidth_mbps)
+    controller = AdaptationController(cluster)
+    server = HarmonyServer(controller)
+    return cluster, controller, server
+
+
+def harmony_for(server):
+    client_end, server_end = connected_pair()
+    server.attach(server_end)
+    return HarmonyClient(client_end)
+
+
+def run_two_bags(bandwidth_mbps=40.0, memory_mb=32.0):
+    """First Bag runs; a second arrives, forcing a 5 -> 4 repartition."""
+    cluster, controller, server = make_world(bandwidth_mbps)
+    first = BagOfTasksApp("BagA", cluster, harmony_for(server),
+                          total_seconds_per_iteration=2400.0,
+                          task_count=16, domain=(1, 2, 3, 4, 5, 6, 7, 8),
+                          memory_mb=memory_mb, overhead_alpha=12)
+    first.start(iteration_limit=3)
+
+    def launch_second():
+        yield cluster.kernel.timeout(100.0)
+        second = BagOfTasksApp("BagB", cluster, harmony_for(server),
+                               total_seconds_per_iteration=2400.0,
+                               task_count=16,
+                               domain=(1, 2, 3, 4, 5, 6, 7, 8),
+                               memory_mb=memory_mb, overhead_alpha=12)
+        second.start(iteration_limit=2)
+
+    cluster.kernel.spawn(launch_second())
+    cluster.run(until=6000.0)
+    return first
+
+
+class TestMigration:
+    def test_reconfiguration_moves_state(self):
+        first = run_two_bags()
+        assert first.stats.reconfigurations >= 1
+        assert first.stats.migrated_mb > 0
+        assert first.stats.migration_seconds > 0
+
+    def test_migration_volume_matches_membership_change(self):
+        """Dropping from 5 to 4 workers vacates one node: one worker's
+        state (memory_mb) must move."""
+        first = run_two_bags(memory_mb=32.0)
+        # 5 -> 4 vacates exactly one host in the first reconfiguration.
+        assert first.stats.migrated_mb >= 32.0
+
+    def test_slow_network_makes_migration_visible(self):
+        fast = run_two_bags(bandwidth_mbps=40.0)
+        slow = run_two_bags(bandwidth_mbps=0.5)
+        assert slow.stats.migration_seconds > \
+            fast.stats.migration_seconds * 5
+
+    def test_no_migration_without_reconfiguration(self):
+        cluster, controller, server = make_world()
+        bag = BagOfTasksApp("Solo", cluster, harmony_for(server),
+                            total_seconds_per_iteration=240.0,
+                            task_count=8, domain=(4,), overhead_alpha=0)
+        cluster.run(bag.start(iteration_limit=2))
+        assert bag.stats.migrated_mb == 0.0
+        assert bag.stats.migration_seconds == 0.0

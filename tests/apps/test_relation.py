@@ -1,0 +1,120 @@
+"""Wisconsin benchmark relation generation."""
+
+import pytest
+
+from repro.apps.database.relation import (
+    TUPLE_BYTES,
+    WISCONSIN_FIELDS,
+    WisconsinRelation,
+    make_wisconsin_pair,
+)
+from repro.errors import DatabaseError
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return WisconsinRelation("w", tuple_count=2000, seed=3)
+
+
+class TestSchema:
+    def test_tuple_is_208_bytes(self):
+        # 13 ints * 4 + 3 strings * 52 = 208, the paper's tuple size.
+        ints = sum(1 for f in WISCONSIN_FIELDS
+                   if not f.startswith("string"))
+        strings = sum(1 for f in WISCONSIN_FIELDS
+                      if f.startswith("string"))
+        assert ints * 4 + strings * 52 == TUPLE_BYTES == 208
+
+    def test_field_count_and_width(self, relation):
+        row = next(relation.heap.scan())[1]
+        assert len(row) == len(WISCONSIN_FIELDS)
+        for field in ("stringu1", "stringu2"):
+            value = row[WisconsinRelation.field_index(field)]
+            assert len(value) == 52
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(DatabaseError):
+            WisconsinRelation.field_index("nope")
+
+
+class TestDistributions:
+    def test_unique1_is_a_permutation(self, relation):
+        index = WisconsinRelation.field_index("unique1")
+        values = sorted(row[index] for _pid, row in relation.heap.scan())
+        assert values == list(range(2000))
+
+    def test_unique2_is_sequential(self, relation):
+        index = WisconsinRelation.field_index("unique2")
+        values = [row[index] for _pid, row in relation.heap.scan()]
+        assert values == list(range(2000))
+
+    def test_unique1_is_shuffled(self, relation):
+        index = WisconsinRelation.field_index("unique1")
+        values = [row[index] for _pid, row in relation.heap.scan()]
+        assert values != sorted(values)
+
+    def test_ten_percent_selectivity(self, relation):
+        index = WisconsinRelation.field_index("tenPercent")
+        for value in range(10):
+            count = sum(1 for _pid, row in relation.heap.scan()
+                        if row[index] == value)
+            assert count == 200  # exactly 10%
+
+    def test_modular_fields_consistent(self, relation):
+        u1 = WisconsinRelation.field_index("unique1")
+        for field, modulus in (("two", 2), ("four", 4), ("ten", 10),
+                               ("twenty", 20), ("onePercent", 100)):
+            idx = WisconsinRelation.field_index(field)
+            for _pid, row in list(relation.heap.scan())[:50]:
+                assert row[idx] == row[u1] % modulus
+
+    def test_deterministic_for_seed(self):
+        a = WisconsinRelation("x", tuple_count=100, seed=5)
+        b = WisconsinRelation("x", tuple_count=100, seed=5)
+        assert list(a.heap.scan()) == list(b.heap.scan())
+
+    def test_different_seeds_differ(self):
+        a = WisconsinRelation("x", tuple_count=100, seed=5)
+        b = WisconsinRelation("x", tuple_count=100, seed=6)
+        assert list(a.heap.scan()) != list(b.heap.scan())
+
+
+class TestIndexes:
+    def test_standard_indexes_built(self, relation):
+        for field in ("unique1", "unique2", "tenPercent", "onePercent"):
+            assert len(relation.index_on(field)) == 2000
+
+    def test_missing_index_rejected(self, relation):
+        with pytest.raises(DatabaseError):
+            relation.index_on("two")
+
+    def test_index_lookup_agrees_with_scan(self, relation):
+        index = relation.index_on("tenPercent")
+        entries = index.lookup(3)
+        field = WisconsinRelation.field_index("tenPercent")
+        assert all(row[field] == 3 for _key, _pid, row in entries)
+        assert len(entries) == 200
+
+    def test_unique_index_single_hit(self, relation):
+        entries = relation.index_on("unique1").lookup(1234)
+        assert len(entries) == 1
+
+
+class TestPairAndStats:
+    def test_pair_has_distinct_content(self):
+        a, b = make_wisconsin_pair(tuple_count=500, seed=1)
+        assert a.name != b.name
+        assert list(a.heap.scan()) != list(b.heap.scan())
+
+    def test_stats(self, relation):
+        stats = relation.stats()
+        assert stats.tuple_count == 2000
+        assert stats.page_count == -(-2000 // 39)  # ceil division
+        assert stats.megabytes == pytest.approx(
+            stats.page_count * 8192 / 1048576)
+
+    def test_paper_scale_page_math(self):
+        """At the paper's 100k tuples the relation is ~20 MB, ~2565 pages."""
+        pages = -(-100_000 // 39)
+        assert pages == 2565
+        assert 19.0 < pages * 8192 / 1048576 < 21.0

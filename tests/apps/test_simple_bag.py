@@ -1,0 +1,168 @@
+"""The Simple (Figure 2a) and Bag (Figure 2b) applications, end to end."""
+
+import pytest
+
+from repro.api import HarmonyClient, HarmonyServer, connected_pair
+from repro.apps import (
+    BagOfTasksApp,
+    SimpleParallelApp,
+    bag_bundle_rsl,
+    simple_bundle_rsl,
+    speedup_curve_points,
+)
+from repro.cluster import Cluster
+from repro.controller import AdaptationController
+from repro.metrics import MetricInterface
+from repro.rsl import build_bundle
+
+
+def make_world(node_count=8, memory_mb=128):
+    cluster = Cluster.full_mesh([f"n{i}" for i in range(node_count)],
+                                memory_mb=memory_mb)
+    controller = AdaptationController(cluster)
+    harmony_server = HarmonyServer(controller)
+    return cluster, controller, harmony_server
+
+
+def harmony_for(harmony_server):
+    client_end, server_end = connected_pair()
+    harmony_server.attach(server_end)
+    return HarmonyClient(client_end)
+
+
+class TestSpeedupCurve:
+    def test_minimum_at_five_for_figure4_defaults(self):
+        points = speedup_curve_points(2400, range(1, 9), overhead_alpha=12)
+        best = min(points, key=lambda p: p[1])
+        assert best[0] == 5
+
+    def test_alpha_zero_is_pure_speedup(self):
+        points = dict(speedup_curve_points(2400, (1, 2, 4, 8),
+                                           overhead_alpha=0))
+        assert points[8] == pytest.approx(300.0)
+
+
+class TestSimpleApp:
+    def test_bundle_matches_figure2a(self):
+        bundle = build_bundle(simple_bundle_rsl())
+        option = bundle.option_named("fixed")
+        worker = option.node_named("worker")
+        assert worker.replica_count() == 4
+        assert worker.seconds.value() == 300.0
+        assert worker.memory.value() == 32.0
+        assert option.communication.megabytes.value() == 64.0
+
+    def test_runs_to_completion_on_four_nodes(self):
+        cluster, controller, harmony_server = make_world()
+        app = SimpleParallelApp(cluster, harmony_for(harmony_server))
+        process = app.start()
+        cluster.run(process)
+        assert app.report is not None
+        assert len(set(app.report.placements.values())) == 4
+        # 300 reference seconds of parallel compute + communication time.
+        assert app.report.elapsed_seconds >= 300.0
+        assert app.report.elapsed_seconds < 320.0
+
+    def test_deregisters_on_completion(self):
+        cluster, controller, harmony_server = make_world()
+        app = SimpleParallelApp(cluster, harmony_for(harmony_server))
+        cluster.run(app.start())
+        assert len(controller.registry) == 0
+
+
+class TestBagBundle:
+    def test_bundle_matches_figure2b_shape(self):
+        bundle = build_bundle(bag_bundle_rsl())
+        option = bundle.option_named("run")
+        variable = option.variable_named("workerNodes")
+        assert variable.values == (1.0, 2.0, 4.0, 8.0)
+        worker = option.node_named("worker")
+        assert worker.seconds.value({"workerNodes": 4}) == 600.0
+        assert option.communication.megabytes.value(
+            {"workerNodes": 8}) == 32.0
+        assert option.performance.parameter == "workerNodes"
+
+    def test_friction_and_granularity_emitted_when_set(self):
+        bundle = build_bundle(bag_bundle_rsl(granularity_seconds=30,
+                                             friction_seconds=10))
+        option = bundle.option_named("run")
+        assert option.granularity.min_interval_seconds == 30.0
+        assert option.friction.cost() == 10.0
+
+
+class TestBagApp:
+    def test_iterations_complete_and_work_is_conserved(self):
+        cluster, controller, harmony_server = make_world()
+        metrics = controller.metrics
+        app = BagOfTasksApp("Bag", cluster, harmony_for(harmony_server),
+                            metrics=metrics,
+                            total_seconds_per_iteration=240.0,
+                            task_count=12, domain=(1, 2, 4, 8),
+                            overhead_alpha=12)
+        cluster.run(app.start(iteration_limit=2))
+        assert app.stats.iterations_completed == 2
+        assert app.stats.tasks_completed == 24
+
+    def test_controller_picks_a_worker_count_from_the_curve(self):
+        cluster, controller, harmony_server = make_world()
+        app = BagOfTasksApp("Bag", cluster, harmony_for(harmony_server),
+                            total_seconds_per_iteration=2400.0,
+                            task_count=16, domain=(1, 2, 4, 8),
+                            overhead_alpha=12)
+        cluster.run(app.start(iteration_limit=1))
+        # Curve at alpha=12 over {1,2,4,8}: min at 4 (708 < 888 at 8).
+        assert app.stats.records[0].worker_count == 4
+
+    def test_iteration_time_tracks_worker_count(self):
+        cluster, controller, harmony_server = make_world()
+        app = BagOfTasksApp("Bag", cluster, harmony_for(harmony_server),
+                            total_seconds_per_iteration=240.0,
+                            task_count=24, domain=(4,),
+                            overhead_alpha=0,
+                            communication_coefficient=0.0,
+                            task_size_jitter=0.0)
+        cluster.run(app.start(iteration_limit=1))
+        record = app.stats.records[0]
+        assert record.worker_count == 4
+        # 240 s of work over 4 workers with equal tasks: ~60 s.
+        assert record.elapsed_seconds == pytest.approx(60.0, rel=0.05)
+
+    def test_task_sizes_sum_to_total_despite_jitter(self):
+        cluster, controller, harmony_server = make_world()
+        app = BagOfTasksApp("Bag", cluster, harmony_for(harmony_server),
+                            total_seconds_per_iteration=100.0,
+                            task_count=10, task_size_jitter=0.5)
+        sizes = app._task_sizes()
+        assert sum(sizes) == pytest.approx(100.0)
+        assert len(set(round(s, 6) for s in sizes)) > 1  # really jittered
+
+    def test_reconfiguration_between_iterations(self):
+        """A second Bag arriving mid-run shrinks the first at an iteration
+        boundary (the paper's natural reconfiguration point)."""
+        cluster, controller, harmony_server = make_world()
+        first = BagOfTasksApp("BagA", cluster, harmony_for(harmony_server),
+                              total_seconds_per_iteration=2400.0,
+                              task_count=16,
+                              domain=(1, 2, 3, 4, 5, 6, 7, 8),
+                              overhead_alpha=12)
+        first.start(iteration_limit=4)
+
+        second_holder = {}
+
+        def launch_second():
+            yield cluster.kernel.timeout(100.0)
+            second = BagOfTasksApp("BagB", cluster,
+                                   harmony_for(harmony_server),
+                                   total_seconds_per_iteration=2400.0,
+                                   task_count=16,
+                                   domain=(1, 2, 3, 4, 5, 6, 7, 8),
+                                   overhead_alpha=12)
+            second_holder["app"] = second
+            second.start(iteration_limit=3)
+        cluster.kernel.spawn(launch_second())
+        cluster.run(until=5000.0)
+
+        counts = [record.worker_count for record in first.stats.records]
+        assert counts[0] == 5          # alone: the curve's optimum
+        assert 4 in counts             # after BagB arrives: equal split
+        assert first.stats.reconfigurations >= 1

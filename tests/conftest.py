@@ -1,0 +1,70 @@
+"""Shared fixtures for the Harmony reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, Kernel
+
+
+FIGURE3_RSL = """
+harmonyBundle DBclient:1 where {
+    {QS {node server {hostname harmony.cs.umd.edu} {seconds 42} {memory 20}}
+        {node client {os linux} {seconds 1} {memory 2}}
+        {link client server 2}}
+    {DS {node server {hostname harmony.cs.umd.edu} {seconds 1} {memory 20}}
+        {node client {os linux} {memory >=32} {seconds 9}}
+        {link client server
+            {44 + (client.memory > 24 ? 24 : client.memory) - 17}}}}
+"""
+
+FIGURE2A_RSL = """
+harmonyBundle Simple run {
+    {fixed
+        {node worker {seconds 300} {memory 32} {replicate 4}}
+        {communication 64}}}
+"""
+
+FIGURE2B_RSL = """
+harmonyBundle Bag parallelism {
+    {run
+        {variable workerNodes {1 2 4 8}}
+        {node worker {seconds {2400 / workerNodes}} {memory 32}
+                     {replicate workerNodes}}
+        {communication {0.5 * workerNodes * workerNodes}}
+        {performance workerNodes {1 2400} {2 1212} {4 708} {8 888}}}}
+"""
+
+
+@pytest.fixture
+def figure3_rsl() -> str:
+    return FIGURE3_RSL
+
+
+@pytest.fixture
+def figure2a_rsl() -> str:
+    return FIGURE2A_RSL
+
+
+@pytest.fixture
+def figure2b_rsl() -> str:
+    return FIGURE2B_RSL
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    return Kernel()
+
+
+@pytest.fixture
+def small_cluster(kernel: Kernel) -> Cluster:
+    """Four identical nodes behind a full mesh."""
+    return Cluster.full_mesh(["n0", "n1", "n2", "n3"], memory_mb=128.0,
+                             bandwidth_mbps=40.0, kernel=kernel)
+
+
+@pytest.fixture
+def star_cluster(kernel: Kernel) -> Cluster:
+    """One server and three clients, star topology."""
+    return Cluster.star("server0", ["c1", "c2", "c3"], memory_mb=128.0,
+                        bandwidth_mbps=40.0, kernel=kernel)

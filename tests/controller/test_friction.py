@@ -1,0 +1,58 @@
+"""Frictional-cost gating."""
+
+import pytest
+
+from repro.controller import FrictionPolicy
+
+
+class TestFrictionPolicy:
+    def test_no_gain_never_switches(self):
+        policy = FrictionPolicy()
+        assert not policy.evaluate(10.0, 10.0, friction_cost_seconds=0.0)
+        assert not policy.evaluate(10.0, 12.0, friction_cost_seconds=0.0)
+
+    def test_frictionless_gain_switches(self):
+        policy = FrictionPolicy()
+        decision = policy.evaluate(10.0, 8.0, friction_cost_seconds=0.0)
+        assert decision
+        assert decision.objective_gain == pytest.approx(2.0)
+
+    def test_hysteresis_blocks_tiny_gains(self):
+        policy = FrictionPolicy(min_relative_gain=0.05)
+        assert not policy.evaluate(100.0, 99.0, friction_cost_seconds=0.0)
+        assert policy.evaluate(100.0, 90.0, friction_cost_seconds=0.0)
+
+    def test_friction_amortized_over_horizon(self):
+        # Gain 2 s per job, jobs of 8 s, horizon 80 s -> 10 jobs -> 20 s
+        # amortized gain.  Friction 15 s is worth it; 25 s is not.
+        policy = FrictionPolicy(amortization_seconds=80.0)
+        assert policy.evaluate(10.0, 8.0, friction_cost_seconds=15.0,
+                               candidate_response_seconds=8.0)
+        assert not policy.evaluate(10.0, 8.0, friction_cost_seconds=25.0,
+                                   candidate_response_seconds=8.0)
+
+    def test_longer_horizon_amortizes_more(self):
+        short = FrictionPolicy(amortization_seconds=10.0)
+        long = FrictionPolicy(amortization_seconds=10_000.0)
+        kwargs = dict(friction_cost_seconds=50.0,
+                      candidate_response_seconds=8.0)
+        assert not short.evaluate(10.0, 8.0, **kwargs)
+        assert long.evaluate(10.0, 8.0, **kwargs)
+
+    def test_decision_records_amortized_gain(self):
+        policy = FrictionPolicy(amortization_seconds=80.0)
+        decision = policy.evaluate(10.0, 8.0, friction_cost_seconds=15.0,
+                                   candidate_response_seconds=8.0)
+        assert decision.amortized_gain == pytest.approx(20.0)
+        assert decision.friction_cost == 15.0
+
+    def test_bool_protocol(self):
+        policy = FrictionPolicy()
+        assert bool(policy.evaluate(10.0, 5.0, 0.0)) is True
+        assert bool(policy.evaluate(5.0, 10.0, 0.0)) is False
+
+    def test_zero_candidate_response_handled(self):
+        policy = FrictionPolicy(amortization_seconds=100.0)
+        decision = policy.evaluate(10.0, 0.0, friction_cost_seconds=5.0,
+                                   candidate_response_seconds=0.0)
+        assert decision.worthwhile

@@ -1,0 +1,88 @@
+"""Applications exporting multiple bundles.
+
+The namespace and registry are explicitly hierarchical per bundle
+(``application.instance.bundle.option``); the greedy optimizer walks
+"within each application through the list of options" — i.e. bundle by
+bundle, in definition order.  These tests exercise an app with two
+orthogonal tuning axes exported as two bundles.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.controller import AdaptationController
+
+PLACEMENT_BUNDLE = """
+harmonyBundle Service where {
+    {onA {node n {hostname nodeA} {seconds 10} {memory 16}}}
+    {onB {node n {hostname nodeB} {seconds 14} {memory 16}}}}
+"""
+
+ALGORITHM_BUNDLE = """
+harmonyBundle Service algorithm {
+    {table  {node n {hostname nodeA} {seconds 4} {memory 48}}}
+    {search {node n {hostname nodeA} {seconds 9} {memory 8}}}}
+"""
+
+
+@pytest.fixture
+def controller():
+    cluster = Cluster()
+    cluster.add_node("nodeA", memory_mb=128)
+    cluster.add_node("nodeB", memory_mb=128)
+    cluster.add_link("nodeA", "nodeB", 40.0)
+    return AdaptationController(cluster)
+
+
+class TestTwoBundles:
+    def test_both_bundles_configured_independently(self, controller):
+        instance = controller.register_app("Service")
+        where = controller.setup_bundle(instance, PLACEMENT_BUNDLE)
+        algorithm = controller.setup_bundle(instance, ALGORITHM_BUNDLE)
+        assert where.chosen.option_name == "onA"       # faster node demand
+        assert algorithm.chosen.option_name == "table"  # fewer seconds
+        assert len(instance.bundles) == 2
+
+    def test_namespace_holds_both_subtrees(self, controller):
+        instance = controller.register_app("Service")
+        controller.setup_bundle(instance, PLACEMENT_BUNDLE)
+        controller.setup_bundle(instance, ALGORITHM_BUNDLE)
+        ns = controller.namespace
+        assert ns.get(f"{instance.key}.where.option") == "onA"
+        assert ns.get(f"{instance.key}.algorithm.option") == "table"
+
+    def test_memory_reserved_per_bundle(self, controller):
+        instance = controller.register_app("Service")
+        controller.setup_bundle(instance, PLACEMENT_BUNDLE)
+        controller.setup_bundle(instance, ALGORITHM_BUNDLE)
+        node_a = controller.cluster.node("nodeA")
+        # where:onA holds 16 MB, algorithm:table holds 48 MB.
+        assert node_a.memory.held_by(f"{instance.key}:where") == 16.0
+        assert node_a.memory.held_by(f"{instance.key}:algorithm") == 48.0
+
+    def test_bundles_reoptimized_in_definition_order(self, controller):
+        instance = controller.register_app("Service")
+        controller.setup_bundle(instance, PLACEMENT_BUNDLE)
+        controller.setup_bundle(instance, ALGORITHM_BUNDLE)
+        controller.reevaluate()
+        bundle_names = list(instance.bundles)
+        assert bundle_names == ["where", "algorithm"]
+
+    def test_end_app_releases_both(self, controller):
+        instance = controller.register_app("Service")
+        controller.setup_bundle(instance, PLACEMENT_BUNDLE)
+        controller.setup_bundle(instance, ALGORITHM_BUNDLE)
+        controller.end_app(instance)
+        for hostname in ("nodeA", "nodeB"):
+            node = controller.cluster.node(hostname)
+            assert node.memory.reserved_mb == pytest.approx(0.0)
+
+    def test_memory_pressure_on_one_axis_moves_the_other(self, controller):
+        """The algorithm bundle wants 48 MB on nodeA; when nodeA's memory
+        is nearly exhausted the table option no longer fits and the
+        controller falls back to the search option."""
+        controller.cluster.node("nodeA").memory.reserve("outsider", 100.0)
+        instance = controller.register_app("Service")
+        controller.setup_bundle(instance, PLACEMENT_BUNDLE)
+        algorithm = controller.setup_bundle(instance, ALGORITHM_BUNDLE)
+        assert algorithm.chosen.option_name == "search"  # 8 MB still fits

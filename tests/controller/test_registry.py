@@ -1,0 +1,149 @@
+"""Application registry and namespace publication."""
+
+import pytest
+
+from repro.allocation import Matcher, allocate, instantiate_option
+from repro.cluster import Cluster
+from repro.controller.registry import ApplicationRegistry
+from repro.errors import ControllerError
+from repro.namespace import Namespace
+from repro.prediction import DefaultModel, ExplicitSpecModel
+from repro.rsl import build_bundle
+
+
+@pytest.fixture
+def registry():
+    return ApplicationRegistry(namespace=Namespace())
+
+
+class TestRegistration:
+    def test_system_chosen_instance_ids_are_unique(self, registry):
+        first = registry.register("DBclient", now=0.0)
+        second = registry.register("DBclient", now=1.0)
+        assert first.instance_id != second.instance_id
+        assert first.key == "DBclient.1"
+        assert second.key == "DBclient.2"
+
+    def test_instances_in_registration_order(self, registry):
+        keys = [registry.register(name, 0.0).key
+                for name in ("A", "B", "C")]
+        assert [i.key for i in registry.instances()] == keys
+
+    def test_unknown_instance_raises(self, registry):
+        with pytest.raises(ControllerError):
+            registry.instance("ghost.1")
+
+    def test_duplicate_bundle_rejected(self, registry, figure3_rsl):
+        instance = registry.register("DBclient", 0.0)
+        bundle = build_bundle(figure3_rsl)
+        registry.add_bundle(instance, bundle)
+        with pytest.raises(ControllerError):
+            registry.add_bundle(instance, bundle)
+
+    def test_remove_releases_allocations(self, registry, figure3_rsl):
+        cluster = Cluster.star("harmony.cs.umd.edu", ["c1"], memory_mb=128)
+        for node in cluster.nodes():
+            node.os = "linux"
+        instance = registry.register("DBclient", 0.0)
+        bundle = build_bundle(figure3_rsl)
+        state = registry.add_bundle(instance, bundle)
+        demands = instantiate_option(bundle.option_named("QS"))
+        assignment = Matcher(cluster).match(demands)
+        allocation = allocate(cluster, demands, assignment, holder="h")
+        from repro.controller.registry import ChosenConfiguration
+        state.chosen = ChosenConfiguration(
+            option_name="QS", variable_assignment={}, demands=demands,
+            assignment=assignment, allocation=allocation,
+            predicted_seconds=1.0, chosen_at=0.0)
+        registry.remove(instance)
+        assert allocation.released
+        assert len(registry) == 0
+
+
+class TestModelResolution:
+    def test_rsl_performance_spec_wins_over_default(self, registry,
+                                                    figure2b_rsl):
+        instance = registry.register("Bag", 0.0)
+        registry.add_bundle(instance, build_bundle(figure2b_rsl))
+        model = instance.model_for("parallelism", "run")
+        assert isinstance(model, ExplicitSpecModel)
+
+    def test_registered_override_wins_over_spec(self, registry,
+                                                figure2b_rsl):
+        instance = registry.register("Bag", 0.0)
+        registry.add_bundle(instance, build_bundle(figure2b_rsl))
+        sentinel = DefaultModel()
+        instance.models["parallelism"] = sentinel
+        assert instance.model_for("parallelism", "run") is sentinel
+
+    def test_option_scoped_override_wins(self, registry, figure3_rsl):
+        instance = registry.register("DBclient", 0.0)
+        registry.add_bundle(instance, build_bundle(figure3_rsl))
+        bundle_model, option_model = DefaultModel(), DefaultModel()
+        instance.models["where"] = bundle_model
+        instance.models["where.DS"] = option_model
+        assert instance.model_for("where", "DS") is option_model
+        assert instance.model_for("where", "QS") is bundle_model
+
+    def test_plain_option_falls_back_to_default(self, registry,
+                                                figure3_rsl):
+        instance = registry.register("DBclient", 0.0)
+        registry.add_bundle(instance, build_bundle(figure3_rsl))
+        fallback = DefaultModel()
+        assert instance.model_for("where", "QS", default=fallback) \
+            is fallback
+
+
+class TestNamespacePublication:
+    def test_publish_choice_produces_paper_paths(self, registry,
+                                                 figure3_rsl):
+        cluster = Cluster.star("harmony.cs.umd.edu", ["c1"], memory_mb=128)
+        for node in cluster.nodes():
+            node.os = "linux"
+        instance = registry.register("DBclient", 0.0)
+        bundle = build_bundle(figure3_rsl)
+        state = registry.add_bundle(instance, bundle)
+        demands = instantiate_option(bundle.option_named("DS"))
+        assignment = Matcher(cluster).match(demands)
+        allocation = allocate(cluster, demands, assignment, holder="h")
+        from repro.controller.registry import ChosenConfiguration
+        state.chosen = ChosenConfiguration(
+            option_name="DS", variable_assignment={}, demands=demands,
+            assignment=assignment, allocation=allocation,
+            predicted_seconds=1.0, chosen_at=0.0)
+        registry.publish_choice(instance, "where")
+
+        ns = registry.namespace
+        key = instance.key
+        assert ns.get(f"{key}.where.option") == "DS"
+        # The Section 3.2 example path shape:
+        assert ns.get(f"{key}.where.DS.client.memory") == 32.0
+        assert ns.get(f"{key}.where.DS.client.hostname") == "c1"
+        assert ns.get(f"{key}.where.DS.server.hostname") == \
+            "harmony.cs.umd.edu"
+        assert ns.get(f"{key}.where.DS.link0.megabytes") == 51.0
+
+    def test_republish_clears_previous_option_subtree(self, registry,
+                                                      figure3_rsl):
+        cluster = Cluster.star("harmony.cs.umd.edu", ["c1"], memory_mb=128)
+        for node in cluster.nodes():
+            node.os = "linux"
+        instance = registry.register("DBclient", 0.0)
+        bundle = build_bundle(figure3_rsl)
+        state = registry.add_bundle(instance, bundle)
+        from repro.controller.registry import ChosenConfiguration
+        for option_name in ("QS", "DS"):
+            demands = instantiate_option(bundle.option_named(option_name))
+            assignment = Matcher(cluster).match(demands)
+            allocation = allocate(cluster, demands, assignment,
+                                  holder=f"h-{option_name}")
+            if state.chosen is not None:
+                state.chosen.allocation.release()
+            state.chosen = ChosenConfiguration(
+                option_name=option_name, variable_assignment={},
+                demands=demands, assignment=assignment,
+                allocation=allocation, predicted_seconds=1.0, chosen_at=0.0)
+            registry.publish_choice(instance, "where")
+        ns = registry.namespace
+        assert ns.get(f"{instance.key}.where.option") == "DS"
+        assert not ns.exists(f"{instance.key}.where.QS")

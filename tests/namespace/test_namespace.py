@@ -1,0 +1,164 @@
+"""Namespace tree behaviour: set/get/delete, walks, watchers, views."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NamespaceError
+from repro.namespace import Namespace
+
+
+@pytest.fixture
+def populated():
+    ns = Namespace()
+    ns.set("DBclient.66.where.option", "DS")
+    ns.set("DBclient.66.where.DS.client.memory", 32)
+    ns.set("DBclient.66.where.DS.client.hostname", "c1")
+    ns.set("DBclient.66.where.DS.server.memory", 20)
+    ns.set("Bag.2.parallelism.workerNodes", 4)
+    return ns
+
+
+class TestBasicOperations:
+    def test_set_get(self):
+        ns = Namespace()
+        ns.set("a.b", 1)
+        assert ns.get("a.b") == 1
+
+    def test_get_missing_returns_default(self):
+        assert Namespace().get("no.such", "fallback") == "fallback"
+
+    def test_require_missing_raises(self):
+        with pytest.raises(NamespaceError):
+            Namespace().require("no.such")
+
+    def test_overwrite(self):
+        ns = Namespace()
+        ns.set("a", 1)
+        ns.set("a", 2)
+        assert ns.get("a") == 2
+
+    def test_interior_node_has_no_value(self, populated):
+        assert populated.get("DBclient.66") is None
+        assert populated.exists("DBclient.66")
+
+    def test_delete_subtree(self, populated):
+        populated.delete("DBclient.66.where.DS")
+        assert not populated.exists("DBclient.66.where.DS.client.memory")
+        assert populated.exists("DBclient.66.where.option")
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(NamespaceError):
+            Namespace().delete("no.such")
+
+    def test_string_and_numeric_values(self, populated):
+        assert populated.get("DBclient.66.where.option") == "DS"
+        assert populated.get("DBclient.66.where.DS.client.memory") == 32
+
+
+class TestTraversal:
+    def test_children_at_root(self, populated):
+        assert populated.children() == ["Bag", "DBclient"]
+
+    def test_children_below(self, populated):
+        assert populated.children("DBclient.66.where.DS") == [
+            "client", "server"]
+
+    def test_children_of_missing_raises(self, populated):
+        with pytest.raises(NamespaceError):
+            populated.children("ghost")
+
+    def test_walk_yields_sorted_leaves(self, populated):
+        leaves = dict(populated.walk("DBclient.66.where.DS"))
+        assert leaves == {
+            "DBclient.66.where.DS.client.hostname": "c1",
+            "DBclient.66.where.DS.client.memory": 32,
+            "DBclient.66.where.DS.server.memory": 20,
+        }
+
+    def test_walk_of_missing_path_is_empty(self, populated):
+        assert list(populated.walk("ghost")) == []
+
+    def test_as_dict_whole_tree(self, populated):
+        snapshot = populated.as_dict()
+        assert len(snapshot) == 5
+
+
+class TestWatchers:
+    def test_watch_fires_on_matching_set(self, populated):
+        seen = []
+        populated.watch("DBclient.66", lambda p, v: seen.append((p, v)))
+        populated.set("DBclient.66.where.option", "QS")
+        assert seen == [("DBclient.66.where.option", "QS")]
+
+    def test_watch_ignores_other_subtrees(self, populated):
+        seen = []
+        populated.watch("DBclient", lambda p, v: seen.append(p))
+        populated.set("Bag.2.parallelism.workerNodes", 8)
+        assert seen == []
+
+    def test_watch_fires_on_delete_with_none(self, populated):
+        seen = []
+        populated.watch("Bag", lambda p, v: seen.append((p, v)))
+        populated.delete("Bag.2")
+        assert seen == [("Bag.2", None)]
+
+    def test_unsubscribe(self, populated):
+        seen = []
+        unsubscribe = populated.watch("Bag", lambda p, v: seen.append(p))
+        unsubscribe()
+        populated.set("Bag.2.parallelism.workerNodes", 8)
+        assert seen == []
+
+    def test_unsubscribe_twice_is_harmless(self, populated):
+        unsubscribe = populated.watch("Bag", lambda p, v: None)
+        unsubscribe()
+        unsubscribe()
+
+
+class TestViews:
+    def test_view_resolves_relative(self, populated):
+        view = populated.view("DBclient.66.where.DS")
+        assert view.get("client.memory") == 32
+        assert view.require("server.memory") == 20
+
+    def test_view_set_writes_globally(self, populated):
+        view = populated.view("DBclient.66.where.DS")
+        view.set("client.cache", 7)
+        assert populated.get("DBclient.66.where.DS.client.cache") == 7
+
+    def test_view_as_dict_strips_prefix(self, populated):
+        view = populated.view("DBclient.66.where.DS")
+        assert view.as_dict() == {
+            "client.hostname": "c1", "client.memory": 32,
+            "server.memory": 20}
+
+    def test_view_is_expression_environment(self, populated):
+        """A view plugs straight into RSL expression evaluation."""
+        from repro.rsl import parse_expression
+        view = populated.view("DBclient.66.where.DS")
+        expr = parse_expression(
+            "44 + (client.memory > 24 ? 24 : client.memory) - 17")
+        assert expr.evaluate(view) == 51.0
+
+    def test_view_lookup_missing_raises_keyerror(self, populated):
+        with pytest.raises(KeyError):
+            populated.view("DBclient.66").lookup("nothing.here")
+
+
+@given(st.dictionaries(
+    st.from_regex(r"[a-z]{1,3}(\.[a-z0-9]{1,3}){0,3}", fullmatch=True),
+    st.integers(min_value=-1000, max_value=1000),
+    min_size=1, max_size=20))
+def test_walk_recovers_all_disjoint_leaves(entries):
+    """Every set leaf whose path is not a prefix of another is recoverable."""
+    ns = Namespace()
+    for path, value in entries.items():
+        ns.set(path, value)
+    snapshot = ns.as_dict()
+    for path, value in entries.items():
+        is_interior = any(other != path and other.startswith(path + ".")
+                          for other in entries)
+        if not is_interior:
+            assert snapshot[path] == value
+        else:
+            assert ns.get(path) == value  # still readable directly

@@ -1,0 +1,97 @@
+"""SystemView contention accounting."""
+
+import pytest
+
+from repro.allocation import Matcher, instantiate_option
+from repro.prediction import SystemView
+from repro.rsl import build_bundle
+
+
+RSL = """
+harmonyBundle A b {
+    {o {node x {seconds 10} {memory 4}}
+       {node y {seconds 2} {memory 4}}
+       {link x y 8}}}
+"""
+
+
+@pytest.fixture
+def view_with_two(small_cluster):
+    view = SystemView(small_cluster)
+    matcher = Matcher(small_cluster)
+    for key in ("app1", "app2"):
+        demands = instantiate_option(build_bundle(RSL).option_named("o"))
+        assignment = matcher.match(demands)
+        view.place(key, demands, assignment)
+    return view
+
+
+class TestMembership:
+    def test_place_and_remove(self, view_with_two):
+        assert len(view_with_two.configurations()) == 2
+        view_with_two.remove("app1")
+        assert len(view_with_two.configurations()) == 1
+        view_with_two.remove("ghost")  # no-op
+
+    def test_place_replaces_existing(self, small_cluster):
+        view = SystemView(small_cluster)
+        matcher = Matcher(small_cluster)
+        demands = instantiate_option(build_bundle(RSL).option_named("o"))
+        assignment = matcher.match(demands)
+        view.place("app", demands, assignment)
+        view.place("app", demands, assignment)
+        assert len(view.configurations()) == 1
+
+    def test_copy_is_independent(self, view_with_two):
+        copy = view_with_two.copy()
+        copy.remove("app1")
+        assert view_with_two.configuration_of("app1") is not None
+
+
+class TestCounting:
+    def test_cpu_consumers(self, view_with_two):
+        # Both apps match first-fit to the same two nodes.
+        assert view_with_two.cpu_consumers("n0") == 2
+        assert view_with_two.cpu_consumers("n1") == 2
+        assert view_with_two.cpu_consumers("n2") == 0
+
+    def test_cpu_seconds_on(self, view_with_two):
+        assert view_with_two.cpu_seconds_on("n0") == pytest.approx(20.0)
+        assert view_with_two.cpu_seconds_on("n1") == pytest.approx(4.0)
+
+    def test_flows_between(self, view_with_two):
+        assert view_with_two.flows_between("n0", "n1") == 2
+        assert view_with_two.flows_between("n0", "n2") == 0
+        assert view_with_two.flows_between("n0", "n0") == 0
+
+    def test_contention_factor_floor_is_one(self, view_with_two):
+        assert view_with_two.contention_factor("n3") == 1.0
+        assert view_with_two.link_contention_factor("n2", "n3") == 1.0
+
+
+class TestSojournEstimates:
+    def test_effective_seconds_excludes_own_app(self, view_with_two):
+        effective = view_with_two.cpu_effective_seconds(
+            "n0", 10.0, own_app_key="app1")
+        assert effective == pytest.approx(10.0 + 10.0)  # app2's 10 s only
+
+    def test_effective_seconds_sum_min_form(self, view_with_two):
+        # A 3-second probe against two 10-second residents: 3 + 3 + 3.
+        effective = view_with_two.cpu_effective_seconds("n0", 3.0)
+        assert effective == pytest.approx(9.0)
+
+    def test_zero_own_seconds(self, view_with_two):
+        assert view_with_two.cpu_effective_seconds("n0", 0.0) == 0.0
+
+    def test_transfer_effective_mb(self, view_with_two):
+        # Two resident 8 MB flows on n0--n1; a 5 MB probe: 5 + 5 + 5.
+        effective = view_with_two.transfer_effective_mb("n0", "n1", 5.0)
+        assert effective == pytest.approx(15.0)
+
+    def test_transfer_excludes_own_app(self, view_with_two):
+        effective = view_with_two.transfer_effective_mb(
+            "n0", "n1", 8.0, own_app_key="app2")
+        assert effective == pytest.approx(16.0)
+
+    def test_unused_link_has_no_contention(self, view_with_two):
+        assert view_with_two.transfer_effective_mb("n2", "n3", 5.0) == 5.0

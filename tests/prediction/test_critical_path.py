@@ -1,0 +1,106 @@
+"""Critical-path model (the paper's Section 4.2 extension)."""
+
+import pytest
+
+from repro.allocation import Matcher, instantiate_option
+from repro.errors import PredictionError
+from repro.prediction import CriticalPathModel, SystemView, Task
+from repro.rsl import build_bundle
+
+
+RSL = """
+harmonyBundle A b {
+    {o {node front {seconds 1} {memory 4}}
+       {node back {seconds 1} {memory 4}}}}
+"""
+
+
+@pytest.fixture
+def placed(small_cluster):
+    demands = instantiate_option(build_bundle(RSL).option_named("o"))
+    assignment = Matcher(small_cluster).match(demands)
+    view = SystemView(small_cluster)
+    view.place("app", demands, assignment)
+    return demands, assignment, view
+
+
+class TestConstruction:
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(PredictionError):
+            CriticalPathModel([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(PredictionError):
+            CriticalPathModel([Task("t", "front", 1),
+                               Task("t", "back", 1)])
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(PredictionError):
+            CriticalPathModel([Task("t", "front", 1,
+                                    depends_on=("ghost",))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(PredictionError):
+            CriticalPathModel([
+                Task("a", "front", 1, depends_on=("b",)),
+                Task("b", "front", 1, depends_on=("a",)),
+            ])
+
+
+class TestPrediction:
+    def test_chain_adds_up(self, placed):
+        demands, assignment, view = placed
+        model = CriticalPathModel([
+            Task("produce", "front", 10.0),
+            Task("consume", "back", 5.0, depends_on=("produce",)),
+        ])
+        assert model.predict(demands, assignment, view,
+                             app_key="app") == pytest.approx(15.0)
+
+    def test_parallel_branches_take_max(self, placed):
+        demands, assignment, view = placed
+        model = CriticalPathModel([
+            Task("a", "front", 10.0),
+            Task("b", "back", 4.0),
+            Task("join", "front", 1.0, depends_on=("a", "b")),
+        ])
+        assert model.predict(demands, assignment, view,
+                             app_key="app") == pytest.approx(11.0)
+
+    def test_transfer_on_cross_node_edge(self, placed):
+        demands, assignment, view = placed
+        model = CriticalPathModel([
+            Task("produce", "front", 10.0, transfer_mb=40.0),
+            Task("consume", "back", 5.0, depends_on=("produce",)),
+        ])
+        # 40 MB over a 40 MB/s link adds one second.
+        assert model.predict(demands, assignment, view,
+                             app_key="app") == pytest.approx(16.0)
+
+    def test_same_node_edge_is_free(self, placed):
+        demands, assignment, view = placed
+        model = CriticalPathModel([
+            Task("produce", "front", 10.0, transfer_mb=40.0),
+            Task("consume", "front", 5.0, depends_on=("produce",)),
+        ])
+        assert model.predict(demands, assignment, view,
+                             app_key="app") == pytest.approx(15.0)
+
+    def test_critical_path_names(self, placed):
+        demands, assignment, view = placed
+        model = CriticalPathModel([
+            Task("a", "front", 10.0),
+            Task("b", "back", 4.0),
+            Task("join", "front", 1.0, depends_on=("a", "b")),
+        ])
+        assert model.critical_path(demands, assignment, view) == \
+            ["a", "join"]
+
+    def test_contention_stretches_tasks(self, small_cluster, placed):
+        demands, assignment, view = placed
+        # Put a competing app on the same nodes.
+        other = instantiate_option(build_bundle(RSL).option_named("o"))
+        view.place("rival", other, assignment)
+        model = CriticalPathModel([Task("only", "front", 10.0)])
+        predicted = model.predict(demands, assignment, view)
+        assert predicted == pytest.approx(20.0)

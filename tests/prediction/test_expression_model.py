@@ -1,0 +1,111 @@
+"""Expression-based performance models ({performance {<expr>}})."""
+
+import pytest
+
+from repro.allocation import Matcher, instantiate_option
+from repro.cluster import Cluster
+from repro.controller import AdaptationController
+from repro.errors import PredictionError, RslSemanticError
+from repro.prediction import ExpressionSpecModel, SystemView, model_for_spec
+from repro.rsl import build_bundle, unparse_bundle
+
+EXPR_BUNDLE = """
+harmonyBundle Bag parallelism {
+    {run {variable workerNodes {1 2 4 8}}
+         {node worker {seconds {2400 / workerNodes}} {memory 32}
+                      {replicate workerNodes}}
+         {performance {2400 / workerNodes + 12 * (workerNodes - 1) ** 2}}}}
+"""
+
+
+class TestBuilder:
+    def test_expression_spec_parsed(self):
+        option = build_bundle(EXPR_BUNDLE).option_named("run")
+        assert option.performance.expression is not None
+        assert option.performance.points == ()
+
+    def test_two_numeric_words_are_a_point_not_an_expression(self):
+        bundle = build_bundle("""harmonyBundle A b {
+            {o {node n {seconds 1} {memory 4}}
+               {performance {4 100} {8 60}}}}""")
+        spec = bundle.option_named("o").performance
+        assert len(spec.points) == 2
+        assert spec.expression is None
+
+    def test_unparse_roundtrips_expression_spec(self):
+        bundle = build_bundle(EXPR_BUNDLE)
+        again = build_bundle(unparse_bundle(bundle))
+        spec = again.option_named("run").performance
+        assert spec.expression is not None
+        assert spec.expression.evaluate({"workerNodes": 4}) == \
+            pytest.approx(708.0)
+
+    def test_bad_expression_rejected(self):
+        with pytest.raises(RslSemanticError, match="does not parse"):
+            build_bundle("""harmonyBundle A b {
+                {o {node n {seconds 1} {memory 4}}
+                   {performance {1 +}}}}""")
+
+    def test_empty_performance_rejected(self):
+        with pytest.raises(RslSemanticError):
+            build_bundle("""harmonyBundle A b {
+                {o {node n {seconds 1} {memory 4}} {performance}}}""")
+
+
+class TestModel:
+    @pytest.fixture
+    def placed(self):
+        cluster = Cluster.full_mesh([f"n{i}" for i in range(8)],
+                                    memory_mb=128)
+        option = build_bundle(EXPR_BUNDLE).option_named("run")
+        demands = instantiate_option(option, {"workerNodes": 4})
+        assignment = Matcher(cluster).match(demands)
+        view = SystemView(cluster)
+        view.place("bag", demands, assignment)
+        return option, demands, assignment, view
+
+    def test_dispatch_selects_expression_model(self, placed):
+        option, *_rest = placed
+        model = model_for_spec(option.performance)
+        assert isinstance(model, ExpressionSpecModel)
+
+    def test_prediction_evaluates_formula(self, placed):
+        option, demands, assignment, view = placed
+        model = ExpressionSpecModel(option.performance)
+        assert model.predict(demands, assignment, view,
+                             app_key="bag") == pytest.approx(708.0)
+
+    def test_contention_stretches(self, placed):
+        option, demands, assignment, view = placed
+        view.place("rival", demands, assignment)  # same nodes
+        model = ExpressionSpecModel(option.performance)
+        assert model.predict(demands, assignment, view) == \
+            pytest.approx(2 * 708.0)
+
+    def test_negative_formula_rejected(self, placed):
+        option, demands, assignment, view = placed
+        from repro.rsl import parse_expression
+        from repro.rsl.model import PerformanceSpec
+        spec = PerformanceSpec(
+            expression=parse_expression("workerNodes - 100"))
+        model = ExpressionSpecModel(spec)
+        with pytest.raises(PredictionError, match="negative"):
+            model.predict(demands, assignment, view)
+
+
+class TestControllerIntegration:
+    def test_controller_optimizes_over_the_formula(self):
+        """The formula's minimum (5 of 1..8) drives the choice, exactly
+        like the equivalent data-point curve."""
+        rsl = """harmonyBundle Bag parallelism {
+            {run {variable workerNodes {1 2 3 4 5 6 7 8}}
+                 {node worker {seconds {2400 / workerNodes}} {memory 32}
+                              {replicate workerNodes}}
+                 {performance
+                     {2400 / workerNodes + 12 * (workerNodes - 1) ** 2}}}}"""
+        cluster = Cluster.full_mesh([f"n{i}" for i in range(8)],
+                                    memory_mb=128)
+        controller = AdaptationController(cluster)
+        instance = controller.register_app("Bag")
+        state = controller.setup_bundle(instance, rsl)
+        assert state.chosen.variable_assignment["workerNodes"] == 5.0

@@ -1,0 +1,195 @@
+"""Prediction models: default contention model, explicit specs, callables.
+
+The key cross-validation: the default model's sojourn estimates must agree
+with what the fair-share simulator actually does (the PS closed form is
+exact for simultaneous arrivals).
+"""
+
+import pytest
+
+from repro.allocation import Matcher, instantiate_option
+from repro.cluster import Cluster, Kernel
+from repro.errors import PredictionError
+from repro.prediction import (
+    CallableModel,
+    DefaultModel,
+    ExplicitSpecModel,
+    SystemView,
+    model_for_spec,
+)
+from repro.rsl import build_bundle
+
+
+def place(view, matcher, rsl, option, key, variables=None):
+    demands = instantiate_option(
+        build_bundle(rsl).option_named(option), variables)
+    assignment = matcher.match(demands)
+    view.place(key, demands, assignment)
+    return demands, assignment
+
+
+DB_RSL = """
+harmonyBundle DBclient where {
+    {QS {node server {hostname server0} {seconds 9} {memory 20}}
+        {node client {seconds 1} {memory 2}}
+        {link client server 2}}
+    {DS {node server {hostname server0} {seconds 1} {memory 20}}
+        {node client {memory >=32} {seconds 18}}
+        {link client server 51}}}
+"""
+
+
+class TestDefaultModel:
+    def test_unloaded_qs_prediction(self, star_cluster):
+        view = SystemView(star_cluster)
+        matcher = Matcher(star_cluster)
+        demands, assignment = place(view, matcher, DB_RSL, "QS", "db1")
+        predicted = DefaultModel().predict(demands, assignment, view,
+                                           app_key="db1")
+        # max(9 server, 1 client) + 2 MB / 40 MB/s
+        assert predicted == pytest.approx(9.0 + 0.05)
+
+    def test_two_qs_clients_share_server(self, star_cluster):
+        view = SystemView(star_cluster)
+        matcher = Matcher(star_cluster)
+        demands1, assignment1 = place(view, matcher, DB_RSL, "QS", "db1")
+        place(view, matcher, DB_RSL, "QS", "db2")
+        predicted = DefaultModel().predict(demands1, assignment1, view,
+                                           app_key="db1")
+        # server phase doubles: 9 + 9 = 18; link shared: 2 + 2 = 4 MB.
+        assert predicted == pytest.approx(18.0 + 0.1)
+
+    def test_small_competitor_adds_only_its_own_length(self, star_cluster):
+        view = SystemView(star_cluster)
+        matcher = Matcher(star_cluster)
+        demands1, assignment1 = place(view, matcher, DB_RSL, "QS", "db1")
+        place(view, matcher, DB_RSL, "DS", "db2")  # 1 s at the server
+        predicted = DefaultModel().predict(demands1, assignment1, view,
+                                           app_key="db1")
+        # sum-min: 9 (own) + min(1, 9) = 10 at the server.
+        assert predicted == pytest.approx(10.0 + 0.05, abs=0.2)
+
+    def test_speed_scales_cpu_phase(self, kernel):
+        cluster = Cluster(kernel)
+        cluster.add_node("server0", speed=2.0, memory_mb=128)
+        cluster.add_node("c", speed=1.0, memory_mb=128)
+        cluster.add_link("server0", "c", 40)
+        view = SystemView(cluster)
+        matcher = Matcher(cluster)
+        demands, assignment = place(view, matcher, DB_RSL, "QS", "db1")
+        predicted = DefaultModel().predict(demands, assignment, view,
+                                           app_key="db1")
+        assert predicted == pytest.approx(4.5 + 0.05)
+
+    def test_prediction_matches_simulation(self):
+        """The default model agrees with the simulator it abstracts."""
+        kernel = Kernel()
+        cluster = Cluster.star("server0", ["c1", "c2"], kernel=kernel,
+                               memory_mb=128, bandwidth_mbps=40)
+        view = SystemView(cluster)
+        matcher = Matcher(cluster)
+        placed = [place(view, matcher, DB_RSL, "QS", f"db{i}")
+                  for i in (1, 2)]
+        predictions = [
+            DefaultModel().predict(demands, assignment, view,
+                                   app_key=f"db{i + 1}")
+            for i, (demands, assignment) in enumerate(placed)]
+
+        finish = {}
+
+        def run_config(tag, demands, assignment):
+            server_host = assignment.hostname_of("server")
+            client_host = assignment.hostname_of("client")
+            server_work = cluster.node(server_host).compute(9.0)
+            client_work = cluster.node(client_host).compute(1.0)
+            yield kernel.all_of([server_work, client_work])
+            link = cluster.link_between(client_host, server_host)
+            yield link.transfer(2.0)
+            finish[tag] = kernel.now
+
+        for index, (demands, assignment) in enumerate(placed):
+            kernel.spawn(run_config(index, demands, assignment))
+        kernel.run()
+        for index in range(2):
+            assert finish[index] == pytest.approx(predictions[index],
+                                                  rel=0.05)
+
+
+class TestExplicitSpecModel:
+    def test_uses_declared_parameter(self, figure2b_rsl, small_cluster):
+        option = build_bundle(figure2b_rsl).option_named("run")
+        model = ExplicitSpecModel(option.performance)
+        view = SystemView(small_cluster)
+        matcher = Matcher(small_cluster)
+        demands = instantiate_option(option, {"workerNodes": 4})
+        assignment = matcher.match(demands)
+        view.place("bag", demands, assignment)
+        assert model.predict(demands, assignment, view,
+                             app_key="bag") == pytest.approx(708.0)
+
+    def test_interpolates_between_points(self, figure2b_rsl, small_cluster):
+        option = build_bundle(figure2b_rsl).option_named("run")
+        model = ExplicitSpecModel(option.performance)
+        view = SystemView(small_cluster)
+        demands = instantiate_option(option, {"workerNodes": 2})
+        assignment = Matcher(small_cluster).match(demands)
+        view.place("bag", demands, assignment)
+        assert model.predict(demands, assignment, view) == \
+            pytest.approx(1212.0)
+
+    def test_contention_stretches_curve(self, figure2b_rsl, small_cluster):
+        option = build_bundle(figure2b_rsl).option_named("run")
+        model = ExplicitSpecModel(option.performance)
+        view = SystemView(small_cluster)
+        matcher = Matcher(small_cluster)
+        demands = instantiate_option(option, {"workerNodes": 4})
+        assignment = matcher.match(demands)
+        view.place("bag1", demands, assignment)
+        view.place("bag2", demands, assignment)  # same four nodes
+        assert model.predict(demands, assignment, view) == \
+            pytest.approx(2 * 708.0)
+
+    def test_missing_parameter_raises(self, small_cluster):
+        rsl = """harmonyBundle A b {
+            {o {node n {seconds 1} {memory 4}}
+               {performance ghostVar {1 10} {2 5}}}}"""
+        option = build_bundle(rsl).option_named("o")
+        model = ExplicitSpecModel(option.performance)
+        demands = instantiate_option(option)
+        assignment = Matcher(small_cluster).match(demands)
+        with pytest.raises(PredictionError):
+            model.predict(demands, assignment, SystemView(small_cluster))
+
+
+class TestCallableModel:
+    def test_wraps_function(self, small_cluster):
+        model = CallableModel(lambda demands, assignment, view: 123.0)
+        rsl = "harmonyBundle A b {{o {node n {seconds 1} {memory 4}}}}"
+        option = build_bundle(rsl).option_named("o")
+        demands = instantiate_option(option)
+        assignment = Matcher(small_cluster).match(demands)
+        assert model.predict(demands, assignment,
+                             SystemView(small_cluster)) == 123.0
+
+    def test_negative_result_rejected(self, small_cluster):
+        model = CallableModel(lambda *args: -1.0)
+        rsl = "harmonyBundle A b {{o {node n {seconds 1} {memory 4}}}}"
+        option = build_bundle(rsl).option_named("o")
+        demands = instantiate_option(option)
+        assignment = Matcher(small_cluster).match(demands)
+        with pytest.raises(PredictionError):
+            model.predict(demands, assignment, SystemView(small_cluster))
+
+
+class TestModelDispatch:
+    def test_spec_with_points_gets_explicit_model(self, figure2b_rsl):
+        option = build_bundle(figure2b_rsl).option_named("run")
+        assert isinstance(model_for_spec(option.performance),
+                          ExplicitSpecModel)
+
+    def test_no_spec_gets_default(self):
+        assert isinstance(model_for_spec(None), DefaultModel)
+
+    def test_explicit_default_instance_respected(self):
+        sentinel = DefaultModel()
+        assert model_for_spec(None, default=sentinel) is sentinel

@@ -1,0 +1,202 @@
+"""Builder tests: the paper's figures must parse into the right model."""
+
+import pytest
+
+from repro.errors import RslSemanticError
+from repro.rsl import (
+    NodeAdvertisement,
+    build_bundle,
+    build_script,
+)
+
+
+class TestFigure3Database:
+    def test_bundle_identity(self, figure3_rsl):
+        bundle = build_bundle(figure3_rsl)
+        assert bundle.app_name == "DBclient"
+        assert bundle.declared_instance == 1
+        assert bundle.bundle_name == "where"
+        assert bundle.option_names() == ["QS", "DS"]
+
+    def test_query_shipping_resources(self, figure3_rsl):
+        qs = build_bundle(figure3_rsl).option_named("QS")
+        server = qs.node_named("server")
+        assert server.hostname == "harmony.cs.umd.edu"
+        assert server.seconds.value() == 42.0
+        assert server.memory.value() == 20.0
+        client = qs.node_named("client")
+        assert client.os == "linux"
+        assert client.seconds.value() == 1.0
+        assert qs.links[0].megabytes.value() == 2.0
+
+    def test_data_shipping_elastic_memory(self, figure3_rsl):
+        ds = build_bundle(figure3_rsl).option_named("DS")
+        memory = ds.node_named("client").memory
+        assert memory.elastic
+        assert memory.constraint.minimum == 32.0
+
+    def test_data_shipping_parametric_link(self, figure3_rsl):
+        ds = build_bundle(figure3_rsl).option_named("DS")
+        link = ds.links[0]
+        assert link.megabytes.free_variables() == {"client.memory"}
+        assert link.megabytes.value({"client.memory": 32}) == 51.0
+        assert link.megabytes.value({"client.memory": 20}) == 47.0
+
+
+class TestFigure2aSimple:
+    def test_replication(self, figure2a_rsl):
+        option = build_bundle(figure2a_rsl).option_named("fixed")
+        worker = option.node_named("worker")
+        assert worker.replica_count() == 4
+        assert worker.replica_names() == [
+            "worker[0]", "worker[1]", "worker[2]", "worker[3]"]
+        assert worker.seconds.value() == 300.0
+        assert worker.memory.value() == 32.0
+
+    def test_communication(self, figure2a_rsl):
+        option = build_bundle(figure2a_rsl).option_named("fixed")
+        assert option.communication.megabytes.value() == 64.0
+
+
+class TestFigure2bBag:
+    def test_variable_domain(self, figure2b_rsl):
+        option = build_bundle(figure2b_rsl).option_named("run")
+        variable = option.variable_named("workerNodes")
+        assert variable.values == (1.0, 2.0, 4.0, 8.0)
+        assert variable.default_value() == 1.0
+
+    def test_seconds_parameterized_on_variable(self, figure2b_rsl):
+        option = build_bundle(figure2b_rsl).option_named("run")
+        worker = option.node_named("worker")
+        assert worker.seconds.value({"workerNodes": 4}) == 600.0
+        assert worker.seconds.value({"workerNodes": 8}) == 300.0
+
+    def test_replicate_parameterized_on_variable(self, figure2b_rsl):
+        option = build_bundle(figure2b_rsl).option_named("run")
+        worker = option.node_named("worker")
+        assert worker.replica_count({"workerNodes": 8}) == 8
+
+    def test_quadratic_communication(self, figure2b_rsl):
+        option = build_bundle(figure2b_rsl).option_named("run")
+        comm = option.communication.megabytes
+        assert comm.value({"workerNodes": 2}) == 2.0
+        assert comm.value({"workerNodes": 8}) == 32.0
+
+    def test_performance_points(self, figure2b_rsl):
+        option = build_bundle(figure2b_rsl).option_named("run")
+        spec = option.performance
+        assert spec.parameter == "workerNodes"
+        assert [point.x for point in spec.points] == [1, 2, 4, 8]
+        assert spec.points[0].seconds == 2400.0
+
+    def test_configuration_count(self, figure2b_rsl):
+        bundle = build_bundle(figure2b_rsl)
+        assert bundle.configuration_count() == 4
+
+    def test_variable_assignments_enumerate_domain(self, figure2b_rsl):
+        option = build_bundle(figure2b_rsl).option_named("run")
+        assignments = list(option.variable_assignments())
+        assert assignments == [{"workerNodes": 1.0}, {"workerNodes": 2.0},
+                               {"workerNodes": 4.0}, {"workerNodes": 8.0}]
+
+
+class TestHarmonyNode:
+    def test_advertisement(self):
+        results = build_script(
+            "harmonyNode fast.example {speed 2.5} {memory 512} {os aix}")
+        assert len(results) == 1
+        advert = results[0]
+        assert isinstance(advert, NodeAdvertisement)
+        assert advert.hostname == "fast.example"
+        assert advert.speed == 2.5
+        assert advert.memory == 512.0
+        assert advert.os == "aix"
+
+    def test_defaults(self):
+        advert = build_script("harmonyNode plain")[0]
+        assert advert.speed == 1.0
+        assert advert.os is None
+
+    def test_extra_attributes_kept(self):
+        advert = build_script("harmonyNode n {rack r7} {speed 1}")[0]
+        assert advert.attributes == {"rack": "r7"}
+
+    def test_mixed_script(self, figure2a_rsl):
+        text = figure2a_rsl + "\nharmonyNode n1 {speed 2}\n"
+        results = build_script(text)
+        assert len(results) == 2
+
+
+class TestErrors:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(RslSemanticError, match="unknown top-level"):
+            build_script("harmonyFrob x")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(RslSemanticError, match="unknown tag"):
+            build_bundle(
+                "harmonyBundle A b {{o {widget 3}}}")
+
+    def test_link_to_undeclared_node_rejected(self):
+        with pytest.raises(RslSemanticError, match="names no declared node"):
+            build_bundle(
+                "harmonyBundle A b {{o {node x {seconds 1}} {link x y 2}}}")
+
+    def test_empty_bundle_rejected(self):
+        with pytest.raises(RslSemanticError):
+            build_bundle("harmonyBundle A b {}")
+
+    def test_duplicate_option_names_rejected(self):
+        with pytest.raises(RslSemanticError, match="duplicate"):
+            build_bundle(
+                "harmonyBundle A b {{o {node n {seconds 1}}}"
+                " {o {node n {seconds 2}}}}")
+
+    def test_duplicate_tag_in_option_rejected(self):
+        with pytest.raises(RslSemanticError, match="more than once"):
+            build_bundle(
+                "harmonyBundle A b {{o {communication 1}"
+                " {communication 2}}}")
+
+    def test_non_integer_instance_rejected(self):
+        with pytest.raises(RslSemanticError, match="non-integer"):
+            build_bundle("harmonyBundle A:x b {{o {node n {seconds 1}}}}")
+
+    def test_bad_expression_in_quantity_rejected(self):
+        with pytest.raises(RslSemanticError):
+            build_bundle(
+                "harmonyBundle A b {{o {node n {seconds {1 +}}}}}")
+
+    def test_variable_with_empty_domain_rejected(self):
+        with pytest.raises(RslSemanticError):
+            build_bundle(
+                "harmonyBundle A b {{o {variable v {}}"
+                " {node n {seconds 1}}}}")
+
+    def test_two_bundles_rejected_by_build_bundle(self, figure2a_rsl):
+        with pytest.raises(RslSemanticError, match="exactly one"):
+            build_bundle(figure2a_rsl + figure2a_rsl)
+
+    def test_wrong_arity_harmony_bundle(self):
+        with pytest.raises(RslSemanticError):
+            build_bundle("harmonyBundle OnlyApp")
+
+    def test_performance_points_must_increase(self):
+        with pytest.raises(RslSemanticError):
+            build_bundle(
+                "harmonyBundle A b {{o {node n {seconds 1}}"
+                " {performance {4 10} {4 20}}}}")
+
+
+class TestFriction:
+    def test_friction_tag(self):
+        bundle = build_bundle(
+            "harmonyBundle A b {{o {node n {seconds 1}} {friction 30}}}")
+        assert bundle.option_named("o").friction.cost() == 30.0
+
+    def test_granularity_tag(self):
+        bundle = build_bundle(
+            "harmonyBundle A b {{o {node n {seconds 1}}"
+            " {granularity 10}}}")
+        option = bundle.option_named("o")
+        assert option.granularity.min_interval_seconds == 10.0

@@ -1,0 +1,139 @@
+"""RSL lint diagnostics."""
+
+import pytest
+
+from repro.rsl import build_bundle
+from repro.rsl.lint import LINT_CODES, Diagnostic, lint_bundle
+
+
+def codes(rsl: str) -> list[str]:
+    return [finding.code for finding in lint_bundle(build_bundle(rsl))]
+
+
+class TestCleanBundles:
+    def test_figure3_is_clean(self, figure3_rsl):
+        assert lint_bundle(build_bundle(figure3_rsl)) == []
+
+    def test_figure2a_is_clean(self, figure2a_rsl):
+        assert lint_bundle(build_bundle(figure2a_rsl)) == []
+
+    def test_figure2b_is_clean(self, figure2b_rsl):
+        assert lint_bundle(build_bundle(figure2b_rsl)) == []
+
+    def test_bag_bundle_generator_is_clean(self):
+        from repro.apps.bag import bag_bundle_rsl
+        assert lint_bundle(build_bundle(bag_bundle_rsl())) == []
+
+    def test_database_bundle_generator_is_clean(self):
+        from repro.apps.database import (
+            CostParameters,
+            DatabaseEngine,
+            database_bundle_numbers,
+            database_bundle_rsl,
+            make_wisconsin_pair,
+        )
+        a, b = make_wisconsin_pair(500, seed=1)
+        numbers = database_bundle_numbers(
+            DatabaseEngine(a, b, CostParameters()))
+        rsl = database_bundle_rsl("c1", "s0", numbers)
+        assert lint_bundle(build_bundle(rsl)) == []
+
+
+class TestFindings:
+    def test_unknown_variable(self):
+        rsl = """harmonyBundle A b {
+            {o {node n {seconds {100 / ghosts}} {memory 4}}}}"""
+        assert codes(rsl) == ["unknown-variable"]
+
+    def test_node_attribute_references_are_known(self):
+        rsl = """harmonyBundle A b {
+            {o {node n {seconds 5} {memory >=16}}
+               {node m {seconds 1} {memory 4}}
+               {link n m {n.memory * 2}}}}"""
+        assert codes(rsl) == []
+
+    def test_unused_variable(self):
+        rsl = """harmonyBundle A b {
+            {o {variable lanes {1 2 4}}
+               {node n {seconds 5} {memory 4}}}}"""
+        assert codes(rsl) == ["unused-variable"]
+
+    def test_non_positive_domain(self):
+        rsl = """harmonyBundle A b {
+            {o {variable v {0 2}}
+               {node n {seconds {10 * v}} {memory 4}}}}"""
+        assert "non-positive-domain" in codes(rsl)
+
+    def test_replicate_by_undeclared_variable(self):
+        rsl = """harmonyBundle A b {
+            {o {node n {seconds 5} {memory 4} {replicate phantom}}}}"""
+        found = codes(rsl)
+        assert "replicate-variable-without-domain" in found
+        assert "unknown-variable" in found
+
+    def test_orphan_node(self):
+        rsl = """harmonyBundle A b {
+            {o {node busy {seconds 5} {memory 4}}
+               {node idle}}}"""
+        assert codes(rsl) == ["orphan-node"]
+
+    def test_linked_bare_node_is_not_orphan(self):
+        rsl = """harmonyBundle A b {
+            {o {node busy {seconds 5} {memory 4}}
+               {node gateway}
+               {link busy gateway 2}}}"""
+        assert codes(rsl) == []
+
+    def test_zero_resources(self):
+        rsl = """harmonyBundle A b {
+            {o {node n {memory 16}}}}"""
+        found = codes(rsl)
+        assert "zero-resources" in found
+
+    def test_duplicate_option_shape(self):
+        rsl = """harmonyBundle A b {
+            {left  {node n {seconds 5} {memory 4}}}
+            {right {node n {seconds 5} {memory 4}}}}"""
+        found = lint_bundle(build_bundle(rsl))
+        assert [f.code for f in found] == ["duplicate-option-shape"]
+        assert found[0].option == "right"
+        assert "'left'" in found[0].message
+
+    def test_differing_options_not_flagged(self):
+        rsl = """harmonyBundle A b {
+            {left  {node n {seconds 5} {memory 4}}}
+            {right {node n {seconds 6} {memory 4}}}}"""
+        assert codes(rsl) == []
+
+    def test_performance_domain_mismatch(self):
+        rsl = """harmonyBundle A b {
+            {o {variable w {1 2 4 8}}
+               {node n {seconds {80 / w}} {memory 4} {replicate w}}
+               {performance w {1 80} {2 45}}}}"""
+        found = codes(rsl)
+        assert "performance-domain-mismatch" in found
+
+    def test_covering_performance_curve_is_clean(self):
+        rsl = """harmonyBundle A b {
+            {o {variable w {1 2 4}}
+               {node n {seconds {80 / w}} {memory 4} {replicate w}}
+               {performance w {1 80} {4 30}}}}"""
+        assert codes(rsl) == []
+
+
+class TestDiagnosticRendering:
+    def test_str_includes_code_and_option(self):
+        diagnostic = Diagnostic("orphan-node", "opt1", "something odd")
+        assert str(diagnostic) == "[orphan-node] option 'opt1': something odd"
+
+    def test_str_without_option(self):
+        diagnostic = Diagnostic("zero-resources", None, "msg")
+        assert str(diagnostic) == "[zero-resources] msg"
+
+    def test_all_emitted_codes_are_registered(self):
+        rsl = """harmonyBundle A b {
+            {o {variable lanes {0 2}}
+               {node n {seconds {100 / ghosts}}}
+               {node idle}}}"""
+        for finding in lint_bundle(build_bundle(rsl)):
+            assert finding.code in LINT_CODES

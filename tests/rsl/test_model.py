@@ -1,0 +1,127 @@
+"""Model-layer invariants not covered by builder tests."""
+
+import math
+
+import pytest
+
+from repro.errors import RslSemanticError
+from repro.rsl.constraints import Constraint
+from repro.rsl.expressions import parse_expression
+from repro.rsl.model import (
+    Bundle,
+    NodeAdvertisement,
+    NodeRequirement,
+    PerformancePoint,
+    PerformanceSpec,
+    Quantity,
+    TuningOption,
+    VariableSpec,
+)
+
+
+def option_with(name="o", **kwargs):
+    defaults = dict(nodes=(NodeRequirement(name="n",
+                                           seconds=Quantity.of(1)),))
+    defaults.update(kwargs)
+    return TuningOption(name=name, **defaults)
+
+
+class TestQuantity:
+    def test_requires_exactly_one_of_constraint_or_expression(self):
+        with pytest.raises(RslSemanticError):
+            Quantity()
+        with pytest.raises(RslSemanticError):
+            Quantity(constraint=Constraint.exact(1),
+                     expression=parse_expression("1"))
+
+    def test_elastic_flag(self):
+        assert Quantity(constraint=Constraint.at_least(2)).elastic
+        assert not Quantity.of(2).elastic
+        assert not Quantity.parametric(parse_expression("x")).elastic
+
+    def test_value_of_elastic_is_minimum(self):
+        assert Quantity(constraint=Constraint.at_least(32)).value() == 32.0
+
+    def test_expression_value_needs_environment(self):
+        quantity = Quantity.parametric(parse_expression("x * 2"))
+        assert quantity.value({"x": 3}) == 6.0
+
+    def test_describe_constant(self):
+        assert Quantity.of(42).describe() == "42"
+
+    def test_describe_expression_is_braced(self):
+        quantity = Quantity.parametric(parse_expression("x * 2"))
+        assert quantity.describe() == "{x * 2}"
+
+
+class TestNodeRequirement:
+    def test_single_replica_keeps_bare_name(self):
+        node = NodeRequirement(name="server")
+        assert node.replica_names() == ["server"]
+
+    def test_fractional_replicate_rejected(self):
+        node = NodeRequirement(name="w", replicate=Quantity.of(2.5))
+        with pytest.raises(RslSemanticError):
+            node.replica_count()
+
+    def test_zero_replicate_rejected(self):
+        node = NodeRequirement(name="w", replicate=Quantity.of(0))
+        with pytest.raises(RslSemanticError):
+            node.replica_count()
+
+
+class TestVariableSpec:
+    def test_default_must_be_in_domain(self):
+        with pytest.raises(RslSemanticError):
+            VariableSpec(name="v", values=(1.0, 2.0), default=3.0)
+
+    def test_default_value_falls_back_to_first(self):
+        assert VariableSpec(name="v", values=(4.0, 8.0)).default_value() == 4.0
+
+
+class TestTuningOption:
+    def test_node_named_missing_raises(self):
+        with pytest.raises(RslSemanticError):
+            option_with().node_named("ghost")
+
+    def test_variable_assignments_cartesian_product(self):
+        option = option_with(variables=(
+            VariableSpec(name="a", values=(1.0, 2.0)),
+            VariableSpec(name="b", values=(10.0, 20.0, 30.0)),
+        ))
+        assignments = list(option.variable_assignments())
+        assert len(assignments) == 6
+        assert {tuple(sorted(a.items())) for a in assignments} == {
+            (("a", x), ("b", y)) for x in (1.0, 2.0)
+            for y in (10.0, 20.0, 30.0)}
+
+    def test_no_variables_yields_single_empty_assignment(self):
+        assert list(option_with().variable_assignments()) == [{}]
+
+
+class TestBundle:
+    def test_option_named_missing_raises(self):
+        bundle = Bundle(app_name="A", bundle_name="b",
+                        options=(option_with(),))
+        with pytest.raises(RslSemanticError):
+            bundle.option_named("ghost")
+
+
+class TestPerformanceSpec:
+    def test_needs_points_or_expression(self):
+        with pytest.raises(RslSemanticError):
+            PerformanceSpec()
+
+    def test_points_must_be_strictly_increasing(self):
+        with pytest.raises(RslSemanticError):
+            PerformanceSpec(points=(PerformancePoint(2, 10),
+                                    PerformancePoint(1, 20)))
+
+
+class TestNodeAdvertisement:
+    def test_speed_must_be_positive(self):
+        with pytest.raises(RslSemanticError):
+            NodeAdvertisement(hostname="x", speed=0)
+
+    def test_memory_defaults_unbounded(self):
+        assert math.isinf(NodeAdvertisement(hostname="x").memory)

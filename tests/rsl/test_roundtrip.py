@@ -1,0 +1,165 @@
+"""Round-trip property: build(unparse(bundle)) == bundle.
+
+The generator below builds random-but-valid bundles spanning the whole
+model: replicated nodes, parametric quantities, elastic constraints,
+variables, performance points, granularity and friction.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rsl import build_bundle, unparse_advertisement, unparse_bundle
+from repro.rsl.builder import build_script
+from repro.rsl.constraints import Constraint
+from repro.rsl.expressions import parse_expression
+from repro.rsl.model import (
+    Bundle,
+    CommunicationRequirement,
+    FrictionSpec,
+    GranularitySpec,
+    LinkRequirement,
+    NodeAdvertisement,
+    NodeRequirement,
+    PerformancePoint,
+    PerformanceSpec,
+    Quantity,
+    TuningOption,
+    VariableSpec,
+)
+
+names = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}", fullmatch=True)
+numbers = st.integers(min_value=0, max_value=10_000).map(float)
+positive = st.integers(min_value=1, max_value=64).map(float)
+
+
+def quantities():
+    return st.one_of(
+        numbers.map(Quantity.of),
+        positive.map(lambda v: Quantity(
+            constraint=Constraint.at_least(v))),
+        st.tuples(positive, positive).map(
+            lambda pair: Quantity(constraint=Constraint.between(
+                pair[0], pair[0] + pair[1]))),
+        st.sampled_from([
+            "workerNodes * 2", "100 / workerNodes",
+            "1 + (workerNodes > 4 ? 4 : workerNodes)",
+        ]).map(lambda s: Quantity.parametric(parse_expression(s))),
+    )
+
+
+@st.composite
+def node_requirements(draw, name):
+    return NodeRequirement(
+        name=name,
+        hostname=draw(st.sampled_from(["*", "host1", "db.example"])),
+        os=draw(st.sampled_from([None, "linux", "aix"])),
+        seconds=draw(st.one_of(st.none(), quantities())),
+        memory=draw(st.one_of(st.none(), quantities())),
+        replicate=draw(st.one_of(
+            st.just(Quantity.of(1)),
+            st.integers(min_value=2, max_value=4).map(
+                lambda n: Quantity.of(float(n))))),
+    )
+
+
+@st.composite
+def options(draw, index):
+    node_names = draw(st.lists(names, min_size=1, max_size=3, unique=True))
+    nodes = tuple(draw(node_requirements(n)) for n in node_names)
+    links = []
+    if len(node_names) >= 2 and draw(st.booleans()):
+        links.append(LinkRequirement(node_names[0], node_names[1],
+                                     draw(quantities())))
+    variables = ()
+    if draw(st.booleans()):
+        domain = tuple(sorted(draw(st.sets(
+            st.integers(min_value=1, max_value=16).map(float),
+            min_size=1, max_size=4))))
+        variables = (VariableSpec(name="workerNodes", values=domain),)
+    performance = None
+    if draw(st.booleans()):
+        xs = sorted(draw(st.sets(st.integers(1, 32).map(float),
+                                 min_size=2, max_size=4)))
+        performance = PerformanceSpec(
+            points=tuple(PerformancePoint(x, draw(numbers)) for x in xs),
+            parameter=draw(st.sampled_from([None, "workerNodes"])))
+    return TuningOption(
+        name=f"opt{index}",
+        nodes=nodes,
+        links=tuple(links),
+        communication=draw(st.one_of(
+            st.none(),
+            quantities().map(CommunicationRequirement))),
+        performance=performance,
+        granularity=draw(st.one_of(
+            st.none(), numbers.map(GranularitySpec))),
+        variables=variables,
+        friction=draw(st.one_of(
+            st.none(), numbers.map(lambda v: FrictionSpec(Quantity.of(v))))),
+    )
+
+
+@st.composite
+def bundles(draw):
+    option_count = draw(st.integers(min_value=1, max_value=3))
+    return Bundle(
+        app_name=draw(names),
+        bundle_name=draw(names),
+        options=tuple(draw(options(i)) for i in range(option_count)),
+        declared_instance=draw(st.one_of(
+            st.none(), st.integers(min_value=0, max_value=99))),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(bundles())
+def test_bundle_roundtrip(bundle):
+    text = unparse_bundle(bundle)
+    rebuilt = build_bundle(text)
+    assert rebuilt == bundle
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.builds(
+    NodeAdvertisement,
+    hostname=names,
+    speed=st.floats(min_value=0.1, max_value=10, allow_nan=False).map(
+        lambda v: round(v, 3)),
+    memory=st.one_of(st.just(float("inf")),
+                     st.integers(1, 1024).map(float)),
+    os=st.sampled_from([None, "linux"]),
+))
+def test_advertisement_roundtrip(advert):
+    text = unparse_advertisement(advert)
+    rebuilt = build_script(text)[0]
+    assert rebuilt == advert
+
+
+def test_figure3_roundtrip(figure3_rsl):
+    bundle = build_bundle(figure3_rsl)
+    assert build_bundle(unparse_bundle(bundle)) == bundle
+
+
+def test_figure2a_roundtrip(figure2a_rsl):
+    bundle = build_bundle(figure2a_rsl)
+    assert build_bundle(unparse_bundle(bundle)) == bundle
+
+
+def test_figure2b_roundtrip(figure2b_rsl):
+    bundle = build_bundle(figure2b_rsl)
+    assert build_bundle(unparse_bundle(bundle)) == bundle
+
+
+def test_roundtrip_preserves_parametric_link_semantics(figure3_rsl):
+    """Semantic (not just structural) equality: expressions still evaluate."""
+    bundle = build_bundle(unparse_bundle(build_bundle(figure3_rsl)))
+    link = bundle.option_named("DS").links[0]
+    assert link.megabytes.value({"client.memory": 32}) == 51.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(bundles())
+def test_pretty_bundle_roundtrip(bundle):
+    """The multi-line pretty printer is also lossless."""
+    from repro.rsl import pretty_bundle
+    assert build_bundle(pretty_bundle(bundle)) == bundle

@@ -1,0 +1,45 @@
+"""Table 1 conformance: the tag registry carries the paper's tag set."""
+
+from repro.rsl.tags import TAG_REGISTRY, TagContext, lookup_tag, tags_for_context
+
+#: The nine primary tags of the paper's Table 1, verbatim.
+TABLE1_TAGS = [
+    "harmonyBundle", "node", "link", "communication", "performance",
+    "granularity", "variable", "harmonyNode", "speed",
+]
+
+
+def test_all_table1_tags_registered():
+    for tag in TABLE1_TAGS:
+        assert lookup_tag(tag) is not None, f"Table 1 tag {tag!r} missing"
+
+
+def test_table1_order_preserved():
+    names = list(TAG_REGISTRY)
+    assert names[:len(TABLE1_TAGS)] == TABLE1_TAGS
+
+
+def test_every_tag_has_purpose_text():
+    for info in TAG_REGISTRY.values():
+        assert info.purpose.strip()
+
+
+def test_script_level_tags():
+    script_tags = {t.name for t in tags_for_context(TagContext.SCRIPT)}
+    assert script_tags == {"harmonyBundle", "harmonyNode"}
+
+
+def test_option_level_tags_include_paper_set():
+    option_tags = {t.name for t in tags_for_context(TagContext.OPTION)}
+    assert {"node", "link", "communication", "performance", "granularity",
+            "variable"} <= option_tags
+
+
+def test_speed_is_advertisement_tag():
+    info = lookup_tag("speed")
+    assert TagContext.ADVERT in info.contexts
+    assert "400 MHz Pentium II" in info.purpose
+
+
+def test_unknown_tag_lookup_returns_none():
+    assert lookup_tag("nonsense") is None

@@ -1,0 +1,146 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def rsl_file(tmp_path):
+    def write(text, name="spec.rsl"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+    return write
+
+
+class TestCheck:
+    def test_clean_bundle(self, rsl_file, capsys, figure3_rsl):
+        path = rsl_file(figure3_rsl)
+        assert main(["check", path]) == 0
+        out = capsys.readouterr().out
+        assert "1 bundle(s)" in out
+        assert "no lint findings" in out
+        assert "2 option(s)" in out
+
+    def test_lint_warnings_reported(self, rsl_file, capsys):
+        path = rsl_file("""harmonyBundle A b {
+            {o {variable lanes {1 2}} {node n {seconds 5} {memory 4}}}}""")
+        assert main(["check", path]) == 0
+        out = capsys.readouterr().out
+        assert "unused-variable" in out
+        assert "1 lint finding(s)" in out
+
+    def test_strict_makes_findings_fatal(self, rsl_file, capsys):
+        path = rsl_file("""harmonyBundle A b {
+            {o {variable lanes {1 2}} {node n {seconds 5} {memory 4}}}}""")
+        assert main(["check", path, "--strict"]) == 2
+
+    def test_syntax_error_exits_nonzero(self, rsl_file, capsys):
+        path = rsl_file("harmonyBundle A b { {unclosed")
+        assert main(["check", path]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_semantic_error_exits_nonzero(self, rsl_file, capsys):
+        path = rsl_file("harmonyFrobnicate x")
+        assert main(["check", path]) == 1
+
+    def test_missing_file_exits_nonzero(self, capsys):
+        assert main(["check", "/no/such/file.rsl"]) == 1
+
+    def test_configuration_count_printed(self, rsl_file, capsys,
+                                         figure2b_rsl):
+        path = rsl_file(figure2b_rsl)
+        main(["check", path])
+        assert "4 configuration(s)" in capsys.readouterr().out
+
+
+class TestTags:
+    def test_prints_table1(self, capsys):
+        assert main(["tags"]) == 0
+        out = capsys.readouterr().out
+        for tag in ("harmonyBundle", "node", "link", "communication",
+                    "performance", "granularity", "variable",
+                    "harmonyNode", "speed"):
+            assert tag in out
+
+
+class TestExperiments:
+    def test_fig7_quick_run(self, capsys):
+        assert main(["fig7", "--tuples", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "switch at" in out
+        assert "3 client(s)" in out
+
+    def test_fig4_two_apps(self, capsys):
+        assert main(["fig4", "--apps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "frame 0 (1 app(s)): 5" in out
+        assert "frame 1 (2 app(s)): 4+4" in out
+
+
+class TestServe:
+    def test_serve_once_binds_and_exits(self, rsl_file, capsys):
+        path = rsl_file("harmonyNode alpha {speed 2}\n"
+                        "harmonyNode beta {speed 1}\n", name="nodes.rsl")
+        assert main(["serve", "--nodes", path, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha, beta" in out
+        assert "Harmony server on 127.0.0.1:" in out
+
+    def test_serve_rejects_bundle_only_file(self, rsl_file, capsys,
+                                            figure3_rsl):
+        path = rsl_file(figure3_rsl)
+        assert main(["serve", "--nodes", path, "--once"]) == 1
+        assert "no harmonyNode" in capsys.readouterr().err
+
+    def test_serve_accepts_connections(self, rsl_file):
+        """End to end: CLI-built server accepts a client session."""
+        import threading
+
+        from repro.api import HarmonyClient, HarmonyServer, TcpTransport
+        from repro.cluster import Cluster
+        from repro.controller import AdaptationController
+        from repro.rsl import NodeAdvertisement, build_script
+
+        path = rsl_file("harmonyNode alpha {speed 1} {memory 256}\n",
+                        name="nodes.rsl")
+        # Reuse the CLI's construction path directly.
+        adverts = [r for r in build_script(open(path).read())
+                   if isinstance(r, NodeAdvertisement)]
+        cluster = Cluster()
+        for advert in adverts:
+            cluster.add_node(advert.hostname, speed=advert.speed,
+                             memory_mb=advert.memory)
+        controller = AdaptationController(cluster)
+        server = HarmonyServer(controller)
+        host, port = server.serve_tcp(port=0)
+        try:
+            client = HarmonyClient(TcpTransport.connect(host, port))
+            key = client.startup("App")
+            assert key == "App.1"
+            client.end()
+        finally:
+            server.stop()
+
+
+class TestFormat:
+    def test_format_pretty_prints_and_roundtrips(self, rsl_file, capsys,
+                                                 figure3_rsl):
+        from repro.rsl import build_bundle
+        path = rsl_file(figure3_rsl)
+        assert main(["format", path]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("harmonyBundle DBclient:1 where {")
+        assert out.count("\n") > 5  # multi-line layout
+        assert build_bundle(out) == build_bundle(figure3_rsl)
+
+    def test_format_handles_node_advertisements(self, rsl_file, capsys):
+        path = rsl_file("harmonyNode alpha {speed 2} {memory 128}\n")
+        assert main(["format", path]) == 0
+        out = capsys.readouterr().out
+        assert out.strip() == "harmonyNode alpha {speed 2} {memory 128}"
+
+    def test_format_error_on_bad_input(self, rsl_file, capsys):
+        path = rsl_file("harmonyBundle {")
+        assert main(["format", path]) == 1

@@ -1,0 +1,29 @@
+"""Run the doctests embedded in public docstrings.
+
+The examples in docstrings are part of the documented API contract; this
+keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.namespace.namespace
+import repro.rsl.constraints
+import repro.rsl.expressions
+import repro.rsl.parser
+
+MODULES = [
+    repro.rsl.expressions,
+    repro.rsl.parser,
+    repro.rsl.constraints,
+    repro.namespace.namespace,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda module: module.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0

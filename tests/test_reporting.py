@@ -1,0 +1,110 @@
+"""Result export: CSV and Markdown rendering."""
+
+import csv
+import io
+import math
+
+import pytest
+
+from repro import reporting
+from repro.apps.database import (
+    DatabaseExperimentConfig,
+    run_database_experiment,
+)
+from repro.apps.parallel_experiment import (
+    ParallelExperimentConfig,
+    run_parallel_experiment,
+)
+from repro.controller.controller import DecisionRecord
+
+
+@pytest.fixture(scope="module")
+def db_result():
+    return run_database_experiment(DatabaseExperimentConfig(
+        tuple_count=2000, total_duration_seconds=650.0))
+
+
+@pytest.fixture(scope="module")
+def parallel_result():
+    return run_parallel_experiment(ParallelExperimentConfig(
+        app_count=2, arrival_interval_seconds=1500.0,
+        total_duration_seconds=3000.0))
+
+
+class TestCsvExports:
+    def test_response_csv_row_per_query(self, db_result):
+        text = reporting.response_series_csv(db_result)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == db_result.queries_total
+        first = rows[0]
+        assert set(first) == {"client", "time_s", "response_s"}
+        assert float(first["response_s"]) > 0
+
+    def test_iteration_csv(self, parallel_result):
+        text = reporting.iteration_series_csv(parallel_result)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        total = sum(len(series) for series in
+                    parallel_result.iteration_series.values())
+        assert len(rows) == total
+        assert {int(row["workers"]) for row in rows} >= {4}
+
+    def test_decisions_csv(self, db_result):
+        text = reporting.decisions_csv(db_result.decisions)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(db_result.decisions)
+        assert rows[0]["new"] == "QS"
+        assert rows[0]["old"] == ""
+
+    def test_decisions_csv_hides_infinite_objectives(self):
+        record = DecisionRecord(
+            time=1.0, app_key="A.1", bundle_name="b",
+            old_configuration=None, new_configuration="x",
+            reason="initial", objective_before=math.inf,
+            objective_after=5.0)
+        text = reporting.decisions_csv([record])
+        row = next(csv.DictReader(io.StringIO(text)))
+        assert row["objective_before"] == ""
+        assert row["objective_after"] == "5.0000"
+
+
+class TestMarkdownExports:
+    def test_phases_markdown_shape(self, db_result):
+        text = reporting.phases_markdown(db_result)
+        lines = text.splitlines()
+        assert lines[0].startswith("| phase ")
+        # header + one row per phase (the |---| divider has no space)
+        assert len([l for l in lines if l.startswith("| ")]) == \
+            1 + len(db_result.phases)
+        assert "Switch to data shipping" in text
+
+    def test_frames_markdown_shape(self, parallel_result):
+        text = reporting.frames_markdown(parallel_result)
+        assert "| 0 " in text
+        assert "4+4" in text
+
+
+class TestReportWriters:
+    def test_write_database_report(self, db_result, tmp_path):
+        paths = reporting.write_database_report(db_result,
+                                                tmp_path / "db")
+        names = {path.name for path in paths}
+        assert names == {"responses.csv", "decisions.csv", "phases.md"}
+        for path in paths:
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_write_parallel_report(self, parallel_result, tmp_path):
+        paths = reporting.write_parallel_report(parallel_result,
+                                                tmp_path / "par")
+        assert {path.name for path in paths} == \
+            {"iterations.csv", "decisions.csv", "frames.md"}
+
+    def test_report_roundtrips_through_csv_reader(self, db_result,
+                                                  tmp_path):
+        [responses, _d, _p] = reporting.write_database_report(
+            db_result, tmp_path)
+        with open(responses) as handle:
+            rows = list(csv.DictReader(handle))
+        by_client: dict[str, int] = {}
+        for row in rows:
+            by_client[row["client"]] = by_client.get(row["client"], 0) + 1
+        assert by_client.keys() == db_result.response_series.keys()
