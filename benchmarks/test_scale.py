@@ -7,7 +7,17 @@ combinations"; greedy evaluation is its answer.  This bench measures how
 the greedy (plus pairwise) controller scales with application count on a
 32-node machine room, and verifies decisions stay sane at scale (all
 placed, memory never oversubscribed).
+
+Besides the rendered table, each run appends its point to
+``benchmarks/results/BENCH_scale.json`` — apps, wall seconds, candidates
+evaluated, predictions recomputed, full-view recomputes — so the bench
+trajectory is machine-readable (CI uploads it as an artifact; see
+docs/performance.md for how to read the counters).
 """
+
+import json
+import pathlib
+import time
 
 import pytest
 
@@ -15,6 +25,8 @@ from repro.cluster import Cluster
 from repro.controller import AdaptationController, ModelDrivenPolicy
 
 from benchutil import fmt_row
+
+BENCH_JSON = pathlib.Path(__file__).parent / "results" / "BENCH_scale.json"
 
 
 def two_option_rsl(index):
@@ -40,10 +52,35 @@ def run_scale(app_count: int, pairwise: bool):
     return controller
 
 
-@pytest.mark.parametrize("app_count", [4, 12, 24, 48])
+def record_bench_point(app_count: int, wall_seconds: float,
+                       stats: dict) -> None:
+    """Merge one measurement into BENCH_scale.json (keyed by app count)."""
+    BENCH_JSON.parent.mkdir(exist_ok=True)
+    points = {}
+    if BENCH_JSON.exists():
+        points = {point["apps"]: point
+                  for point in json.loads(BENCH_JSON.read_text())}
+    points[app_count] = {
+        "apps": app_count,
+        "wall_seconds": round(wall_seconds, 4),
+        "candidates_evaluated": stats["candidates_evaluated"],
+        "predictions_recomputed": stats["predictions_recomputed"],
+        "full_view_recomputes": stats["full_view_recomputes"],
+    }
+    BENCH_JSON.write_text(json.dumps(
+        [points[key] for key in sorted(points)], indent=2) + "\n")
+
+
+@pytest.mark.parametrize("app_count", [4, 12, 24, 48, 96, 128])
 def test_scale_admission(report, benchmark, app_count):
+    start = time.perf_counter()
     controller = benchmark.pedantic(
         run_scale, args=(app_count, False), rounds=1, iterations=1)
+    wall_seconds = time.perf_counter() - start
+    # Counters cover admission only; the assertions below run extra
+    # predictions that should not pollute the recorded point.
+    stats = controller.stats.snapshot()
+    record_bench_point(app_count, wall_seconds, stats)
 
     # Every application got a configuration.
     configured = sum(
@@ -67,13 +104,17 @@ def test_scale_admission(report, benchmark, app_count):
             fmt_row(["apps", "large chosen", "mean resp", "worst resp"],
                     [6, 13, 10, 10]),
             fmt_row([app_count, sizes.count("large"),
-                     f"{mean:.0f}s", f"{worst:.0f}s"], [6, 13, 10, 10])]
+                     f"{mean:.0f}s", f"{worst:.0f}s"], [6, 13, 10, 10]),
+            "",
+            f"candidates evaluated:   {stats['candidates_evaluated']}",
+            f"predictions recomputed: {stats['predictions_recomputed']}",
+            f"full-view recomputes:   {stats['full_view_recomputes']}"]
     report(f"scale_{app_count}apps", rows)
 
     # Sanity: when the machine has room (<=16 large apps fit two nodes
     # each), everyone should get the fast configuration.
     if app_count * 2 <= 32:
         assert sizes.count("large") == app_count
-    # At 48 apps the 32-node room cannot give everyone two nodes; the
+    # Beyond 16 apps the 32-node room cannot give everyone two nodes; the
     # controller degrades by choosing small/sharing, never by failing.
     assert worst < 60 * app_count  # far below serialized execution

@@ -25,7 +25,7 @@ from repro.rsl.expressions import MapEnvironment
 from repro.rsl.model import Quantity, TuningOption
 
 __all__ = ["NodeDemand", "LinkDemand", "ConcreteDemands",
-           "instantiate_option"]
+           "instantiate_option", "InstantiationCache"]
 
 
 @dataclass(frozen=True)
@@ -168,6 +168,49 @@ def instantiate_option(option: TuningOption,
         nodes=tuple(nodes),
         links=tuple(links),
         communication_mb=communication_mb)
+
+
+class InstantiationCache:
+    """Memoizes :func:`instantiate_option` per (option, assignment, grants).
+
+    Instantiation is pure — the same option under the same assignment and
+    grants always yields the same demands (or raises the same semantic
+    error) — so the optimizer can resolve each configuration once and
+    reuse it across trials, re-evaluation sweeps, and the pairwise pass.
+    Failed resolutions are cached too and re-raised on every hit.
+
+    Keys use option *identity*; the cache holds a strong reference to each
+    option so ids stay valid for its lifetime.
+    """
+
+    def __init__(self) -> None:
+        self._results: dict[tuple, ConcreteDemands | RslSemanticError] = {}
+        self._options: dict[int, TuningOption] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def instantiate(self, option: TuningOption,
+                    variable_assignment: Mapping[str, float] | None = None,
+                    grants: Mapping[str, float] | None = None,
+                    ) -> ConcreteDemands:
+        key = (id(option),
+               tuple(sorted((variable_assignment or {}).items())),
+               tuple(sorted((grants or {}).items())))
+        cached = self._results.get(key)
+        if cached is None:
+            self.misses += 1
+            self._options[id(option)] = option
+            try:
+                cached = instantiate_option(option, variable_assignment,
+                                            grants=grants)
+            except RslSemanticError as error:
+                cached = error
+            self._results[key] = cached
+        else:
+            self.hits += 1
+        if isinstance(cached, RslSemanticError):
+            raise cached
+        return cached
 
 
 def _memory_bounds(quantity: Quantity | None,

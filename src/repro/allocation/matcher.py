@@ -70,6 +70,8 @@ class Matcher:
         self.allow_colocation = allow_colocation
         self._ignore_holders: frozenset[str] = frozenset()
         self._order_key: Callable[[str], float] | None = None
+        self._free_mb: dict[str, float] = {}
+        self._ordered_nodes: list[SimNode] = []
 
     def match(self, demands: ConcreteDemands,
               extra_memory: Mapping[str, float] | None = None,
@@ -97,6 +99,7 @@ class Matcher:
         placements: dict[str, str] = {}
         self._ignore_holders = frozenset(ignore_holders or ())
         self._order_key = order_key
+        self._prepare_candidate_order()
         if self._search(list(demands.nodes), demands, placements,
                         extra_memory or {}):
             return Assignment(placements=dict(placements))
@@ -123,36 +126,50 @@ class Matcher:
             del placements[demand.local_name]
         return False
 
+    def _prepare_candidate_order(self) -> None:
+        """Precompute per-match state constant across the backtracking.
+
+        Reservations cannot change mid-search, so each node's free memory
+        (with ignored holders' reservations counted back) is computed once,
+        and the node ordering — strategy key, then the caller's order key,
+        both stable — is sorted once.  Per-demand filtering then preserves
+        this order: a stable sort of a subsequence equals the restriction
+        of the stably sorted full list, and the strategy keys differ from
+        the per-demand form only by a constant (``needed_mb``) shift.
+        """
+        free_mb: dict[str, float] = {}
+        for node in self.cluster.nodes():
+            free = node.memory.available_mb
+            for holder in self._ignore_holders:
+                free += node.memory.held_by(holder)
+            free_mb[node.hostname] = free
+        self._free_mb = free_mb
+        ordered = list(self.cluster.nodes())
+        if self.strategy is MatchStrategy.BEST_FIT:
+            ordered.sort(key=lambda n: free_mb[n.hostname])
+        elif self.strategy is MatchStrategy.WORST_FIT:
+            ordered.sort(key=lambda n: -free_mb[n.hostname])
+        # FIRST_FIT keeps cluster insertion order as the base.
+        if self._order_key is not None:
+            order = self._order_key
+            ordered.sort(key=lambda n: order(n.hostname))  # stable
+        self._ordered_nodes = ordered
+
     def _candidates(self, demand: NodeDemand,
                     placements: dict[str, str],
                     extra_memory: Mapping[str, float]) -> list[SimNode]:
         needed_mb = demand.memory_min_mb + extra_memory.get(
             demand.local_name, 0.0)
         taken = set(placements.values()) if not self.allow_colocation else set()
-
-        def free_mb(node: SimNode) -> float:
-            free = node.memory.available_mb
-            for holder in self._ignore_holders:
-                free += node.memory.held_by(holder)
-            return free
-
-        candidates = [
-            node for node in self.cluster.nodes()
+        free_mb = self._free_mb
+        return [
+            node for node in self._ordered_nodes
             if node.available
             and node.hostname not in taken
             and _hostname_matches(demand.hostname_pattern, node.hostname)
             and (demand.os is None or node.os == demand.os)
-            and free_mb(node) + 1e-9 >= needed_mb
+            and free_mb[node.hostname] + 1e-9 >= needed_mb
         ]
-        if self.strategy is MatchStrategy.BEST_FIT:
-            candidates.sort(key=lambda n: free_mb(n) - needed_mb)
-        elif self.strategy is MatchStrategy.WORST_FIT:
-            candidates.sort(key=lambda n: -(free_mb(n) - needed_mb))
-        # FIRST_FIT keeps cluster insertion order as the base.
-        if self._order_key is not None:
-            order = self._order_key
-            candidates.sort(key=lambda n: order(n.hostname))  # stable
-        return candidates
 
     def _links_feasible(self, demands: ConcreteDemands,
                         placements: dict[str, str], partial: bool) -> bool:

@@ -29,6 +29,11 @@ class Cluster:
         self._nodes: dict[str, SimNode] = {}
         self._links: list[SimLink] = []
         self._graph = nx.Graph()
+        #: Bumped whenever the graph itself changes (nodes/links added).
+        #: Consumers caching routing-derived state (SystemView's per-link
+        #: indexes) compare against it and rebuild lazily.  Node failure
+        #: and restoration do not change the graph, only availability.
+        self.topology_version: int = 0
 
     # -- construction ----------------------------------------------------------
 
@@ -41,6 +46,7 @@ class Cluster:
                        memory_mb=memory_mb, os=os, attributes=attributes)
         self._nodes[hostname] = node
         self._graph.add_node(hostname)
+        self.topology_version += 1
         return node
 
     def add_link(self, host_a: str, host_b: str, bandwidth_mbps: float,
@@ -58,6 +64,7 @@ class Cluster:
                        latency_seconds)
         self._links.append(link)
         self._graph.add_edge(host_a, host_b, link=link)
+        self.topology_version += 1
         return link
 
     @classmethod

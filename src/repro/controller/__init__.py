@@ -18,12 +18,14 @@ from repro.controller.objective import (
 )
 from repro.controller.optimizer import (
     Candidate,
+    ConfigurationCache,
     ExhaustiveOptimizer,
     GreedyOptimizer,
     OptimizationContext,
     enumerate_candidates,
 )
 from repro.controller.policies import ClientCountRulePolicy
+from repro.controller.trial import OptimizerStats, TrialEngine, ViewTrial
 from repro.controller.registry import (
     AppInstance,
     ApplicationRegistry,
@@ -37,7 +39,8 @@ __all__ = [
     "Objective", "MeanResponseTime", "MaxResponseTime",
     "ThroughputObjective", "WeightedMeanResponseTime",
     "GreedyOptimizer", "ExhaustiveOptimizer", "Candidate",
-    "OptimizationContext", "enumerate_candidates",
+    "OptimizationContext", "ConfigurationCache", "enumerate_candidates",
+    "OptimizerStats", "TrialEngine", "ViewTrial",
     "FrictionPolicy", "SwitchDecision",
     "PerformanceEventMonitor", "PerformanceEvent",
     "ApplicationRegistry", "AppInstance", "BundleState",

@@ -34,6 +34,7 @@ from repro.controller.friction import FrictionPolicy
 from repro.controller.objective import MeanResponseTime, Objective
 from repro.controller.optimizer import (
     Candidate,
+    ConfigurationCache,
     GreedyOptimizer,
     OptimizationContext,
 )
@@ -43,11 +44,17 @@ from repro.controller.registry import (
     BundleState,
     ChosenConfiguration,
 )
+from repro.controller.trial import OptimizerStats, TrialEngine
 from repro.errors import AllocationError, ControllerError
 from repro.metrics import MetricInterface
 from repro.namespace import Namespace
-from repro.prediction.contention import SystemView
-from repro.prediction.models import DefaultModel, PerformanceModel
+from repro.prediction.contention import PlacedConfiguration, SystemView
+from repro.prediction.models import (
+    DefaultModel,
+    ExplicitSpecModel,
+    ExpressionSpecModel,
+    PerformanceModel,
+)
 from repro.rsl import Bundle, build_bundle
 
 __all__ = ["AdaptationController", "DecisionRecord", "ReconfigurationEvent",
@@ -156,8 +163,7 @@ class ModelDrivenPolicy(DecisionPolicy):
                         and second[1].granularity_allows_switch(now)):
                     continue
                 context = controller.optimization_context()
-                current = controller.objective.evaluate(
-                    context.predict_all(context.view))
+                current = controller.current_objective()
                 best = self.optimizer.optimize_pair(first, second, context)
                 if best is None:
                     continue
@@ -246,7 +252,8 @@ class AdaptationController:
                  friction_policy: FrictionPolicy | None = None,
                  default_model: PerformanceModel | None = None,
                  match_strategy: MatchStrategy = MatchStrategy.FIRST_FIT,
-                 reevaluation_period_seconds: float = 30.0):
+                 reevaluation_period_seconds: float = 30.0,
+                 incremental: bool = True):
         self.cluster = cluster
         self.metrics = metrics or MetricInterface()
         self.namespace = namespace or Namespace()
@@ -259,6 +266,17 @@ class AdaptationController:
         self.view = SystemView(cluster)
         self.reevaluation_period_seconds = reevaluation_period_seconds
         self.decision_log: list[DecisionRecord] = []
+        #: Work counters for the benchmarks (see OptimizerStats).
+        self.stats = OptimizerStats()
+        #: ``incremental=False`` selects the original copy-and-recompute
+        #: evaluation everywhere — kept as the reference path the
+        #: equivalence tests compare against.
+        self.incremental = incremental
+        self._engine: TrialEngine | None = \
+            TrialEngine(self) if incremental else None
+        self._config_cache: ConfigurationCache | None = \
+            ConfigurationCache() if incremental else None
+        self._model_cache: dict[tuple[str, str, str], PerformanceModel] = {}
         self._listeners: list[Callable[[ReconfigurationEvent], None]] = []
         self._reevaluation_process: Process | None = None
 
@@ -307,6 +325,10 @@ class AdaptationController:
         key = bundle_name if option_name is None \
             else f"{bundle_name}.{option_name}"
         instance.models[key] = model
+        # Custom models can read anything: drop cached predictions and the
+        # instance's cached spec-resolved models.
+        if self._engine is not None:
+            self._engine.invalidate()
 
     # -- reconfiguration plumbing -------------------------------------------
 
@@ -362,13 +384,20 @@ class AdaptationController:
         if option_changed:
             state.last_switch_time = self.now
             state.switch_count += 1
-        self.view.place(instance.key, candidate.demands,
-                        candidate.assignment)
+        token = self.view.place(instance.key, candidate.demands,
+                                candidate.assignment)
         self.registry.publish_choice(instance, state.bundle.bundle_name,
                                      memory_grants=candidate.memory_grants)
 
-        objective_after = self.objective.evaluate(
-            self.predict_all(self.view))
+        if self._engine is not None:
+            # Advance the prediction cache by this placement's delta
+            # instead of recomputing the whole system.
+            self._engine.commit([token])
+            objective_after = self.objective.evaluate(
+                self._engine.live_predictions())
+        else:
+            objective_after = self.objective.evaluate(
+                self.predict_all(self.view))
         self.decision_log.append(DecisionRecord(
             time=self.now, app_key=instance.key,
             bundle_name=state.bundle.bundle_name,
@@ -411,36 +440,80 @@ class AdaptationController:
 
     def predict_all(self, view: SystemView) -> dict[str, float]:
         """Predicted response seconds for every placed application."""
+        self.stats.full_view_recomputes += 1
         predictions: dict[str, float] = {}
         for placed in view.configurations():
-            try:
-                instance = self.registry.instance(placed.app_key)
-            except ControllerError:
-                continue  # app ended while exploring
-            bundle_name = self._bundle_of_option(instance,
-                                                 placed.demands.option_name)
-            model = instance.model_for(bundle_name,
-                                       placed.demands.option_name,
-                                       default=self.default_model)
-            predictions[placed.app_key] = model.predict(
-                placed.demands, placed.assignment, view,
-                app_key=placed.app_key)
+            value = self.predict_app(view, placed)
+            if value is not None:
+                predictions[placed.app_key] = value
         return predictions
 
-    def _bundle_of_option(self, instance: AppInstance,
-                          option_name: str) -> str:
-        for bundle_name, state in instance.bundles.items():
-            if any(option.name == option_name
-                   for option in state.bundle.options):
-                return bundle_name
-        raise ControllerError(
-            f"{instance.key}: no bundle contains option {option_name!r}")
+    def predict_app(self, view: SystemView,
+                    placed: PlacedConfiguration) -> float | None:
+        """One placed application's predicted response seconds.
+
+        Returns ``None`` when the application is no longer registered
+        (it ended while the optimizer was exploring).
+        """
+        try:
+            instance = self.registry.instance(placed.app_key)
+        except ControllerError:
+            return None
+        model = self._model_for(instance, placed.demands.option_name)
+        self.stats.predictions_recomputed += 1
+        return model.predict(placed.demands, placed.assignment, view,
+                             app_key=placed.app_key)
+
+    def _model_for(self, instance: AppInstance,
+                   option_name: str) -> PerformanceModel:
+        """Resolve an option's model, caching spec-derived resolutions.
+
+        Resolving through the RSL spec constructs a fresh model object per
+        call; those are stateless, so one per (instance, bundle, option)
+        suffices.  Instances with explicitly registered models bypass the
+        cache — their ``models`` dict is the live source of truth.
+        """
+        bundle_name = instance.bundle_of_option(option_name)
+        if instance.models:
+            return instance.model_for(bundle_name, option_name,
+                                      default=self.default_model)
+        key = (instance.key, bundle_name, option_name)
+        model = self._model_cache.get(key)
+        if model is None:
+            model = instance.model_for(bundle_name, option_name,
+                                       default=self.default_model)
+            self._model_cache[key] = model
+        return model
+
+    def model_is_footprint_safe(self,
+                                placed: PlacedConfiguration) -> bool:
+        """Whether delta prediction may cache this application's value.
+
+        True only for the built-in models whose reads are covered by the
+        placement footprint (own nodes' CPU contention, own traffic's link
+        contention).  Custom callables, critical-path models, and any
+        subclass are opaque: they are recomputed on every trial.
+        """
+        try:
+            instance = self.registry.instance(placed.app_key)
+        except ControllerError:
+            return True  # never predicted, so never cached
+        model = self._model_for(instance, placed.demands.option_name)
+        return type(model) in (DefaultModel, ExplicitSpecModel,
+                               ExpressionSpecModel)
+
+    def current_objective(self) -> float:
+        """The objective over the live view, from the prediction cache."""
+        if self._engine is not None:
+            return self.objective.evaluate(self._engine.live_predictions())
+        return self.objective.evaluate(self.predict_all(self.view))
 
     def optimization_context(self) -> OptimizationContext:
         return OptimizationContext(
             view=self.view, matcher=self.matcher,
             objective=self.objective, predict_all=self.predict_all,
-            now=self.now)
+            now=self.now, engine=self._engine, cache=self._config_cache,
+            stats=self.stats)
 
     # -- topology changes -----------------------------------------------------
 

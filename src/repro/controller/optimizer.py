@@ -13,6 +13,19 @@ with every *other* application held fixed, and returns the best candidate.
 :class:`ExhaustiveOptimizer` searches the full cross-product of all
 applications' configurations — exponential, provided for the ablation
 benchmark quantifying the greedy gap.
+
+Candidate scoring runs in one of two modes, chosen by the context:
+
+* **naive** (no :class:`~repro.controller.trial.TrialEngine` attached) —
+  the original algorithm: copy the view, place the candidate, predict every
+  application from scratch.  Kept both for contexts assembled by hand and
+  as the reference implementation the equivalence tests compare against.
+* **incremental** — trial placements mutate the live view and roll back
+  through undo tokens (:class:`~repro.controller.trial.ViewTrial`), and
+  predictions are delta-computed over the dirty set only.  A
+  :class:`ConfigurationCache` additionally memoizes each bundle's resolved
+  configuration space so re-evaluation sweeps and the pairwise pass stop
+  re-instantiating options.  Both modes make identical decisions.
 """
 
 from __future__ import annotations
@@ -20,11 +33,11 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Mapping
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping
 
-from repro.allocation.allocation import Allocation
 from repro.allocation.instantiate import (
     ConcreteDemands,
+    InstantiationCache,
     NodeDemand,
     instantiate_option,
 )
@@ -33,10 +46,14 @@ from repro.controller.objective import Objective
 from repro.controller.registry import AppInstance, BundleState
 from repro.errors import AllocationError, RslSemanticError
 from repro.prediction.contention import SystemView
-from repro.rsl.model import TuningOption
+from repro.rsl.expressions import MapEnvironment
+from repro.rsl.model import Bundle, TuningOption
 
-__all__ = ["Candidate", "OptimizationContext", "GreedyOptimizer",
-           "ExhaustiveOptimizer", "enumerate_candidates"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.controller.trial import OptimizerStats, TrialEngine
+
+__all__ = ["Candidate", "OptimizationContext", "ConfigurationCache",
+           "GreedyOptimizer", "ExhaustiveOptimizer", "enumerate_candidates"]
 
 #: predict_all(view) -> {app_key: predicted seconds} for every placed app.
 PredictAll = Callable[[SystemView], Mapping[str, float]]
@@ -53,6 +70,17 @@ class Candidate:
     assignment: Assignment
     objective_value: float = math.inf
     predicted_seconds: float = math.inf
+
+    def clone(self) -> "Candidate":
+        """An independent copy (own mutable dicts, shared frozen demands)."""
+        return Candidate(
+            option_name=self.option_name,
+            variable_assignment=dict(self.variable_assignment),
+            memory_grants=dict(self.memory_grants),
+            demands=self.demands,
+            assignment=self.assignment,
+            objective_value=self.objective_value,
+            predicted_seconds=self.predicted_seconds)
 
     def describe(self) -> str:
         parts = [self.option_name]
@@ -74,11 +102,98 @@ class OptimizationContext:
     now: float = 0.0
     #: Cap on elastic-memory probe values per node demand.
     memory_probe_limit: int = 3
+    #: Delta-prediction engine; None selects the naive scoring path.
+    engine: "TrialEngine | None" = None
+    #: Memoized configuration spaces; None re-enumerates from the RSL.
+    cache: "ConfigurationCache | None" = None
+    #: Work counters (candidates, recomputes); optional.
+    stats: "OptimizerStats | None" = None
 
 
 def bundle_holder(instance: AppInstance, state: BundleState) -> str:
     """The allocation-holder id for one (instance, bundle) pair."""
     return f"{instance.key}:{state.bundle.bundle_name}"
+
+
+@dataclass(frozen=True)
+class ConfigurationEntry:
+    """One pre-resolved configuration of a bundle, ready to match."""
+
+    option: TuningOption
+    variable_assignment: Mapping[str, float]
+    grants: Mapping[str, float]
+    demands: ConcreteDemands
+    extra_memory: Mapping[str, float]
+
+
+class ConfigurationCache:
+    """Memoizes each bundle's resolved configuration space.
+
+    A bundle's space — every (option, variable assignment, memory grants)
+    triple with its instantiated demands — depends only on the RSL, never
+    on cluster state, so it is computed once per bundle and reused by
+    every enumeration: initial configuration, re-evaluation sweeps, the
+    pairwise pass.  Only *matching* (which reads live reservations and
+    load ordering) runs per call.
+
+    The elastic-memory probe (:func:`_best_memory_for`) is memoized here
+    too, and — when the probed grant cannot change the option's node
+    structure — evaluated directly on the link/communication expressions
+    instead of fully re-instantiating the option per probed value.
+    """
+
+    def __init__(self) -> None:
+        self.instantiations = InstantiationCache()
+        self._spaces: dict[tuple[int, int],
+                           tuple[Bundle, list[ConfigurationEntry]]] = {}
+        self._memory_probes: dict[tuple, float | None] = {}
+
+    def space_for(self, bundle: Bundle,
+                  probe_limit: int) -> list[ConfigurationEntry]:
+        key = (id(bundle), probe_limit)
+        hit = self._spaces.get(key)
+        if hit is not None:
+            return hit[1]
+        entries: list[ConfigurationEntry] = []
+        for option in bundle.options:
+            for variable_assignment in option.variable_assignments():
+                try:
+                    base = self.instantiations.instantiate(
+                        option, variable_assignment)
+                except RslSemanticError:
+                    continue
+                for grants in _memory_grant_choices(option, base,
+                                                    probe_limit, cache=self):
+                    try:
+                        demands = base if not grants else \
+                            self.instantiations.instantiate(
+                                option, variable_assignment, grants=grants)
+                    except RslSemanticError:
+                        continue
+                    entries.append(ConfigurationEntry(
+                        option=option,
+                        variable_assignment=dict(variable_assignment),
+                        grants=dict(grants),
+                        demands=demands,
+                        extra_memory=_extra_memory(demands, grants)))
+        self._spaces[key] = (bundle, entries)
+        return entries
+
+    def best_memory_for(self, option: TuningOption, base: ConcreteDemands,
+                        demand: NodeDemand,
+                        span_mb: float = 64.0) -> float | None:
+        key = (id(option),
+               tuple(sorted(base.variable_assignment.items())),
+               demand.local_name, span_mb)
+        if key in self._memory_probes:
+            return self._memory_probes[key]
+        grant_key = f"{demand.local_name}.memory"
+        if _grant_affects_nodes(option, grant_key):
+            best = _best_memory_for(option, base, demand, span_mb)
+        else:
+            best = _best_memory_by_expression(option, base, demand, span_mb)
+        self._memory_probes[key] = best
+        return best
 
 
 def enumerate_candidates(instance: AppInstance, state: BundleState,
@@ -90,17 +205,35 @@ def enumerate_candidates(instance: AppInstance, state: BundleState,
 
     The application's own current reservations are ignored while matching
     (``ignore_holders``), so it can re-use the resources it currently
-    holds.  Placements prefer the least CPU-loaded nodes of
-    ``ordering_view`` (default: the context view without this application),
-    so new configurations spread away from other applications when room
-    exists.
+    holds.  Placements prefer the least CPU-loaded nodes as seen without
+    this application — by default computed directly from the context view
+    with the application's own footprint subtracted, so no per-bundle view
+    copy is needed; ``ordering_view`` overrides that (the pairwise search
+    orders against partially-built trial states).
     """
     ignore = frozenset({bundle_holder(instance, state)}) \
         | extra_ignore_holders
-    if ordering_view is None:
-        ordering_view = context.view.copy()
-        ordering_view.remove(instance.key)
-    order_key = _load_order_key(ordering_view)
+    if ordering_view is not None:
+        order_key = _load_order_key(ordering_view)
+    else:
+        order_key = _load_order_key(context.view,
+                                    exclude_apps=(instance.key,))
+    if context.cache is not None:
+        for entry in context.cache.space_for(state.bundle,
+                                             context.memory_probe_limit):
+            try:
+                assignment = context.matcher.match(
+                    entry.demands, extra_memory=entry.extra_memory,
+                    ignore_holders=ignore, order_key=order_key)
+            except AllocationError:
+                continue
+            yield Candidate(option_name=entry.option.name,
+                            variable_assignment=dict(
+                                entry.variable_assignment),
+                            memory_grants=dict(entry.grants),
+                            demands=entry.demands,
+                            assignment=assignment)
+        return
     for option in state.bundle.options:
         for variable_assignment in option.variable_assignments():
             yield from _candidates_for_assignment(
@@ -108,15 +241,26 @@ def enumerate_candidates(instance: AppInstance, state: BundleState,
                 order_key)
 
 
-def _load_order_key(view: SystemView):
+def _load_order_key(view: SystemView,
+                    exclude_apps: tuple[str, ...] = ()):
     """Prefer idle nodes; among equally loaded ones, prefer faster nodes.
 
     Load includes measured external consumers, so candidates also spread
-    away from work Harmony does not manage.
+    away from work Harmony does not manage.  ``exclude_apps`` subtracts
+    the named applications' own demands from the per-node counts —
+    equivalent to (but cheaper than) copying the view and removing them.
     """
+    excluded: dict[str, int] = {}
+    for app_key in exclude_apps:
+        footprint = view.footprint_of(app_key)
+        if footprint is None:
+            continue
+        for hostname, seconds in footprint.cpu.items():
+            excluded[hostname] = excluded.get(hostname, 0) + len(seconds)
     keys = {}
     for hostname in view.cluster.hostnames():
-        load = (float(view.cpu_consumers(hostname))
+        load = (float(view.cpu_consumers(hostname)
+                      - excluded.get(hostname, 0))
                 + view.external_cpu_load(hostname))
         speed = view.cluster.node(hostname).speed
         keys[hostname] = (load, -speed)
@@ -163,6 +307,7 @@ def _extra_memory(demands: ConcreteDemands,
 
 def _memory_grant_choices(option: TuningOption, base: ConcreteDemands,
                           probe_limit: int,
+                          cache: ConfigurationCache | None = None,
                           ) -> Iterator[dict[str, float]]:
     """Enumerate elastic-memory grants worth considering.
 
@@ -176,7 +321,10 @@ def _memory_grant_choices(option: TuningOption, base: ConcreteDemands,
     yield {}
     dependent = _memory_dependent_demands(option, base)
     for demand in dependent[:probe_limit]:
-        best = _best_memory_for(option, base, demand)
+        if cache is not None:
+            best = cache.best_memory_for(option, base, demand)
+        else:
+            best = _best_memory_for(option, base, demand)
         if best is not None and best > demand.memory_min_mb:
             yield {f"{demand.local_name}.memory": best}
 
@@ -218,6 +366,71 @@ def _best_memory_for(option: TuningOption, base: ConcreteDemands,
     return best_memory
 
 
+def _grant_affects_nodes(option: TuningOption, grant_key: str) -> bool:
+    """Whether a memory grant can alter the option's node demands.
+
+    When a node's replicate count, CPU seconds, or memory bounds reference
+    the granted name, probing it needs full re-instantiation; otherwise
+    only link/communication expressions can change.
+    """
+    for requirement in option.nodes:
+        for quantity in (requirement.replicate, requirement.seconds,
+                         requirement.memory):
+            if quantity is not None and \
+                    grant_key in quantity.free_variables():
+                return True
+    return False
+
+
+def _best_memory_by_expression(option: TuningOption, base: ConcreteDemands,
+                               demand: NodeDemand, span_mb: float = 64.0,
+                               ) -> float | None:
+    """The memory probe without per-value re-instantiation.
+
+    Valid only when the grant cannot affect node demands
+    (:func:`_grant_affects_nodes` is false): the node set is then fixed,
+    and total traffic is the sum of the link/communication expressions
+    under an environment where only the probed grant varies.  Replicates
+    the exhaustive probe's exact semantics — same scan range, same
+    earliest-strict-improvement rule, same skip-on-semantic-error —
+    and therefore returns the identical value.
+    """
+    low = int(math.ceil(demand.memory_min_mb))
+    high = int(min(demand.memory_max_mb, demand.memory_min_mb + span_mb))
+    key = f"{demand.local_name}.memory"
+    env_values = dict(base.variable_assignment)
+    for node in base.nodes:
+        env_values.setdefault(f"{node.local_name}.memory",
+                              node.memory_granted(None))
+    best_memory: float | None = None
+    best_traffic = math.inf
+    for memory in range(low, high + 1):
+        env_values[key] = float(memory)
+        env = MapEnvironment(env_values)
+        traffic = 0.0
+        try:
+            for link in option.links:
+                total_mb = link.megabytes.value(env)
+                if total_mb < 0:
+                    raise RslSemanticError(
+                        f"link {link.endpoint_a}-{link.endpoint_b}: "
+                        f"negative traffic {total_mb}")
+                traffic += total_mb
+            if option.communication is not None:
+                communication_mb = option.communication.megabytes.value(env)
+                if communication_mb < 0:
+                    raise RslSemanticError(
+                        f"communication: negative traffic "
+                        f"{communication_mb}")
+                traffic += communication_mb
+        except RslSemanticError:
+            continue
+        if traffic < best_traffic - 1e-9:
+            best_traffic = traffic
+            best_memory = float(memory)
+    return best_memory
+
+
 @dataclass
 class OptimizationResult:
     """Best candidate found for one bundle, with search statistics."""
@@ -249,6 +462,8 @@ class GreedyOptimizer:
         best feasible combination, or ``None`` when either side has no
         feasible candidate.
         """
+        if context.engine is not None:
+            return self._optimize_pair_incremental(first, second, context)
         instance_a, state_a = first
         instance_b, state_b = second
         ignore = frozenset({bundle_holder(instance_a, state_a),
@@ -276,14 +491,16 @@ class GreedyOptimizer:
                 if not _pair_memory_ok(context.view.cluster, ignore,
                                        cand_a, cand_b):
                     continue
+                if context.stats is not None:
+                    context.stats.candidates_evaluated += 1
                 trial_view = view_with_a.copy()
                 trial_view.place(instance_b.key, cand_b.demands,
                                  cand_b.assignment)
                 predictions = context.predict_all(trial_view)
                 objective = context.objective.evaluate(predictions)
                 if best is None or objective < best[2] - 1e-12:
-                    copy_a = Candidate(**{**cand_a.__dict__})
-                    copy_b = Candidate(**{**cand_b.__dict__})
+                    copy_a = cand_a.clone()
+                    copy_b = cand_b.clone()
                     copy_a.objective_value = objective
                     copy_b.objective_value = objective
                     copy_a.predicted_seconds = predictions.get(
@@ -293,10 +510,69 @@ class GreedyOptimizer:
                     best = (copy_a, copy_b, objective)
         return best
 
+    def _optimize_pair_incremental(
+            self, first: tuple[AppInstance, BundleState],
+            second: tuple[AppInstance, BundleState],
+            context: OptimizationContext,
+            ) -> tuple[Candidate, Candidate, float] | None:
+        """Joint two-bundle search by trial-and-rollback on the live view."""
+        from repro.controller.trial import ViewTrial
+
+        engine = context.engine
+        assert engine is not None
+        instance_a, state_a = first
+        instance_b, state_b = second
+        ignore = frozenset({bundle_holder(instance_a, state_a),
+                            bundle_holder(instance_b, state_b)})
+        live = engine.live_predictions()
+        best: tuple[Candidate, Candidate, float] | None = None
+        with ViewTrial(context.view) as outer:
+            outer.remove(instance_a.key)
+            outer.remove(instance_b.key)
+            base_removed = engine.trial_predictions(live, outer.tokens)
+            candidates_a = list(enumerate_candidates(
+                instance_a, state_a, context, extra_ignore_holders=ignore))
+            if not candidates_a:
+                return None
+            for cand_a in candidates_a:
+                with ViewTrial(context.view) as with_a:
+                    with_a.place(instance_a.key, cand_a.demands,
+                                 cand_a.assignment)
+                    base_a = engine.trial_predictions(base_removed,
+                                                      with_a.tokens)
+                    for cand_b in enumerate_candidates(
+                            instance_b, state_b, context,
+                            extra_ignore_holders=ignore):
+                        if not _pair_memory_ok(context.view.cluster, ignore,
+                                               cand_a, cand_b):
+                            continue
+                        if context.stats is not None:
+                            context.stats.candidates_evaluated += 1
+                        with ViewTrial(context.view) as with_b:
+                            with_b.place(instance_b.key, cand_b.demands,
+                                         cand_b.assignment)
+                            predictions = engine.trial_predictions(
+                                base_a, with_b.tokens)
+                        objective = context.objective.evaluate(predictions)
+                        if best is None or objective < best[2] - 1e-12:
+                            copy_a = cand_a.clone()
+                            copy_b = cand_b.clone()
+                            copy_a.objective_value = objective
+                            copy_b.objective_value = objective
+                            copy_a.predicted_seconds = predictions.get(
+                                instance_a.key, math.inf)
+                            copy_b.predicted_seconds = predictions.get(
+                                instance_b.key, math.inf)
+                            best = (copy_a, copy_b, objective)
+        return best
+
     def optimize_bundle(self, instance: AppInstance, state: BundleState,
                         context: OptimizationContext) -> OptimizationResult:
         """Pick the configuration of this bundle minimizing the objective,
         holding every other application (and bundle) fixed."""
+        if context.engine is not None:
+            return self._optimize_bundle_incremental(instance, state,
+                                                     context)
         current_objective = context.objective.evaluate(
             context.predict_all(context.view))
 
@@ -314,6 +590,39 @@ class GreedyOptimizer:
             if best is None or \
                     candidate.objective_value < best.objective_value - 1e-12:
                 best = candidate
+        if context.stats is not None:
+            context.stats.candidates_evaluated += evaluated
+        return OptimizationResult(best=best, candidates_evaluated=evaluated,
+                                  current_objective=current_objective)
+
+    def _optimize_bundle_incremental(
+            self, instance: AppInstance, state: BundleState,
+            context: OptimizationContext) -> OptimizationResult:
+        """Same search, scored by trial-and-rollback plus delta prediction."""
+        from repro.controller.trial import ViewTrial
+
+        engine = context.engine
+        assert engine is not None
+        live = engine.live_predictions()
+        current_objective = context.objective.evaluate(live)
+
+        best: Candidate | None = None
+        evaluated = 0
+        for candidate in enumerate_candidates(instance, state, context):
+            evaluated += 1
+            with ViewTrial(context.view) as trial:
+                trial.place(instance.key, candidate.demands,
+                            candidate.assignment)
+                predictions = engine.trial_predictions(live, trial.tokens)
+            candidate.objective_value = context.objective.evaluate(
+                predictions)
+            candidate.predicted_seconds = predictions.get(
+                instance.key, math.inf)
+            if best is None or \
+                    candidate.objective_value < best.objective_value - 1e-12:
+                best = candidate
+        if context.stats is not None:
+            context.stats.candidates_evaluated += evaluated
         return OptimizationResult(best=best, candidates_evaluated=evaluated,
                                   current_objective=current_objective)
 
@@ -350,6 +659,9 @@ class ExhaustiveOptimizer:
                 f"exhaustive search space {total} exceeds cap "
                 f"{self.max_combinations}")
 
+        if context.engine is not None:
+            return self._search_incremental(per_app, context)
+
         best_choice: dict[str, Candidate] = {}
         best_objective = math.inf
         combinations = 0
@@ -366,8 +678,50 @@ class ExhaustiveOptimizer:
                                  candidate.assignment)
             if not feasible:
                 continue
+            if context.stats is not None:
+                context.stats.candidates_evaluated += 1
             objective = context.objective.evaluate(
                 context.predict_all(trial_view))
+            if objective < best_objective - 1e-12:
+                best_objective = objective
+                best_choice = {
+                    instance.key: candidate
+                    for (instance, _s, _c), candidate in zip(per_app, combo)
+                }
+        return best_choice, best_objective, combinations
+
+    def _search_incremental(
+            self,
+            per_app: list[tuple[AppInstance, BundleState, list[Candidate]]],
+            context: OptimizationContext,
+            ) -> tuple[dict[str, Candidate], float, int]:
+        """Cross-product search via trial-and-rollback on the live view."""
+        from repro.controller.trial import ViewTrial
+
+        engine = context.engine
+        assert engine is not None
+        live = engine.live_predictions()
+        best_choice: dict[str, Candidate] = {}
+        best_objective = math.inf
+        combinations = 0
+        for combo in itertools.product(*(c for _, _, c in per_app)):
+            combinations += 1
+            feasible = True
+            usage: dict[str, float] = {}
+            for (_instance, _state, _), candidate in zip(per_app, combo):
+                if not _memory_feasible(context.view, candidate, usage):
+                    feasible = False
+                    break
+            if not feasible:
+                continue
+            if context.stats is not None:
+                context.stats.candidates_evaluated += 1
+            with ViewTrial(context.view) as trial:
+                for (instance, _state, _), candidate in zip(per_app, combo):
+                    trial.place(instance.key, candidate.demands,
+                                candidate.assignment)
+                predictions = engine.trial_predictions(live, trial.tokens)
+            objective = context.objective.evaluate(predictions)
             if objective < best_objective - 1e-12:
                 best_objective = objective
                 best_choice = {

@@ -19,6 +19,7 @@ from repro.controller.controller import (
 )
 from repro.controller.optimizer import Candidate, bundle_holder
 from repro.controller.registry import AppInstance, BundleState
+from repro.controller.trial import ViewTrial
 from repro.errors import AllocationError
 
 __all__ = ["ClientCountRulePolicy"]
@@ -121,9 +122,11 @@ class ClientCountRulePolicy(DecisionPolicy):
             memory_grants={},
             demands=demands,
             assignment=assignment)
-        trial_view = controller.view.copy()
-        trial_view.place(instance.key, demands, assignment)
-        predictions = controller.predict_all(trial_view)
+        # Score by trial-and-rollback on the live view: the placement is
+        # applied in place and undone before the real apply below.
+        with ViewTrial(controller.view) as trial:
+            trial.place(instance.key, demands, assignment)
+            predictions = controller.predict_all(controller.view)
         candidate.predicted_seconds = predictions.get(
             instance.key, float("inf"))
         candidate.objective_value = controller.objective.evaluate(predictions)

@@ -11,17 +11,36 @@ behaves in steady state: a node serving ``k`` concurrent applications gives
 each a ``1/k`` share, so CPU times stretch by ``k``; likewise link
 bandwidth.  That is exactly the mechanism that produces the paper's
 Figure 7 shape (two query-shipping clients -> double response time).
+
+Besides the contention queries the view is the optimizer's *transactional*
+substrate: :meth:`SystemView.place` and :meth:`SystemView.remove` return a
+:class:`PlacementToken` describing exactly what changed, so candidate
+trials can mutate the live view and roll back (see
+:mod:`repro.controller.trial`) instead of deep-copying the whole view per
+candidate.  Internally every placement is indexed by the nodes it computes
+on and the physical links its traffic crosses (its
+:class:`PlacementFootprint`); contention queries read those indexes in
+O(sharers) instead of scanning every placed configuration, and
+:meth:`apps_affected_by` exposes the *dirty set* — the applications whose
+predictions can change when a given footprint appears or disappears.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
 
 from repro.allocation.instantiate import ConcreteDemands
 from repro.allocation.matcher import Assignment
 from repro.cluster.topology import Cluster
+from repro.errors import SimulationError
 
-__all__ = ["PlacedConfiguration", "SystemView"]
+__all__ = ["PlacedConfiguration", "PlacementFootprint", "PlacementToken",
+           "SystemView"]
+
+#: A physical link is identified by its (unordered) endpoint pair; the
+#: cluster forbids duplicate links between the same two hosts.
+LinkKey = frozenset
 
 
 @dataclass(frozen=True)
@@ -31,6 +50,54 @@ class PlacedConfiguration:
     app_key: str
     demands: ConcreteDemands
     assignment: Assignment
+
+
+@dataclass(frozen=True)
+class PlacementFootprint:
+    """What one placed configuration contributes to — and reads from.
+
+    ``cpu`` maps hostname to the reference seconds of each CPU-consuming
+    demand placed there (its CPU *write* set, which is also its CPU *read*
+    set: contention at a node only matters to applications computing on
+    it).  ``flows`` maps each physical link crossed by an explicit link
+    demand to the per-flow megabytes (the link *write* set).  ``read_links``
+    additionally includes the links general ``communication`` traffic is
+    charged on (all-pairs paths) — traffic that *reads* link contention but
+    does not add flows other applications see.
+    """
+
+    cpu: Mapping[str, tuple[float, ...]] = field(default_factory=dict)
+    flows: Mapping[LinkKey, tuple[float, ...]] = field(default_factory=dict)
+    read_links: frozenset = frozenset()
+
+    def cpu_count_at(self, hostname: str) -> int:
+        return len(self.cpu.get(hostname, ()))
+
+
+_EMPTY_FOOTPRINT = PlacementFootprint()
+
+
+@dataclass(frozen=True)
+class PlacementToken:
+    """Undo/delta record for one :meth:`SystemView.place` / ``remove``.
+
+    ``removed``/``removed_footprint`` describe the configuration that was
+    displaced (``None`` when the application was not placed before);
+    ``added``/``added_footprint`` the one installed (``None`` for a pure
+    removal).  :class:`~repro.controller.trial.ViewTrial` replays tokens in
+    reverse to roll back; the delta predictor unions the affected sets of
+    both footprints to obtain the dirty set of the mutation.
+    """
+
+    app_key: str
+    removed: PlacedConfiguration | None
+    removed_footprint: PlacementFootprint | None
+    added: PlacedConfiguration | None
+    added_footprint: PlacementFootprint | None
+    #: The view's version before this mutation; rollback restores it, so
+    #: a fully rolled-back trial leaves the version untouched and caches
+    #: keyed on it (the TrialEngine's live predictions) stay valid.
+    version_before: int = 0
 
 
 class SystemView:
@@ -44,24 +111,93 @@ class SystemView:
     stretches co-located work like an equal-length processor-sharing
     competitor (the conservative assumption when only a load count, not
     a demand, is observable).
+
+    ``version`` increments on every observable mutation (placements,
+    external load, topology-triggered reindex); prediction caches key on
+    it to detect staleness.
     """
 
     def __init__(self, cluster: Cluster):
         self.cluster = cluster
         self._configurations: dict[str, PlacedConfiguration] = {}
         self._external_cpu: dict[str, float] = {}
-        self._external_flows: dict[frozenset[str], float] = {}
+        self._external_flows: dict[LinkKey, float] = {}
+        # -- incremental contention indexes --------------------------------
+        self._footprints: dict[str, PlacementFootprint] = {}
+        #: hostname -> app_key -> seconds of each CPU demand placed there
+        self._host_entries: dict[str, dict[str, tuple[float, ...]]] = {}
+        self._host_counts: dict[str, int] = {}
+        #: physical link -> app_key -> megabytes of each flow crossing it
+        self._link_entries: dict[LinkKey, dict[str, tuple[float, ...]]] = {}
+        self._link_counts: dict[LinkKey, int] = {}
+        #: physical link -> apps whose prediction reads its contention
+        self._link_readers: dict[LinkKey, set[str]] = {}
+        self.version: int = 0
+        self._topology_version = getattr(cluster, "topology_version", 0)
 
     # -- membership ----------------------------------------------------------
 
     def place(self, app_key: str, demands: ConcreteDemands,
-              assignment: Assignment) -> None:
-        """Add or replace one application's proposed configuration."""
-        self._configurations[app_key] = PlacedConfiguration(
-            app_key=app_key, demands=demands, assignment=assignment)
+              assignment: Assignment) -> PlacementToken:
+        """Add or replace one application's proposed configuration.
 
-    def remove(self, app_key: str) -> None:
-        self._configurations.pop(app_key, None)
+        Returns a :class:`PlacementToken` a trial can use to roll the
+        mutation back.  Replacing an existing placement keeps the
+        application's position in :meth:`configurations` (matching plain
+        ``dict`` update semantics), so prediction dictionaries built from
+        the view keep a stable iteration order across trials.
+        """
+        self._sync_topology()
+        version_before = self.version
+        removed = self._configurations.get(app_key)
+        removed_footprint = self._footprints.get(app_key)
+        if removed is not None:
+            self._unindex(app_key, removed_footprint)
+        config = PlacedConfiguration(
+            app_key=app_key, demands=demands, assignment=assignment)
+        footprint = self._footprint_for(demands, assignment)
+        self._configurations[app_key] = config
+        self._footprints[app_key] = footprint
+        self._index(app_key, footprint)
+        self.version += 1
+        return PlacementToken(app_key=app_key, removed=removed,
+                              removed_footprint=removed_footprint,
+                              added=config, added_footprint=footprint,
+                              version_before=version_before)
+
+    def remove(self, app_key: str) -> PlacementToken:
+        self._sync_topology()
+        version_before = self.version
+        removed = self._configurations.pop(app_key, None)
+        removed_footprint = self._footprints.pop(app_key, None)
+        if removed is not None:
+            self._unindex(app_key, removed_footprint)
+            self.version += 1
+        return PlacementToken(app_key=app_key, removed=removed,
+                              removed_footprint=removed_footprint,
+                              added=None, added_footprint=None,
+                              version_before=version_before)
+
+    def restore(self, token: PlacementToken) -> None:
+        """Undo one token (the trial rollback primitive)."""
+        self._sync_topology()
+        app_key = token.app_key
+        current = self._footprints.get(app_key)
+        if token.added is not None and app_key in self._configurations:
+            self._unindex(app_key, current)
+            del self._configurations[app_key]
+            del self._footprints[app_key]
+        if token.removed is not None:
+            # Reinstall the displaced configuration, reusing its footprint
+            # (placements and topology are unchanged under a trial).
+            self._configurations[app_key] = token.removed
+            self._footprints[app_key] = token.removed_footprint \
+                or _EMPTY_FOOTPRINT
+            self._index(app_key, self._footprints[app_key])
+        # A rolled-back mutation leaves no observable change, so the
+        # version rewinds with it: version-keyed caches built before the
+        # trial remain valid after it.
+        self.version = token.version_before
 
     def configurations(self) -> list[PlacedConfiguration]:
         return list(self._configurations.values())
@@ -69,13 +205,165 @@ class SystemView:
     def configuration_of(self, app_key: str) -> PlacedConfiguration | None:
         return self._configurations.get(app_key)
 
+    def footprint_of(self, app_key: str) -> PlacementFootprint | None:
+        """The indexed footprint of a placed application (or ``None``)."""
+        self._sync_topology()
+        return self._footprints.get(app_key)
+
     def copy(self) -> "SystemView":
         """A shallow copy the optimizer can mutate while exploring."""
         view = SystemView(self.cluster)
         view._configurations = dict(self._configurations)
         view._external_cpu = dict(self._external_cpu)
         view._external_flows = dict(self._external_flows)
+        view._footprints = dict(self._footprints)
+        view._host_entries = {host: dict(entries) for host, entries
+                              in self._host_entries.items()}
+        view._host_counts = dict(self._host_counts)
+        view._link_entries = {key: dict(entries) for key, entries
+                              in self._link_entries.items()}
+        view._link_counts = dict(self._link_counts)
+        view._link_readers = {key: set(apps) for key, apps
+                              in self._link_readers.items()}
+        view.version = self.version
+        view._topology_version = self._topology_version
         return view
+
+    # -- footprint maintenance -------------------------------------------------
+
+    def _footprint_for(self, demands: ConcreteDemands,
+                       assignment: Assignment) -> PlacementFootprint:
+        placements = assignment.placements
+        cpu: dict[str, list[float]] = {}
+        for demand in demands.nodes:
+            if not demand.seconds or demand.seconds <= 0:
+                continue
+            hostname = placements.get(demand.local_name)
+            if hostname is None:
+                continue
+            cpu.setdefault(hostname, []).append(demand.seconds)
+        flows: dict[LinkKey, list[float]] = {}
+        for link_demand in demands.links:
+            if link_demand.total_mb <= 0:
+                continue
+            host_a = placements.get(link_demand.endpoint_a)
+            host_b = placements.get(link_demand.endpoint_b)
+            if host_a is None or host_b is None or host_a == host_b:
+                continue
+            for link in self._safe_path(host_a, host_b):
+                key = frozenset((link.host_a, link.host_b))
+                flows.setdefault(key, []).append(link_demand.total_mb)
+        read_links = set(flows)
+        if demands.communication_mb and demands.communication_mb > 0:
+            hosts = sorted(set(placements.values()))
+            for i, host_a in enumerate(hosts):
+                for host_b in hosts[i + 1:]:
+                    for link in self._safe_path(host_a, host_b):
+                        read_links.add(frozenset((link.host_a, link.host_b)))
+        return PlacementFootprint(
+            cpu={host: tuple(values) for host, values in cpu.items()},
+            flows={key: tuple(values) for key, values in flows.items()},
+            read_links=frozenset(read_links))
+
+    def _safe_path(self, host_a: str, host_b: str):
+        try:
+            return self.cluster.path_links(host_a, host_b)
+        except SimulationError:
+            return ()  # disconnected endpoints contribute no flows
+
+    def _index(self, app_key: str, footprint: PlacementFootprint) -> None:
+        for hostname, seconds in footprint.cpu.items():
+            self._host_entries.setdefault(hostname, {})[app_key] = seconds
+            self._host_counts[hostname] = \
+                self._host_counts.get(hostname, 0) + len(seconds)
+        for key, megabytes in footprint.flows.items():
+            self._link_entries.setdefault(key, {})[app_key] = megabytes
+            self._link_counts[key] = \
+                self._link_counts.get(key, 0) + len(megabytes)
+        for key in footprint.read_links:
+            self._link_readers.setdefault(key, set()).add(app_key)
+
+    def _unindex(self, app_key: str,
+                 footprint: PlacementFootprint | None) -> None:
+        if footprint is None:
+            return
+        for hostname, seconds in footprint.cpu.items():
+            entries = self._host_entries.get(hostname)
+            if entries is not None:
+                entries.pop(app_key, None)
+                if not entries:
+                    del self._host_entries[hostname]
+            count = self._host_counts.get(hostname, 0) - len(seconds)
+            if count > 0:
+                self._host_counts[hostname] = count
+            else:
+                self._host_counts.pop(hostname, None)
+        for key, megabytes in footprint.flows.items():
+            entries = self._link_entries.get(key)
+            if entries is not None:
+                entries.pop(app_key, None)
+                if not entries:
+                    del self._link_entries[key]
+            count = self._link_counts.get(key, 0) - len(megabytes)
+            if count > 0:
+                self._link_counts[key] = count
+            else:
+                self._link_counts.pop(key, None)
+        for key in footprint.read_links:
+            readers = self._link_readers.get(key)
+            if readers is not None:
+                readers.discard(app_key)
+                if not readers:
+                    del self._link_readers[key]
+
+    def _sync_topology(self) -> None:
+        """Reindex every footprint after the cluster graph changed.
+
+        Node/link additions can reroute paths, invalidating the physical
+        links recorded in footprints; placements themselves are unchanged.
+        """
+        current = getattr(self.cluster, "topology_version", 0)
+        if current == self._topology_version:
+            return
+        self._topology_version = current
+        self._footprints.clear()
+        self._host_entries.clear()
+        self._host_counts.clear()
+        self._link_entries.clear()
+        self._link_counts.clear()
+        self._link_readers.clear()
+        for app_key, config in self._configurations.items():
+            footprint = self._footprint_for(config.demands,
+                                            config.assignment)
+            self._footprints[app_key] = footprint
+            self._index(app_key, footprint)
+        self.version += 1
+
+    # -- dirty sets ------------------------------------------------------------
+
+    def apps_affected_by(self, footprint: PlacementFootprint) -> set[str]:
+        """Placed applications whose predictions read this footprint.
+
+        The dirty-set contract of delta prediction: when a configuration
+        with this footprint is added or removed, only the returned
+        applications (plus the mutated one itself, and any application
+        using an opaque performance model) can see their predicted
+        response times change.  CPU contention is read exactly by the
+        applications computing on the written nodes; link contention by
+        the applications whose explicit *or* general-communication traffic
+        crosses the written links.
+        """
+        self._sync_topology()
+        affected: set[str] = set()
+        for hostname in footprint.cpu:
+            entries = self._host_entries.get(hostname)
+            if entries:
+                affected.update(entries)
+        for key in footprint.flows:
+            readers = self._link_readers.get(key)
+            if readers:
+                affected.update(readers)
+        return affected
 
     # -- external (measured) load ----------------------------------------------
 
@@ -85,6 +373,7 @@ class SystemView:
             self._external_cpu.pop(hostname, None)
         else:
             self._external_cpu[hostname] = consumers
+        self.version += 1
 
     def external_cpu_load(self, hostname: str) -> float:
         return self._external_cpu.get(hostname, 0.0)
@@ -97,6 +386,7 @@ class SystemView:
             self._external_flows.pop(key, None)
         else:
             self._external_flows[key] = flows
+        self.version += 1
 
     def external_link_load(self, host_a: str, host_b: str) -> float:
         return self._external_flows.get(frozenset((host_a, host_b)), 0.0)
@@ -104,53 +394,31 @@ class SystemView:
     def clear_external_load(self) -> None:
         self._external_cpu.clear()
         self._external_flows.clear()
+        self.version += 1
 
     # -- contention queries ----------------------------------------------------
 
     def cpu_consumers(self, hostname: str) -> int:
         """Number of placed node demands with CPU work on ``hostname``."""
-        count = 0
-        for config in self._configurations.values():
-            for demand in config.demands.nodes:
-                if demand.seconds and demand.seconds > 0 and \
-                        config.assignment.placements.get(demand.local_name) \
-                        == hostname:
-                    count += 1
-        return count
+        self._sync_topology()
+        return self._host_counts.get(hostname, 0)
 
     def cpu_seconds_on(self, hostname: str) -> float:
         """Total reference CPU seconds proposed for ``hostname``."""
-        total = 0.0
-        for config in self._configurations.values():
-            for demand in config.demands.nodes:
-                if demand.seconds and \
-                        config.assignment.placements.get(demand.local_name) \
-                        == hostname:
-                    total += demand.seconds
-        return total
+        self._sync_topology()
+        entries = self._host_entries.get(hostname)
+        if not entries:
+            return 0.0
+        return sum(sum(seconds) for seconds in entries.values())
 
     def flows_between(self, host_a: str, host_b: str) -> int:
         """Number of placed link demands whose path uses link (a, b)."""
         if host_a == host_b:
             return 0
-        count = 0
-        target = self.cluster.link_between(host_a, host_b)
-        for config in self._configurations.values():
-            for link_demand in config.demands.links:
-                if link_demand.total_mb <= 0:
-                    continue
-                endpoint_a = config.assignment.placements.get(
-                    link_demand.endpoint_a)
-                endpoint_b = config.assignment.placements.get(
-                    link_demand.endpoint_b)
-                if endpoint_a is None or endpoint_b is None \
-                        or endpoint_a == endpoint_b:
-                    continue
-                if target is not None and any(
-                        link is target for link in
-                        self.cluster.path_links(endpoint_a, endpoint_b)):
-                    count += 1
-        return count
+        self._sync_topology()
+        if self.cluster.link_between(host_a, host_b) is None:
+            return 0
+        return self._link_counts.get(frozenset((host_a, host_b)), 0)
 
     def contention_factor(self, hostname: str) -> float:
         """CPU stretch factor on a node: max(1, consumers + external)."""
@@ -182,15 +450,15 @@ class SystemView:
         """
         if own_seconds <= 0:
             return 0.0
+        self._sync_topology()
         effective = own_seconds
-        for config in self._configurations.values():
-            if config.app_key == own_app_key:
-                continue
-            for demand in config.demands.nodes:
-                if demand.seconds and \
-                        config.assignment.placements.get(demand.local_name) \
-                        == hostname:
-                    effective += min(demand.seconds, own_seconds)
+        entries = self._host_entries.get(hostname)
+        if entries:
+            for app_key, seconds in entries.items():
+                if app_key == own_app_key:
+                    continue
+                for value in seconds:
+                    effective += value if value < own_seconds else own_seconds
         # Each external consumer is assumed to be at least as long as the
         # job itself (no demand information is observable, only presence).
         effective += self.external_cpu_load(hostname) * own_seconds
@@ -206,25 +474,16 @@ class SystemView:
         """
         if own_mb <= 0:
             return 0.0
-        target = self.cluster.link_between(host_a, host_b)
-        if target is None:
+        self._sync_topology()
+        if self.cluster.link_between(host_a, host_b) is None:
             return own_mb
         effective = own_mb
-        for config in self._configurations.values():
-            if config.app_key == own_app_key:
-                continue
-            for link_demand in config.demands.links:
-                if link_demand.total_mb <= 0:
+        entries = self._link_entries.get(frozenset((host_a, host_b)))
+        if entries:
+            for app_key, megabytes in entries.items():
+                if app_key == own_app_key:
                     continue
-                endpoint_a = config.assignment.placements.get(
-                    link_demand.endpoint_a)
-                endpoint_b = config.assignment.placements.get(
-                    link_demand.endpoint_b)
-                if endpoint_a is None or endpoint_b is None \
-                        or endpoint_a == endpoint_b:
-                    continue
-                if any(link is target for link in
-                       self.cluster.path_links(endpoint_a, endpoint_b)):
-                    effective += min(link_demand.total_mb, own_mb)
+                for value in megabytes:
+                    effective += value if value < own_mb else own_mb
         effective += self.external_link_load(host_a, host_b) * own_mb
         return effective
