@@ -15,7 +15,23 @@ from repro.api.client import (
     harmony_wait_for_update,
     set_default_client,
 )
-from repro.api.protocol import FrameDecoder, encode_message, make_message
+from repro.api.faults import (
+    FaultAction,
+    FaultSchedule,
+    FaultStats,
+    FaultyTransport,
+    ScriptedFaultSchedule,
+    SeededFaultSchedule,
+)
+from repro.api.protocol import (
+    HEARTBEAT,
+    HEARTBEAT_ACK,
+    LEASE_EXPIRED,
+    FrameDecoder,
+    encode_message,
+    make_message,
+)
+from repro.api.retry import RetryPolicy
 from repro.api.server import DEFAULT_PORT, HarmonyServer, HarmonySession
 from repro.api.transport import (
     InProcessTransport,
@@ -38,5 +54,9 @@ __all__ = [
     "Transport", "InProcessTransport", "TcpTransport", "connected_pair",
     "HarmonyVariable", "VariableTable", "VariableType",
     "PendingVariableBuffer",
+    "RetryPolicy",
+    "FaultAction", "FaultSchedule", "SeededFaultSchedule",
+    "ScriptedFaultSchedule", "FaultStats", "FaultyTransport",
     "encode_message", "FrameDecoder", "make_message",
+    "HEARTBEAT", "HEARTBEAT_ACK", "LEASE_EXPIRED",
 ]

@@ -29,12 +29,27 @@ etc.) operate on a process-wide default client for API fidelity.
 from __future__ import annotations
 
 import threading
-from typing import Any
+import time
+from typing import Any, Callable
 
-from repro.api.protocol import make_message, require_field
+from repro.api.protocol import (
+    HEARTBEAT,
+    HEARTBEAT_ACK,
+    LEASE_EXPIRED,
+    make_message,
+    require_field,
+)
+from repro.api.retry import RetryPolicy
 from repro.api.transport import Transport
 from repro.api.variables import HarmonyVariable, VariableTable, VariableType
-from repro.errors import HarmonyError, ProtocolError, TransportError
+from repro.errors import (
+    HarmonyError,
+    LeaseExpiredError,
+    ProtocolError,
+    RequestTimeoutError,
+    RetryExhaustedError,
+    TransportError,
+)
 
 __all__ = ["HarmonyClient", "harmony_startup", "harmony_bundle_setup",
            "harmony_add_variable", "harmony_wait_for_update", "harmony_end",
@@ -42,13 +57,30 @@ __all__ = ["HarmonyClient", "harmony_startup", "harmony_bundle_setup",
 
 
 class HarmonyClient:
-    """One application's connection to the Harmony server."""
+    """One application's connection to the Harmony server.
 
-    def __init__(self, transport: Transport):
+    ``retry_policy`` governs every request's timeout, retry count, and
+    backoff (default: one 30 s attempt, the original behaviour).
+    ``transport_factory`` supplies a replacement transport after a
+    connection loss; when omitted, a dialed :class:`TcpTransport` falls
+    back to :meth:`TcpTransport.redial`.  With either available, failed
+    requests transparently reconnect, replay the session (registration
+    with the old key, every bundle, every declared variable), and retry —
+    see :meth:`rejoin` for the explicit form.
+    """
+
+    def __init__(self, transport: Transport,
+                 retry_policy: RetryPolicy | None = None,
+                 transport_factory: Callable[[], Transport] | None = None):
         self.transport = transport
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.transport_factory = transport_factory
         self.variables = VariableTable()
         self.app_key: str | None = None
         self.instance_id: int | None = None
+        self._app_name: str | None = None
+        self._use_interrupts = False
+        self._bundle_rsls: list[str] = []
         self._response: dict[str, Any] | None = None
         self._response_ready = threading.Event()
         self._update_ready = threading.Event()
@@ -56,6 +88,14 @@ class HarmonyClient:
         self._last_update: dict[str, Any] = {}
         self._lock = threading.Lock()
         self._ended = False
+        self._lease_lost = False
+        self._lease_expires_at: float | None = None
+        self._retries = 0
+        self._reconnects = 0
+        self._heartbeats_sent = 0
+        self._heartbeats_acked = 0
+        self._heartbeat_stop: threading.Event | None = None
+        self._heartbeat_thread: threading.Thread | None = None
         transport.set_receiver(self._on_message)
 
     # -- the Figure 5 calls ---------------------------------------------------
@@ -70,6 +110,8 @@ class HarmonyClient:
         """
         if self.app_key is not None:
             raise ProtocolError("startup called twice")
+        self._app_name = app_name
+        self._use_interrupts = use_interrupts
         reply = self._request(make_message(
             "register", app_name=app_name, use_interrupts=use_interrupts))
         self.app_key = str(require_field(reply, "key"))
@@ -80,6 +122,8 @@ class HarmonyClient:
         """Export a bundle; returns the initially chosen configuration."""
         self._require_started()
         reply = self._request(make_message("bundle_setup", rsl=rsl_text))
+        if rsl_text not in self._bundle_rsls:
+            self._bundle_rsls.append(rsl_text)
         return {
             "bundle_name": require_field(reply, "bundle_name"),
             "option": require_field(reply, "option"),
@@ -114,7 +158,7 @@ class HarmonyClient:
         self._require_started()
         self.transport.send(make_message("wait_for_update"))
         if not self._update_ready.wait(timeout):
-            raise TransportError("timed out waiting for variable update")
+            raise RequestTimeoutError("wait_for_update", timeout or 0.0)
         with self._lock:
             self._update_ready.clear()
             return dict(self._last_update)
@@ -124,6 +168,7 @@ class HarmonyClient:
         if self._ended:
             return
         self._require_started()
+        self.stop_heartbeats()
         self._request(make_message("end"))
         self._ended = True
         self.transport.close()
@@ -162,6 +207,95 @@ class HarmonyClient:
     def updates_received(self) -> int:
         return self._updates_seen
 
+    # -- session liveness ---------------------------------------------------
+
+    def heartbeat(self) -> None:
+        """Fire-and-forget liveness ping; the server renews the lease.
+
+        The ``heartbeat_ack`` answer is handled out-of-band (it never
+        competes with an in-flight request's response).  Raises
+        :class:`~repro.errors.LeaseExpiredError` once the server has
+        answered a beat with ``lease_expired``.
+        """
+        self._require_started()
+        if self._lease_lost:
+            raise LeaseExpiredError(
+                f"session {self.app_key} was evicted; call rejoin()")
+        self._heartbeats_sent += 1
+        self.transport.send(make_message(HEARTBEAT, key=self.app_key))
+
+    def start_heartbeats(self, interval_seconds: float | None = None,
+                         ) -> None:
+        """Beat on a background thread (TCP sessions with server leases).
+
+        ``interval_seconds`` defaults to the retry policy's
+        ``heartbeat_interval_seconds``.  The thread stops silently when
+        the transport dies or the lease is lost — the next RPC surfaces
+        the failure (and, with a transport factory, recovers it).
+        """
+        self._require_started()
+        if self._heartbeat_thread is not None \
+                and self._heartbeat_thread.is_alive():
+            return
+        interval = interval_seconds \
+            or self.retry_policy.heartbeat_interval_seconds
+        stop = threading.Event()
+        self._heartbeat_stop = stop
+
+        def beat() -> None:
+            while not stop.wait(interval):
+                try:
+                    self.heartbeat()
+                except (TransportError, LeaseExpiredError, ProtocolError):
+                    return
+
+        self._heartbeat_thread = threading.Thread(
+            target=beat, name="harmony-heartbeat", daemon=True)
+        self._heartbeat_thread.start()
+
+    def stop_heartbeats(self) -> None:
+        if self._heartbeat_stop is not None:
+            self._heartbeat_stop.set()
+        self._heartbeat_thread = None
+        self._heartbeat_stop = None
+
+    @property
+    def lease_lost(self) -> bool:
+        """True once the server reported this session as evicted."""
+        return self._lease_lost
+
+    @property
+    def heartbeats_acked(self) -> int:
+        return self._heartbeats_acked
+
+    @property
+    def retries(self) -> int:
+        """Request attempts beyond the first, across the session."""
+        return self._retries
+
+    @property
+    def reconnects(self) -> int:
+        return self._reconnects
+
+    def rejoin(self) -> str:
+        """Reconnect if needed and replay the session idempotently.
+
+        Re-registers under the previous ``app.instance`` key (the server
+        dedupes if the instance is still alive, or creates a fresh one if
+        the lease expired), replays every bundle's RSL, and re-declares
+        every variable.  Variables whose server-side value changed while
+        disconnected come back with ``changed`` set, so no update is lost
+        across the outage.  Returns the (possibly new) session key.
+        """
+        if self._app_name is None:
+            raise ProtocolError("call startup() before rejoin()")
+        if self._ended:
+            raise ProtocolError("client already ended")
+        if self.transport.closed:
+            self._reconnect_transport()
+        self._replay_session()
+        return self.app_key  # type: ignore[return-value]
+
     # -- plumbing ---------------------------------------------------------------
 
     def _require_started(self) -> None:
@@ -171,19 +305,99 @@ class HarmonyClient:
             raise ProtocolError("client already ended")
 
     def _request(self, message: dict[str, Any]) -> dict[str, Any]:
-        """Send a request and wait for its (single) response message."""
+        """Send a request and wait for its response, per the retry policy.
+
+        Transport failures and per-attempt timeouts are retried with
+        exponential backoff; between attempts a dead connection is redialed
+        and the session replayed (when a reconnect path exists).  Server
+        ``error`` answers are not retried — they are application-level.
+        """
+        policy = self.retry_policy
+        last_error: Exception | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                self._retries += 1
+                delay = policy.backoff_delay(attempt - 1)
+                if delay > 0:
+                    time.sleep(delay)
+                self._recover_connection()
+            try:
+                return self._request_once(message)
+            except (RequestTimeoutError, TransportError) as exc:
+                last_error = exc
+        raise RetryExhaustedError(str(message.get("type")),
+                                  policy.max_attempts) from last_error
+
+    def _request_once(self, message: dict[str, Any]) -> dict[str, Any]:
+        """One send/wait round trip (no retries)."""
         self._response_ready.clear()
         self._response = None
         self.transport.send(message)
-        if not self._response_ready.wait(timeout=30.0):
-            raise TransportError(
-                f"no response to {message['type']!r} within 30s")
+        timeout = self.retry_policy.request_timeout_seconds
+        if not self._response_ready.wait(timeout=timeout):
+            raise RequestTimeoutError(str(message.get("type")), timeout)
         response = self._response
         assert response is not None
         if response.get("type") == "error":
             raise HarmonyError(
                 f"server error: {response.get('message', 'unknown')}")
+        if response.get("type") == LEASE_EXPIRED:
+            raise LeaseExpiredError(
+                f"session {self.app_key} was evicted: "
+                f"{response.get('message', 'lease expired')}")
         return response
+
+    def _recover_connection(self) -> None:
+        """Best-effort reconnect + replay between retry attempts."""
+        if not self.transport.closed:
+            return
+        try:
+            self._reconnect_transport()
+            if self._app_name is not None:
+                self._replay_session()
+        except (TransportError, HarmonyError):
+            pass  # the retry loop will surface the next attempt's failure
+
+    def _reconnect_transport(self) -> None:
+        """Swap in a fresh transport from the factory (or TCP redial)."""
+        factory = self.transport_factory
+        if factory is None and getattr(self.transport, "can_redial", False):
+            factory = self.transport.redial
+        if factory is None:
+            raise TransportError(
+                "transport closed and no reconnect path configured")
+        transport = factory()
+        transport.set_receiver(self._on_message)
+        self.transport = transport
+        self._reconnects += 1
+
+    def _replay_session(self) -> None:
+        """Re-register (resuming the old key) and replay bundles/variables.
+
+        Everything here is idempotent server-side: registration dedupes on
+        the resume key, ``bundle_setup`` returns the existing state for an
+        already-exported bundle, and ``add_variable`` answers with the
+        current value — which is applied as a *change* only if it differs
+        from what this client last saw.
+        """
+        self._lease_lost = False
+        reply = self._request_once(make_message(
+            "register", app_name=self._app_name,
+            use_interrupts=self._use_interrupts,
+            resume_key=self.app_key))
+        self.app_key = str(require_field(reply, "key"))
+        self.instance_id = int(require_field(reply, "instance_id"))
+        for rsl_text in self._bundle_rsls:
+            self._request_once(make_message("bundle_setup", rsl=rsl_text))
+        for name in self.variables.names():
+            variable = self.variables.get(name)
+            reply = self._request_once(make_message(
+                "add_variable", name=name, default=variable.value,
+                var_type=variable.var_type.value))
+            value = reply.get("value")
+            if value is not None \
+                    and variable.var_type.coerce(value) != variable.value:
+                variable.apply_update(value)
 
     def _on_message(self, message: dict[str, Any]) -> None:
         """The transport receiver — the paper's I/O event handler."""
@@ -195,6 +409,18 @@ class HarmonyClient:
                 self._updates_seen += 1
                 self._last_update = dict(updates)
                 self._update_ready.set()
+            return
+        if msg_type == HEARTBEAT_ACK:
+            with self._lock:
+                self._heartbeats_acked += 1
+                self._lease_expires_at = message.get("lease_expires_at")
+            return
+        if msg_type == LEASE_EXPIRED:
+            # Answers the outstanding request if there is one; otherwise it
+            # is the server reacting to a stray heartbeat — flag and drop.
+            self._lease_lost = True
+            self._response = message
+            self._response_ready.set()
             return
         # Everything else answers the single outstanding request.
         self._response = message

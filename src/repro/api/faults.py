@@ -1,0 +1,257 @@
+"""Deterministic fault injection for transports (the chaos harness).
+
+:class:`FaultyTransport` wraps any :class:`~repro.api.transport.Transport`
+and perturbs the message stream according to a :class:`FaultSchedule`:
+messages can be **dropped**, **delayed** (held until
+:meth:`FaultyTransport.release_delayed`), **duplicated**, or the link can
+be **severed** outright (simulating a client crash or a cut cable).
+
+Schedules are deterministic: :class:`SeededFaultSchedule` draws from a
+seeded PRNG, so a chaos run replays identically for the same seed;
+:class:`ScriptedFaultSchedule` spells out the action for specific message
+indices.  Neither uses wall-clock time — delayed messages are released
+explicitly, which keeps chaos tests single-threaded and reproducible.
+
+The wrapper is symmetric: faults apply to outbound sends and, if the
+schedule says so, to inbound deliveries, so either side of a connection
+can be made lossy independently.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.api.transport import Transport
+from repro.errors import TransportError
+
+__all__ = ["FaultAction", "FaultSchedule", "SeededFaultSchedule",
+           "ScriptedFaultSchedule", "FaultStats", "FaultyTransport"]
+
+
+class FaultAction(enum.Enum):
+    """What the schedule tells the transport to do with one message."""
+
+    DELIVER = "deliver"
+    DROP = "drop"
+    DELAY = "delay"
+    DUPLICATE = "duplicate"
+    SEVER = "sever"
+
+
+class FaultSchedule:
+    """Strategy interface: one decision per message that passes through.
+
+    ``direction`` is ``"send"`` (outbound through the wrapper) or
+    ``"recv"`` (inbound from the inner transport).
+    """
+
+    def decide(self, direction: str,
+               message: dict[str, Any]) -> FaultAction:
+        raise NotImplementedError
+
+
+class SeededFaultSchedule(FaultSchedule):
+    """Probabilistic faults from a seeded PRNG — reproducible run-to-run.
+
+    Rates are per-message probabilities, tested in the order drop, delay,
+    duplicate; their sum must not exceed 1.  ``sever_after`` kills the
+    link once that many messages (in either direction) have been decided.
+    ``directions`` restricts which sides are perturbed (default: both).
+    """
+
+    def __init__(self, seed: int, drop_rate: float = 0.0,
+                 delay_rate: float = 0.0, duplicate_rate: float = 0.0,
+                 sever_after: int | None = None,
+                 directions: frozenset[str] = frozenset({"send", "recv"})):
+        if drop_rate + delay_rate + duplicate_rate > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+        self.seed = seed
+        self.drop_rate = drop_rate
+        self.delay_rate = delay_rate
+        self.duplicate_rate = duplicate_rate
+        self.sever_after = sever_after
+        self.directions = directions
+        self._rng = random.Random(seed)
+        self._decisions = 0
+
+    def decide(self, direction: str,
+               message: dict[str, Any]) -> FaultAction:
+        if direction not in self.directions:
+            return FaultAction.DELIVER
+        self._decisions += 1
+        if self.sever_after is not None \
+                and self._decisions > self.sever_after:
+            return FaultAction.SEVER
+        # Always draw, so the random stream advances identically whatever
+        # the rates — seeds stay comparable across configurations.
+        draw = self._rng.random()
+        if draw < self.drop_rate:
+            return FaultAction.DROP
+        if draw < self.drop_rate + self.delay_rate:
+            return FaultAction.DELAY
+        if draw < self.drop_rate + self.delay_rate + self.duplicate_rate:
+            return FaultAction.DUPLICATE
+        return FaultAction.DELIVER
+
+
+class ScriptedFaultSchedule(FaultSchedule):
+    """Explicit faults at given message indices (0-based, per direction).
+
+    ``script`` maps ``(direction, index)`` to an action; everything else
+    is delivered.  The most surgical tool for edge-case tests ("drop
+    exactly the third update push").
+    """
+
+    def __init__(self, script: dict[tuple[str, int], FaultAction]):
+        self.script = dict(script)
+        self._counts = {"send": 0, "recv": 0}
+
+    def decide(self, direction: str,
+               message: dict[str, Any]) -> FaultAction:
+        index = self._counts.get(direction, 0)
+        self._counts[direction] = index + 1
+        return self.script.get((direction, index), FaultAction.DELIVER)
+
+
+@dataclass
+class FaultStats:
+    """What the wrapper actually did, for assertions and logs."""
+
+    delivered: int = 0
+    dropped: int = 0
+    delayed: int = 0
+    duplicated: int = 0
+    severed: bool = False
+    by_type: dict[str, int] = field(default_factory=dict)
+
+    def note(self, message: dict[str, Any]) -> None:
+        name = str(message.get("type", "?"))
+        self.by_type[name] = self.by_type.get(name, 0) + 1
+
+
+class FaultyTransport(Transport):
+    """A transport wrapper that injects schedule-driven faults.
+
+    Wrap the endpoint whose *link* should misbehave::
+
+        client_end, server_end = connected_pair()
+        lossy = FaultyTransport(client_end,
+                                SeededFaultSchedule(seed=7, drop_rate=0.2))
+        app = HarmonyClient(lossy, retry_policy=RetryPolicy.aggressive())
+
+    Delayed messages accumulate (in order, per direction) until
+    :meth:`release_delayed` hands them on.  :meth:`sever` closes both the
+    wrapper and the inner transport; subsequent sends raise
+    :class:`~repro.errors.TransportError`, and in-flight inbound messages
+    are discarded — exactly what a crashed peer looks like.
+    """
+
+    def __init__(self, inner: Transport, schedule: FaultSchedule):
+        self.inner = inner
+        self.schedule = schedule
+        self.stats = FaultStats()
+        self._receiver: Callable[[dict[str, Any]], None] | None = None
+        self._backlog: list[dict[str, Any]] = []
+        self._delayed: list[tuple[str, dict[str, Any]]] = []
+        inner.set_receiver(self._on_inbound)
+
+    @property
+    def closed(self) -> bool:
+        return self.stats.severed or self.inner.closed
+
+    # -- outbound -----------------------------------------------------------
+
+    def send(self, message: dict[str, Any]) -> None:
+        if self.closed:
+            raise TransportError("send on severed transport")
+        action = self.schedule.decide("send", message)
+        if action is FaultAction.SEVER:
+            self.sever()
+            raise TransportError("link severed by fault schedule")
+        if action is FaultAction.DROP:
+            self.stats.dropped += 1
+            self.stats.note(message)
+            return
+        if action is FaultAction.DELAY:
+            self.stats.delayed += 1
+            self.stats.note(message)
+            self._delayed.append(("send", message))
+            return
+        if action is FaultAction.DUPLICATE:
+            self.stats.duplicated += 1
+            self.inner.send(message)
+        self.stats.delivered += 1
+        self.inner.send(message)
+
+    # -- inbound ------------------------------------------------------------
+
+    def _on_inbound(self, message: dict[str, Any]) -> None:
+        if self.stats.severed:
+            return
+        action = self.schedule.decide("recv", message)
+        if action is FaultAction.SEVER:
+            self.sever()
+            return
+        if action is FaultAction.DROP:
+            self.stats.dropped += 1
+            self.stats.note(message)
+            return
+        if action is FaultAction.DELAY:
+            self.stats.delayed += 1
+            self.stats.note(message)
+            self._delayed.append(("recv", message))
+            return
+        if action is FaultAction.DUPLICATE:
+            self.stats.duplicated += 1
+            self._deliver(message)
+        self.stats.delivered += 1
+        self._deliver(message)
+
+    def _deliver(self, message: dict[str, Any]) -> None:
+        if self._receiver is None:
+            self._backlog.append(message)
+        else:
+            self._receiver(message)
+
+    def set_receiver(self,
+                     receiver: Callable[[dict[str, Any]], None]) -> None:
+        self._receiver = receiver
+        backlog, self._backlog = self._backlog, []
+        for message in backlog:
+            receiver(message)
+
+    # -- fault controls ------------------------------------------------------
+
+    def release_delayed(self) -> int:
+        """Deliver every held message in arrival order; returns the count.
+
+        Messages held at sever time stay lost, like any in-flight frame.
+        """
+        if self.stats.severed:
+            self._delayed.clear()
+            return 0
+        held, self._delayed = self._delayed, []
+        for direction, message in held:
+            if direction == "send":
+                self.inner.send(message)
+            else:
+                self._deliver(message)
+        return len(held)
+
+    def pending_delayed(self) -> int:
+        return len(self._delayed)
+
+    def sever(self) -> None:
+        """Cut the link for good (simulates a crash mid-session)."""
+        if self.stats.severed:
+            return
+        self.stats.severed = True
+        self._delayed.clear()
+        self.inner.close()
+
+    def close(self) -> None:
+        """A *clean* close (not counted as a fault)."""
+        self.inner.close()

@@ -7,23 +7,33 @@ vocabulary flows over both the TCP transport and the in-process transport.
 
 Client -> server message types (mirroring the Figure 5 API):
 
-* ``register``       {app_name, use_interrupts}
+* ``register``       {app_name, use_interrupts, resume_key?}
 * ``bundle_setup``   {rsl}
 * ``add_variable``   {name, default, var_type}
 * ``wait_for_update``{}
 * ``report_metric``  {name, value}
 * ``query_nodes``    {}
+* ``heartbeat``      {key?}
 * ``end``            {}
 
 Server -> client:
 
-* ``registered``       {instance_id, key}
+* ``registered``       {instance_id, key, resumed}
 * ``bundle_ok``        {bundle_name, option, variables, placements}
 * ``variable_added``   {name, value}
 * ``variable_update``  {updates: {name: value}}
 * ``node_list``        {nodes: [...], rsl}
+* ``heartbeat_ack``    {lease_expires_at?}
+* ``lease_expired``    {message}
 * ``ended``            {}
 * ``error``            {message}
+
+``register`` with a ``resume_key`` is a *rejoin*: if the named instance is
+still registered (its lease has not expired), the server re-binds the new
+connection to it instead of creating a duplicate; otherwise registration
+proceeds fresh and ``registered.resumed`` is False.  ``heartbeat`` renews
+the session lease; ``lease_expired`` is the server's answer to any message
+from a session it has already evicted.
 """
 
 from __future__ import annotations
@@ -35,18 +45,24 @@ from typing import Any
 from repro.errors import ProtocolError
 
 __all__ = ["encode_message", "FrameDecoder", "make_message",
-           "require_field", "CLIENT_TYPES", "SERVER_TYPES"]
+           "require_field", "CLIENT_TYPES", "SERVER_TYPES",
+           "HEARTBEAT", "HEARTBEAT_ACK", "LEASE_EXPIRED"]
 
 _HEADER = struct.Struct(">I")
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
+#: The session-liveness vocabulary (named so callers need no literals).
+HEARTBEAT = "heartbeat"
+HEARTBEAT_ACK = "heartbeat_ack"
+LEASE_EXPIRED = "lease_expired"
+
 CLIENT_TYPES = frozenset({
     "register", "bundle_setup", "add_variable", "wait_for_update",
-    "report_metric", "query_nodes", "end",
+    "report_metric", "query_nodes", HEARTBEAT, "end",
 })
 SERVER_TYPES = frozenset({
     "registered", "bundle_ok", "variable_added", "variable_update",
-    "node_list", "ended", "error",
+    "node_list", HEARTBEAT_ACK, LEASE_EXPIRED, "ended", "error",
 })
 
 

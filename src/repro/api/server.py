@@ -22,9 +22,16 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Any
+import time
+from typing import Any, Callable
 
-from repro.api.protocol import make_message, require_field
+from repro.api.protocol import (
+    HEARTBEAT,
+    HEARTBEAT_ACK,
+    LEASE_EXPIRED,
+    make_message,
+    require_field,
+)
 from repro.api.transport import TcpTransport, Transport
 from repro.api.variables import PendingVariableBuffer
 from repro.controller.controller import (
@@ -32,7 +39,12 @@ from repro.controller.controller import (
     ReconfigurationEvent,
 )
 from repro.controller.registry import AppInstance
-from repro.errors import HarmonyError, ProtocolError, TransportError
+from repro.errors import (
+    ControllerError,
+    HarmonyError,
+    ProtocolError,
+    TransportError,
+)
 
 __all__ = ["HarmonyServer", "HarmonySession", "DEFAULT_PORT"]
 
@@ -56,14 +68,24 @@ class HarmonySession:
             raise ProtocolError("session not registered")
         return self.instance.key
 
+    @property
+    def evicted(self) -> bool:
+        """Whether this session's instance was removed behind its back."""
+        return self.instance is not None and self.instance.ended
+
     def push_updates(self, updates: dict[str, Any]) -> None:
         if self.transport.closed:
+            # The client is gone but its lease may still be running: keep
+            # the batch staged so a rejoin within the lease receives it.
+            self.server.mark_disconnected(self)
+            self.server.buffer.stage_many(self.client_id, updates)
             return
         try:
             self.transport.send(make_message("variable_update",
                                              updates=updates))
         except TransportError:
-            self.server.detach(self)
+            self.server.mark_disconnected(self)
+            self.server.buffer.stage_many(self.client_id, updates)
 
     # -- message handling ---------------------------------------------------
 
@@ -76,6 +98,16 @@ class HarmonySession:
 
     def _dispatch(self, message: dict[str, Any]) -> None:
         msg_type = message.get("type")
+        if self.evicted and msg_type != "register":
+            # Anything an evicted client says (a heartbeat racing the
+            # eviction, a late RPC) gets the same answer: your lease is
+            # gone, rejoin.  `register` falls through for exactly that.
+            self._reply(make_message(
+                LEASE_EXPIRED,
+                message=f"session {self.client_id} lease expired"))
+            return
+        if self.instance is not None:
+            self.server.touch(self.instance.key)
         if msg_type == "register":
             self._handle_register(message)
         elif msg_type == "bundle_setup":
@@ -88,21 +120,44 @@ class HarmonySession:
             self._handle_report_metric(message)
         elif msg_type == "query_nodes":
             self._handle_query_nodes()
+        elif msg_type == HEARTBEAT:
+            self._handle_heartbeat()
         elif msg_type == "end":
             self._handle_end()
         else:
             raise ProtocolError(f"unknown message type {msg_type!r}")
 
     def _handle_register(self, message: dict[str, Any]) -> None:
-        if self.instance is not None:
-            raise ProtocolError("already registered")
         app_name = str(require_field(message, "app_name"))
+        if self.instance is not None and not self.instance.ended:
+            # A duplicated or replayed register on a live session is
+            # answered idempotently rather than poisoning the session.
+            if self.instance.app_name == app_name:
+                self._reply(make_message(
+                    "registered", instance_id=self.instance.instance_id,
+                    key=self.instance.key, resumed=True))
+                return
+            raise ProtocolError("already registered")
+        resume_key = message.get("resume_key")
         self.use_interrupts = bool(message.get("use_interrupts", False))
-        self.instance = self.server.controller.register_app(app_name)
+        self.instance = self.server.controller.register_app(
+            app_name, resume_key=resume_key)
+        resumed = self.instance.key == resume_key
         self.server.bind_session(self)
         self._reply(make_message("registered",
                                  instance_id=self.instance.instance_id,
-                                 key=self.instance.key))
+                                 key=self.instance.key,
+                                 resumed=resumed))
+        if resumed:
+            # Deliver anything staged while the client was away.
+            self.server.flush_pending_vars()
+
+    def _handle_heartbeat(self) -> None:
+        instance = self._require_instance()
+        self.server.heartbeats_received += 1
+        self._reply(make_message(
+            HEARTBEAT_ACK,
+            lease_expires_at=self.server.lease_deadline(instance.key)))
 
     def _handle_bundle_setup(self, message: dict[str, Any]) -> None:
         instance = self._require_instance()
@@ -185,17 +240,35 @@ class HarmonySession:
 
 
 class HarmonyServer:
-    """Accepts application connections and wires them to the controller."""
+    """Accepts application connections and wires them to the controller.
+
+    ``lease_seconds`` (optional) arms session leases: every message from a
+    registered client renews its lease; :meth:`check_leases` evicts
+    applications whose lease lapsed — their placements are removed
+    through the controller's transactional view and the survivors are
+    re-optimized, so a crashed client degrades the system gracefully
+    instead of stranding its allocation.  ``clock`` defaults to
+    ``time.monotonic``; simulated deployments inject their own (or pass
+    ``now=`` to :meth:`check_leases`) to stay deterministic.
+    """
 
     def __init__(self, controller: AdaptationController,
-                 auto_flush: bool = True):
+                 auto_flush: bool = True,
+                 lease_seconds: float | None = None,
+                 clock: Callable[[], float] | None = None):
         self.controller = controller
         self.auto_flush = auto_flush
+        self.lease_seconds = lease_seconds
+        self.clock: Callable[[], float] = clock or time.monotonic
         self.buffer = PendingVariableBuffer()
         self.lock = threading.RLock()
+        self.heartbeats_received = 0
         self._sessions_by_key: dict[str, HarmonySession] = {}
+        self._leases: dict[str, float] = {}
         self._listener_socket: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
+        self._lease_thread: threading.Thread | None = None
+        self._lease_stop: threading.Event | None = None
         self._stopping = False
         controller.add_listener(self._on_reconfiguration)
 
@@ -207,11 +280,97 @@ class HarmonyServer:
 
     def bind_session(self, session: HarmonySession) -> None:
         self._sessions_by_key[session.client_id] = session
+        self.touch(session.client_id)
 
     def detach(self, session: HarmonySession) -> None:
         if session.instance is not None:
             self._sessions_by_key.pop(session.instance.key, None)
             self.buffer.discard(session.instance.key)
+            self._leases.pop(session.instance.key, None)
+
+    def mark_disconnected(self, session: HarmonySession) -> None:
+        """A session's transport died, but its lease keeps running.
+
+        The registration, allocations, and any staged variable updates
+        survive until the lease expires (eviction) or the client rejoins
+        with its resume key (rebind + replay).
+        """
+        if session.instance is not None and \
+                self._sessions_by_key.get(session.instance.key) is session:
+            self._sessions_by_key.pop(session.instance.key, None)
+
+    # -- session leases -------------------------------------------------------
+
+    def touch(self, key: str) -> None:
+        """Renew one application's lease (any received message counts)."""
+        if self.lease_seconds is not None:
+            self._leases[key] = self.clock() + self.lease_seconds
+
+    def lease_deadline(self, key: str) -> float | None:
+        return self._leases.get(key)
+
+    def check_leases(self, now: float | None = None) -> list[str]:
+        """Evict every application whose lease has expired.
+
+        Returns the evicted keys.  For each: the controller removes the
+        placement and re-optimizes the survivors (emitting a structured
+        lifecycle event), staged updates are discarded, and — if the dead
+        transport still accepts writes — a ``lease_expired`` notice is
+        sent so a half-alive client learns its fate immediately.
+        """
+        if self.lease_seconds is None:
+            return []
+        if now is None:
+            now = self.clock()
+        evicted: list[str] = []
+        with self.lock:
+            expired = [key for key, deadline in self._leases.items()
+                       if deadline <= now]
+            for key in expired:
+                self._leases.pop(key, None)
+                session = self._sessions_by_key.pop(key, None)
+                self.buffer.discard(key)
+                try:
+                    instance = self.controller.registry.instance(key)
+                except ControllerError:
+                    instance = None
+                if instance is not None and not instance.ended:
+                    self.controller.evict_app(instance,
+                                              reason="lease expired")
+                evicted.append(key)
+                if session is not None and not session.transport.closed:
+                    try:
+                        session.transport.send(make_message(
+                            LEASE_EXPIRED,
+                            message=f"session {key} lease expired"))
+                    except TransportError:
+                        pass
+        return evicted
+
+    def start_lease_monitor(self, period_seconds: float | None = None,
+                            ) -> None:
+        """Run :meth:`check_leases` periodically on a background thread."""
+        if self.lease_seconds is None:
+            raise ProtocolError("server has no lease_seconds configured")
+        if self._lease_thread is not None and self._lease_thread.is_alive():
+            return
+        period = period_seconds or self.lease_seconds / 3.0
+        stop = threading.Event()
+        self._lease_stop = stop
+
+        def monitor() -> None:
+            while not stop.wait(period):
+                self.check_leases()
+
+        self._lease_thread = threading.Thread(
+            target=monitor, name="harmony-lease-monitor", daemon=True)
+        self._lease_thread.start()
+
+    def stop_lease_monitor(self) -> None:
+        if self._lease_stop is not None:
+            self._lease_stop.set()
+        self._lease_thread = None
+        self._lease_stop = None
 
     # -- TCP front end ---------------------------------------------------------
 
@@ -238,6 +397,7 @@ class HarmonyServer:
     def stop(self) -> None:
         """Stop accepting and close the listener (sessions stay alive)."""
         self._stopping = True
+        self.stop_lease_monitor()
         if self._listener_socket is not None:
             try:
                 self._listener_socket.close()
@@ -272,13 +432,23 @@ class HarmonyServer:
             self.flush_pending_vars()
 
     def flush_pending_vars(self) -> int:
-        """The paper's ``flushPendingVars()``: drain staged updates."""
+        """The paper's ``flushPendingVars()``: drain staged updates.
+
+        Batches for clients that are currently unreachable stay staged
+        (they are within their lease; eviction discards them for good), so
+        a reconfiguration that lands during a disconnect window is
+        delivered when the client rejoins.
+        """
+        def ready(client_id: str) -> bool:
+            session = self._sessions_by_key.get(client_id)
+            return session is not None and not session.transport.closed
+
         def send(client_id: str, updates: dict[str, Any]) -> None:
             session = self._sessions_by_key.get(client_id)
             if session is not None:
                 session.push_updates(updates)
 
-        return self.buffer.flush(send)
+        return self.buffer.flush(send, ready=ready)
 
     def current_variable_value(self, instance: AppInstance,
                                name: str) -> Any:

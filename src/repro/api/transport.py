@@ -111,6 +111,8 @@ class TcpTransport(Transport):
         self._send_lock = threading.Lock()
         self._state_lock = threading.Lock()
         self._closed = False
+        self._address: tuple[str, int] | None = None
+        self._connect_timeout: float | None = None
         self._reader = threading.Thread(target=self._read_loop, daemon=True)
         self._reader.start()
 
@@ -123,7 +125,32 @@ class TcpTransport(Transport):
         except OSError as exc:
             raise TransportError(
                 f"cannot connect to {host}:{port}: {exc}") from exc
-        return cls(sock)
+        transport = cls(sock)
+        transport._address = (host, port)
+        transport._connect_timeout = timeout
+        return transport
+
+    @property
+    def can_redial(self) -> bool:
+        """Whether this endpoint knows the address it was dialed to."""
+        return self._address is not None
+
+    def redial(self) -> "TcpTransport":
+        """A fresh connection to the same server (the reconnect path).
+
+        The old endpoint is closed first; the caller re-installs its
+        receiver on the returned transport and replays its session (see
+        :meth:`HarmonyClient.rejoin`).  Only endpoints created by
+        :meth:`connect` know their address; accepted server-side sockets
+        raise :class:`~repro.errors.TransportError`.
+        """
+        if self._address is None:
+            raise TransportError(
+                "cannot redial a transport that was not dialed")
+        self.close()
+        host, port = self._address
+        return TcpTransport.connect(host, port,
+                                    timeout=self._connect_timeout)
 
     @property
     def closed(self) -> bool:

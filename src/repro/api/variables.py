@@ -162,14 +162,30 @@ class PendingVariableBuffer:
     def pending_for(self, client_id: str) -> dict[str, Any]:
         return dict(self._pending.get(client_id, {}))
 
-    def flush(self, send: Callable[[str, dict[str, Any]], None]) -> int:
-        """Send every client its coalesced batch; returns batches sent."""
+    def flush(self, send: Callable[[str, dict[str, Any]], None],
+              ready: Callable[[str], bool] | None = None) -> int:
+        """Send every client its coalesced batch; returns batches sent.
+
+        ``ready`` (optional) gates delivery per client: a client that is
+        not ready — say, disconnected but within its lease — keeps its
+        batch staged, still coalescing with later changes, until a flush
+        finds it ready again or :meth:`discard` drops it.  This is what
+        makes updates produced during a disconnect window survive until
+        the client rejoins.
+        """
         pending, self._pending = self._pending, {}
         sent = 0
         for client_id, updates in pending.items():
-            if updates:
-                send(client_id, updates)
-                sent += 1
+            if not updates:
+                continue
+            if ready is not None and not ready(client_id):
+                # Re-stage under anything newly staged by `send` callbacks.
+                held = self._pending.setdefault(client_id, {})
+                for name, value in updates.items():
+                    held.setdefault(name, value)
+                continue
+            send(client_id, updates)
+            sent += 1
         return sent
 
     def discard(self, client_id: str) -> None:

@@ -6,6 +6,7 @@ from repro.controller.controller import (
     DecisionRecord,
     ModelDrivenPolicy,
     ReconfigurationEvent,
+    SessionLifecycleEvent,
 )
 from repro.controller.events import PerformanceEvent, PerformanceEventMonitor
 from repro.controller.friction import FrictionPolicy, SwitchDecision
@@ -36,6 +37,7 @@ from repro.controller.registry import (
 __all__ = [
     "AdaptationController", "DecisionPolicy", "ModelDrivenPolicy",
     "ClientCountRulePolicy", "DecisionRecord", "ReconfigurationEvent",
+    "SessionLifecycleEvent",
     "Objective", "MeanResponseTime", "MaxResponseTime",
     "ThroughputObjective", "WeightedMeanResponseTime",
     "GreedyOptimizer", "ExhaustiveOptimizer", "Candidate",

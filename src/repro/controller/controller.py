@@ -58,7 +58,7 @@ from repro.prediction.models import (
 from repro.rsl import Bundle, build_bundle
 
 __all__ = ["AdaptationController", "DecisionRecord", "ReconfigurationEvent",
-           "ModelDrivenPolicy", "DecisionPolicy"]
+           "SessionLifecycleEvent", "ModelDrivenPolicy", "DecisionPolicy"]
 
 
 @dataclass(frozen=True)
@@ -86,6 +86,24 @@ class ReconfigurationEvent:
     variable_assignment: Mapping[str, float]
     placements: Mapping[str, str]
     memory_grants: Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class SessionLifecycleEvent:
+    """One structured session-lifecycle transition in the controller.
+
+    ``kind`` is one of ``registered``, ``rejoined``, ``ended``, or
+    ``evicted``; ``detail`` carries the human-readable reason (for an
+    eviction, why the session was removed).  The controller appends these
+    to :attr:`AdaptationController.lifecycle_log` so operators can
+    reconstruct exactly when each application joined, crashed, was
+    cleaned up, or came back.
+    """
+
+    time: float
+    app_key: str
+    kind: str
+    detail: str = ""
 
 
 class DecisionPolicy:
@@ -266,6 +284,8 @@ class AdaptationController:
         self.view = SystemView(cluster)
         self.reevaluation_period_seconds = reevaluation_period_seconds
         self.decision_log: list[DecisionRecord] = []
+        #: Structured register/rejoin/end/evict history (fault tolerance).
+        self.lifecycle_log: list[SessionLifecycleEvent] = []
         #: Work counters for the benchmarks (see OptimizerStats).
         self.stats = OptimizerStats()
         #: ``incremental=False`` selects the original copy-and-recompute
@@ -288,11 +308,24 @@ class AdaptationController:
 
     # -- application lifecycle (the Figure 5 API, controller side) ----------
 
-    def register_app(self, app_name: str) -> AppInstance:
-        """``harmony_startup``: register and assign an instance id."""
-        instance = self.registry.register(app_name, self.now)
-        self.metrics.report("controller.registered_apps", self.now,
-                            float(len(self.registry)))
+    def register_app(self, app_name: str,
+                     resume_key: str | None = None) -> AppInstance:
+        """``harmony_startup``: register and assign an instance id.
+
+        ``resume_key`` supports reconnect-and-reregister: a rejoining
+        client passes its previous ``app.instance`` key, and if that
+        instance is still registered the registry returns it unchanged
+        (no duplicate registration, allocations intact).
+        """
+        instance = self.registry.register(app_name, self.now,
+                                          resume_key=resume_key)
+        resumed = resume_key is not None and instance.key == resume_key
+        self._record_lifecycle(
+            "rejoined" if resumed else "registered", instance.key,
+            detail="resumed within lease" if resumed else "")
+        if not resumed:
+            self.metrics.report("controller.registered_apps", self.now,
+                                float(len(self.registry)))
         return instance
 
     def setup_bundle(self, instance: AppInstance,
@@ -302,9 +335,26 @@ class AdaptationController:
         Accepts RSL text or a prebuilt :class:`Bundle`.  Runs the initial
         optimization for the new bundle, then re-evaluates every existing
         application — the paper's add-new-application procedure.
+
+        Replaying an already-exported bundle (a client resuming after a
+        reconnect) is idempotent: if the instance has a configured bundle
+        of the same name offering the same options, its live state is
+        returned without re-optimizing.
         """
         if isinstance(bundle, str):
             bundle = build_bundle(bundle)
+        existing = instance.bundles.get(bundle.bundle_name)
+        if existing is not None:
+            if existing.bundle.option_names() != bundle.option_names():
+                raise ControllerError(
+                    f"{instance.key}: bundle {bundle.bundle_name!r} "
+                    f"replayed with different options")
+            if existing.chosen is None:
+                # The replay found the bundle unconfigured (stranded by a
+                # failure): try to place it again.
+                self.policy.configure_new_bundle(self, instance, existing)
+                self.policy.reevaluate(self)
+            return existing
         state = self.registry.add_bundle(instance, bundle)
         self.policy.configure_new_bundle(self, instance, state)
         self.policy.reevaluate(self)
@@ -312,11 +362,37 @@ class AdaptationController:
 
     def end_app(self, instance: AppInstance) -> None:
         """``harmony_end``: release resources and re-evaluate the rest."""
+        self._release_app(instance, kind="ended", detail="clean shutdown")
+
+    def evict_app(self, instance: AppInstance,
+                  reason: str = "lease expired") -> None:
+        """Forcibly remove a dead application and re-optimize survivors.
+
+        The fault-tolerance half of :meth:`end_app`: invoked by the API
+        server when a session's lease lapses.  The placement is removed
+        through the transactional :class:`SystemView` (so the prediction
+        cache stays coherent), allocations are released, the namespace
+        subtree is deleted, survivors are re-evaluated, and a structured
+        ``evicted`` lifecycle event plus a ``controller.evictions`` metric
+        record the degradation.
+        """
+        self._release_app(instance, kind="evicted", detail=reason)
+        self.metrics.report("controller.evictions", self.now, 1.0)
+
+    def _release_app(self, instance: AppInstance, kind: str,
+                     detail: str) -> None:
+        """Shared clean/forced removal path."""
         self.view.remove(instance.key)
         self.registry.remove(instance)
+        self._record_lifecycle(kind, instance.key, detail=detail)
         self.metrics.report("controller.registered_apps", self.now,
                             float(len(self.registry)))
         self.policy.reevaluate(self)
+
+    def _record_lifecycle(self, kind: str, app_key: str,
+                          detail: str = "") -> None:
+        self.lifecycle_log.append(SessionLifecycleEvent(
+            time=self.now, app_key=app_key, kind=kind, detail=detail))
 
     def register_model(self, instance: AppInstance, bundle_name: str,
                        model: PerformanceModel,

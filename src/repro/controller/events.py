@@ -18,10 +18,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.controller.controller import AdaptationController
+from repro.controller.controller import (
+    AdaptationController,
+    SessionLifecycleEvent,
+)
 from repro.metrics.history import Observation
 
-__all__ = ["PerformanceEvent", "PerformanceEventMonitor"]
+__all__ = ["PerformanceEvent", "PerformanceEventMonitor",
+           "SessionLifecycleEvent"]
 
 
 @dataclass(frozen=True)

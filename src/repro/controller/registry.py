@@ -130,8 +130,21 @@ class ApplicationRegistry:
         self._instances: dict[str, AppInstance] = {}
         self._ids = itertools.count(1)
 
-    def register(self, app_name: str, now: float) -> AppInstance:
-        """Create an instance with a fresh system-chosen id."""
+    def register(self, app_name: str, now: float,
+                 resume_key: str | None = None) -> AppInstance:
+        """Create an instance with a fresh system-chosen id.
+
+        ``resume_key`` is a rejoining client's previous ``app.instance``
+        name: when that instance is still registered under the same
+        application name, it is returned as-is — re-registration after a
+        reconnect dedupes instead of leaking a second instance.  A stale
+        or mismatched resume key falls through to a fresh registration.
+        """
+        if resume_key is not None:
+            existing = self._instances.get(resume_key)
+            if existing is not None and existing.app_name == app_name \
+                    and not existing.ended:
+                return existing
         instance = AppInstance(app_name=app_name,
                                instance_id=next(self._ids),
                                registered_at=now)
@@ -145,6 +158,10 @@ class ApplicationRegistry:
         state = BundleState(bundle=bundle)
         instance.bundles[bundle.bundle_name] = state
         return state
+
+    def find(self, key: str) -> AppInstance | None:
+        """Non-raising lookup (lease bookkeeping probes liberally)."""
+        return self._instances.get(key)
 
     def remove(self, instance: AppInstance) -> None:
         """Drop an instance, releasing every allocation it still holds."""

@@ -72,6 +72,43 @@ class TransportError(HarmonyError):
     """The underlying transport (socket or in-process queue) failed."""
 
 
+class RequestTimeoutError(TransportError):
+    """A single request/response round trip exceeded its timeout.
+
+    Raised per attempt; the client's :class:`~repro.api.retry.RetryPolicy`
+    decides whether the attempt is retried.  Carries the offending message
+    type and the timeout that was applied.
+    """
+
+    def __init__(self, msg_type: str, timeout_seconds: float):
+        super().__init__(
+            f"no response to {msg_type!r} within {timeout_seconds:g}s")
+        self.msg_type = msg_type
+        self.timeout_seconds = timeout_seconds
+
+
+class RetryExhaustedError(TransportError):
+    """Every attempt allowed by the retry policy failed.
+
+    ``__cause__`` is the final attempt's underlying error.
+    """
+
+    def __init__(self, msg_type: str, attempts: int):
+        super().__init__(
+            f"request {msg_type!r} failed after {attempts} attempt(s)")
+        self.msg_type = msg_type
+        self.attempts = attempts
+
+
+class LeaseExpiredError(HarmonyError):
+    """The server evicted this session after its lease lapsed.
+
+    The application's registration, bundles, and allocations are gone
+    server-side; call :meth:`~repro.api.client.HarmonyClient.rejoin` to
+    re-register and replay the session.
+    """
+
+
 class SimulationError(HarmonyError):
     """The discrete-event kernel detected an inconsistency."""
 

@@ -1,0 +1,142 @@
+"""The deterministic fault-injection transport (repro.api.faults)."""
+
+import pytest
+
+from repro.api.faults import (
+    FaultAction,
+    FaultStats,
+    FaultyTransport,
+    ScriptedFaultSchedule,
+    SeededFaultSchedule,
+)
+from repro.api.transport import connected_pair
+from repro.errors import TransportError
+
+
+def make_link(schedule):
+    """A faulty client end wired to a plain server end with a sink."""
+    client_end, server_end = connected_pair()
+    received = []
+    server_end.set_receiver(received.append)
+    faulty = FaultyTransport(client_end, schedule)
+    return faulty, server_end, received
+
+
+class TestSchedules:
+    def test_seeded_schedule_is_reproducible(self):
+        def draw():
+            plan = SeededFaultSchedule(seed=42, drop_rate=0.3,
+                                       delay_rate=0.2, duplicate_rate=0.1)
+            return [plan.decide("send", {"type": "x"}) for _ in range(50)]
+
+        assert draw() == draw()
+
+    def test_different_seeds_differ(self):
+        a = SeededFaultSchedule(seed=1, drop_rate=0.5)
+        b = SeededFaultSchedule(seed=2, drop_rate=0.5)
+        decisions_a = [a.decide("send", {}) for _ in range(30)]
+        decisions_b = [b.decide("send", {}) for _ in range(30)]
+        assert decisions_a != decisions_b
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ValueError):
+            SeededFaultSchedule(seed=0, drop_rate=0.6, delay_rate=0.6)
+
+    def test_direction_filter_leaves_other_side_clean(self):
+        plan = SeededFaultSchedule(seed=0, drop_rate=1.0,
+                                   directions=frozenset({"send"}))
+        assert plan.decide("recv", {}) is FaultAction.DELIVER
+        assert plan.decide("send", {}) is FaultAction.DROP
+
+    def test_sever_after_counts_decisions(self):
+        plan = SeededFaultSchedule(seed=0, sever_after=2)
+        assert plan.decide("send", {}) is FaultAction.DELIVER
+        assert plan.decide("send", {}) is FaultAction.DELIVER
+        assert plan.decide("send", {}) is FaultAction.SEVER
+
+    def test_scripted_schedule_targets_exact_messages(self):
+        plan = ScriptedFaultSchedule({
+            ("send", 1): FaultAction.DROP,
+            ("recv", 0): FaultAction.DELAY,
+        })
+        assert plan.decide("send", {}) is FaultAction.DELIVER
+        assert plan.decide("send", {}) is FaultAction.DROP
+        assert plan.decide("recv", {}) is FaultAction.DELAY
+
+
+class TestFaultyTransport:
+    def test_drop_swallows_message(self):
+        faulty, _server_end, received = make_link(
+            ScriptedFaultSchedule({("send", 0): FaultAction.DROP}))
+        faulty.send({"type": "heartbeat"})
+        faulty.send({"type": "heartbeat"})
+        assert len(received) == 1
+        assert faulty.stats.dropped == 1
+        assert faulty.stats.by_type == {"heartbeat": 1}
+
+    def test_delay_holds_until_release(self):
+        faulty, _server_end, received = make_link(
+            ScriptedFaultSchedule({("send", 0): FaultAction.DELAY}))
+        faulty.send({"type": "report_metric"})
+        assert received == []
+        assert faulty.pending_delayed() == 1
+        assert faulty.release_delayed() == 1
+        assert len(received) == 1
+
+    def test_delayed_messages_release_in_order(self):
+        faulty, _server_end, received = make_link(
+            ScriptedFaultSchedule({("send", 0): FaultAction.DELAY,
+                                   ("send", 1): FaultAction.DELAY}))
+        faulty.send({"type": "a"})
+        faulty.send({"type": "b"})
+        faulty.release_delayed()
+        assert [m["type"] for m in received] == ["a", "b"]
+
+    def test_duplicate_delivers_twice(self):
+        faulty, _server_end, received = make_link(
+            ScriptedFaultSchedule({("send", 0): FaultAction.DUPLICATE}))
+        faulty.send({"type": "end"})
+        assert len(received) == 2
+
+    def test_sever_cuts_both_directions(self):
+        faulty, server_end, received = make_link(
+            ScriptedFaultSchedule({("send", 1): FaultAction.SEVER}))
+        faulty.send({"type": "a"})
+        with pytest.raises(TransportError):
+            faulty.send({"type": "b"})
+        assert faulty.closed
+        assert faulty.stats.severed
+        # Server pushes to the dead peer vanish silently, like writes to
+        # a crashed process whose socket buffer still accepts bytes.
+        client_received = []
+        faulty.set_receiver(client_received.append)
+        server_end.send({"type": "variable_update", "updates": {}})
+        assert client_received == []
+        assert len(received) == 1
+
+    def test_manual_sever_models_a_crash(self):
+        faulty, _server_end, received = make_link(
+            ScriptedFaultSchedule({}))
+        faulty.send({"type": "a"})
+        faulty.sever()
+        with pytest.raises(TransportError):
+            faulty.send({"type": "b"})
+        assert len(received) == 1
+
+    def test_inbound_faults_apply_to_server_pushes(self):
+        client_end, server_end = connected_pair()
+        faulty = FaultyTransport(client_end, ScriptedFaultSchedule(
+            {("recv", 0): FaultAction.DROP}))
+        got = []
+        faulty.set_receiver(got.append)
+        server_end.send({"type": "variable_update", "updates": {"x": 1}})
+        server_end.send({"type": "variable_update", "updates": {"x": 2}})
+        assert len(got) == 1
+        assert got[0]["updates"] == {"x": 2}
+
+    def test_stats_note_by_type(self):
+        stats = FaultStats()
+        stats.note({"type": "heartbeat"})
+        stats.note({"type": "heartbeat"})
+        stats.note({})
+        assert stats.by_type == {"heartbeat": 2, "?": 1}

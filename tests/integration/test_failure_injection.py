@@ -138,8 +138,10 @@ harmonyBundle DBclient big {
         client_end.send({"type": "warp_drive"})
         assert received[0]["type"] == "error"
 
-    def test_double_register_answered_with_error(self, world):
-        _cluster, _controller, server = world
+    def test_double_register_is_idempotent(self, world):
+        """A duplicated register frame (retry, fault injection) must not
+        poison the session: same app name -> same registration echoed."""
+        _cluster, controller, server = world
         client_end, server_end = connected_pair()
         server.attach(server_end)
         received = []
@@ -147,6 +149,20 @@ harmonyBundle DBclient big {
         from repro.api.protocol import make_message
         client_end.send(make_message("register", app_name="A"))
         client_end.send(make_message("register", app_name="A"))
+        assert received[0]["type"] == "registered"
+        assert received[1]["type"] == "registered"
+        assert received[1]["key"] == received[0]["key"]
+        assert len(controller.registry) == 1
+
+    def test_register_under_new_name_answered_with_error(self, world):
+        _cluster, _controller, server = world
+        client_end, server_end = connected_pair()
+        server.attach(server_end)
+        received = []
+        client_end.set_receiver(received.append)
+        from repro.api.protocol import make_message
+        client_end.send(make_message("register", app_name="A"))
+        client_end.send(make_message("register", app_name="B"))
         assert received[0]["type"] == "registered"
         assert received[1]["type"] == "error"
 

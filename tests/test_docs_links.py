@@ -1,0 +1,52 @@
+"""No dead relative links in the Markdown docs.
+
+Checks every ``[text](target)`` in README.md and docs/*.md: relative
+targets must exist on disk (anchors are stripped; external and mailto
+links are skipped).  Keeps the docs list in the README and the
+cross-references between guides from rotting as files move.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+LINK_PATTERN = re.compile(r"\[([^\]]+)\]\(([^)\s]+)\)")
+
+
+def markdown_files():
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return files
+
+
+def relative_links(path):
+    """(text, target) pairs pointing at local files."""
+    links = []
+    for text, target in LINK_PATTERN.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        links.append((text, target.split("#", 1)[0]))
+    return links
+
+
+@pytest.mark.parametrize("path", markdown_files(),
+                         ids=lambda path: str(path.relative_to(REPO_ROOT)))
+def test_relative_links_resolve(path):
+    broken = []
+    for text, target in relative_links(path):
+        if not (path.parent / target).exists():
+            broken.append(f"[{text}]({target})")
+    assert not broken, \
+        f"{path.name} has dead relative links: {', '.join(broken)}"
+
+
+def test_docs_are_linked_from_the_readme():
+    """Every guide in docs/ must be reachable from the README."""
+    readme_targets = {target for _text, target
+                      in relative_links(REPO_ROOT / "README.md")}
+    for doc in sorted((REPO_ROOT / "docs").glob("*.md")):
+        assert f"docs/{doc.name}" in readme_targets, \
+            f"docs/{doc.name} is not linked from README.md"

@@ -21,6 +21,7 @@ EXAMPLES = [
     ("external_load_adaptation.py", []),
     ("node_failure.py", []),
     ("tcp_prototype.py", []),
+    ("client_crash_recovery.py", []),
 ]
 
 
