@@ -30,12 +30,13 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.api.protocol import (
     HEARTBEAT,
     HEARTBEAT_ACK,
     LEASE_EXPIRED,
+    STATUS,
     make_message,
     require_field,
 )
@@ -50,6 +51,9 @@ from repro.errors import (
     RetryExhaustedError,
     TransportError,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.interface import MetricInterface
 
 __all__ = ["HarmonyClient", "harmony_startup", "harmony_bundle_setup",
            "harmony_add_variable", "harmony_wait_for_update", "harmony_end",
@@ -67,14 +71,23 @@ class HarmonyClient:
     requests transparently reconnect, replay the session (registration
     with the old key, every bundle, every declared variable), and retry —
     see :meth:`rejoin` for the explicit form.
+
+    ``metrics`` optionally mirrors the liveness counters (``retries``,
+    ``reconnects``, ``heartbeats_acked``) into a local
+    :class:`~repro.metrics.interface.MetricInterface` as cumulative
+    ``client.*`` series, timestamped on the wall clock, so chaos tests
+    read client-side retry behaviour through the same telemetry path as
+    everything else.
     """
 
     def __init__(self, transport: Transport,
                  retry_policy: RetryPolicy | None = None,
-                 transport_factory: Callable[[], Transport] | None = None):
+                 transport_factory: Callable[[], Transport] | None = None,
+                 metrics: "MetricInterface | None" = None):
         self.transport = transport
         self.retry_policy = retry_policy or RetryPolicy()
         self.transport_factory = transport_factory
+        self.metrics = metrics
         self.variables = VariableTable()
         self.app_key: str | None = None
         self.instance_id: int | None = None
@@ -192,6 +205,26 @@ class HarmonyClient:
         return {"nodes": require_field(reply, "nodes"),
                 "rsl": reply.get("rsl", "")}
 
+    def query_status(self, prefix: str | None = None,
+                     max_traces: int = 20) -> dict[str, Any]:
+        """Ask the server for its telemetry (the ``STATUS`` message).
+
+        Works without :meth:`startup` — a pure monitoring client may
+        connect just to poll.  Returns ``{"metrics", "decision_traces",
+        "optimizer", "server"}``: the metric snapshot (optionally filtered
+        by dotted ``prefix``), the most recent decision traces (up to
+        ``max_traces``, oldest first), the optimizer work counters, and
+        server-side session counts.
+        """
+        fields: dict[str, Any] = {"max_traces": int(max_traces)}
+        if prefix is not None:
+            fields["prefix"] = prefix
+        reply = self._request(make_message(STATUS, **fields))
+        return {"metrics": reply.get("metrics", {}),
+                "decision_traces": reply.get("decision_traces", []),
+                "optimizer": reply.get("optimizer", {}),
+                "server": reply.get("server", {})}
+
     def poll_update(self) -> dict[str, Any] | None:
         """Non-blocking check for a new update batch (simulation-friendly).
 
@@ -298,6 +331,11 @@ class HarmonyClient:
 
     # -- plumbing ---------------------------------------------------------------
 
+    def _count(self, name: str) -> None:
+        """Mirror a liveness counter into the optional metric interface."""
+        if self.metrics is not None:
+            self.metrics.increment(name, time.monotonic())
+
     def _require_started(self) -> None:
         if self.app_key is None:
             raise ProtocolError("call startup() first")
@@ -317,6 +355,7 @@ class HarmonyClient:
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
                 self._retries += 1
+                self._count("client.retries")
                 delay = policy.backoff_delay(attempt - 1)
                 if delay > 0:
                     time.sleep(delay)
@@ -370,6 +409,7 @@ class HarmonyClient:
         transport.set_receiver(self._on_message)
         self.transport = transport
         self._reconnects += 1
+        self._count("client.reconnects")
 
     def _replay_session(self) -> None:
         """Re-register (resuming the old key) and replay bundles/variables.
@@ -414,6 +454,7 @@ class HarmonyClient:
             with self._lock:
                 self._heartbeats_acked += 1
                 self._lease_expires_at = message.get("lease_expires_at")
+            self._count("client.heartbeats_acked")
             return
         if msg_type == LEASE_EXPIRED:
             # Answers the outstanding request if there is one; otherwise it

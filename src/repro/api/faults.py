@@ -22,10 +22,13 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.api.transport import Transport
 from repro.errors import TransportError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.interface import MetricInterface
 
 __all__ = ["FaultAction", "FaultSchedule", "SeededFaultSchedule",
            "ScriptedFaultSchedule", "FaultStats", "FaultyTransport"]
@@ -131,6 +134,27 @@ class FaultStats:
         name = str(message.get("type", "?"))
         self.by_type[name] = self.by_type.get(name, 0) + 1
 
+    def snapshot(self) -> dict[str, float]:
+        """The tally as plain numbers (``severed`` as 0/1)."""
+        return {"delivered": float(self.delivered),
+                "dropped": float(self.dropped),
+                "delayed": float(self.delayed),
+                "duplicated": float(self.duplicated),
+                "severed": 1.0 if self.severed else 0.0}
+
+    def publish(self, metrics: "MetricInterface", time: float = 0.0,
+                prefix: str = "faults.transport") -> None:
+        """Report the tally into a metric interface as ``<prefix>.*``.
+
+        Chaos tests assert drop/delay/duplicate counts through the same
+        telemetry path as production counters; a :class:`FaultyTransport`
+        constructed with ``metrics=`` republishes after every fault
+        decision.
+        """
+        from repro.obs.instrument import publish_fault_stats
+
+        publish_fault_stats(self, metrics, time=time, prefix=prefix)
+
 
 class FaultyTransport(Transport):
     """A transport wrapper that injects schedule-driven faults.
@@ -149,14 +173,30 @@ class FaultyTransport(Transport):
     are discarded — exactly what a crashed peer looks like.
     """
 
-    def __init__(self, inner: Transport, schedule: FaultSchedule):
+    def __init__(self, inner: Transport, schedule: FaultSchedule,
+                 metrics: "MetricInterface | None" = None,
+                 metric_prefix: str = "faults.transport"):
         self.inner = inner
         self.schedule = schedule
         self.stats = FaultStats()
+        #: Optional metric interface: the stats tally is republished under
+        #: ``metric_prefix`` after every decision, timestamped by a
+        #: monotonically increasing decision counter (chaos runs have no
+        #: shared clock).
+        self.metrics = metrics
+        self.metric_prefix = metric_prefix
+        self._decision_count = 0
         self._receiver: Callable[[dict[str, Any]], None] | None = None
         self._backlog: list[dict[str, Any]] = []
         self._delayed: list[tuple[str, dict[str, Any]]] = []
         inner.set_receiver(self._on_inbound)
+
+    def _publish_stats(self) -> None:
+        if self.metrics is None:
+            return
+        self._decision_count += 1
+        self.stats.publish(self.metrics, time=float(self._decision_count),
+                           prefix=self.metric_prefix)
 
     @property
     def closed(self) -> bool:
@@ -174,16 +214,19 @@ class FaultyTransport(Transport):
         if action is FaultAction.DROP:
             self.stats.dropped += 1
             self.stats.note(message)
+            self._publish_stats()
             return
         if action is FaultAction.DELAY:
             self.stats.delayed += 1
             self.stats.note(message)
             self._delayed.append(("send", message))
+            self._publish_stats()
             return
         if action is FaultAction.DUPLICATE:
             self.stats.duplicated += 1
             self.inner.send(message)
         self.stats.delivered += 1
+        self._publish_stats()
         self.inner.send(message)
 
     # -- inbound ------------------------------------------------------------
@@ -198,16 +241,19 @@ class FaultyTransport(Transport):
         if action is FaultAction.DROP:
             self.stats.dropped += 1
             self.stats.note(message)
+            self._publish_stats()
             return
         if action is FaultAction.DELAY:
             self.stats.delayed += 1
             self.stats.note(message)
             self._delayed.append(("recv", message))
+            self._publish_stats()
             return
         if action is FaultAction.DUPLICATE:
             self.stats.duplicated += 1
             self._deliver(message)
         self.stats.delivered += 1
+        self._publish_stats()
         self._deliver(message)
 
     def _deliver(self, message: dict[str, Any]) -> None:
@@ -250,6 +296,7 @@ class FaultyTransport(Transport):
             return
         self.stats.severed = True
         self._delayed.clear()
+        self._publish_stats()
         self.inner.close()
 
     def close(self) -> None:

@@ -13,6 +13,7 @@ Client -> server message types (mirroring the Figure 5 API):
 * ``wait_for_update``{}
 * ``report_metric``  {name, value}
 * ``query_nodes``    {}
+* ``status``         {prefix?, max_traces?}
 * ``heartbeat``      {key?}
 * ``end``            {}
 
@@ -23,6 +24,7 @@ Server -> client:
 * ``variable_added``   {name, value}
 * ``variable_update``  {updates: {name: value}}
 * ``node_list``        {nodes: [...], rsl}
+* ``status_report``    {metrics, decision_traces, optimizer, server}
 * ``heartbeat_ack``    {lease_expires_at?}
 * ``lease_expired``    {message}
 * ``ended``            {}
@@ -46,7 +48,8 @@ from repro.errors import ProtocolError
 
 __all__ = ["encode_message", "FrameDecoder", "make_message",
            "require_field", "CLIENT_TYPES", "SERVER_TYPES",
-           "HEARTBEAT", "HEARTBEAT_ACK", "LEASE_EXPIRED"]
+           "HEARTBEAT", "HEARTBEAT_ACK", "LEASE_EXPIRED",
+           "STATUS", "STATUS_REPORT"]
 
 _HEADER = struct.Struct(">I")
 MAX_FRAME_BYTES = 16 * 1024 * 1024
@@ -56,13 +59,18 @@ HEARTBEAT = "heartbeat"
 HEARTBEAT_ACK = "heartbeat_ack"
 LEASE_EXPIRED = "lease_expired"
 
+#: The telemetry-query vocabulary.
+STATUS = "status"
+STATUS_REPORT = "status_report"
+
 CLIENT_TYPES = frozenset({
     "register", "bundle_setup", "add_variable", "wait_for_update",
-    "report_metric", "query_nodes", HEARTBEAT, "end",
+    "report_metric", "query_nodes", STATUS, HEARTBEAT, "end",
 })
 SERVER_TYPES = frozenset({
     "registered", "bundle_ok", "variable_added", "variable_update",
-    "node_list", HEARTBEAT_ACK, LEASE_EXPIRED, "ended", "error",
+    "node_list", STATUS_REPORT, HEARTBEAT_ACK, LEASE_EXPIRED, "ended",
+    "error",
 })
 
 

@@ -29,6 +29,8 @@ from repro.api.protocol import (
     HEARTBEAT,
     HEARTBEAT_ACK,
     LEASE_EXPIRED,
+    STATUS,
+    STATUS_REPORT,
     make_message,
     require_field,
 )
@@ -98,6 +100,7 @@ class HarmonySession:
 
     def _dispatch(self, message: dict[str, Any]) -> None:
         msg_type = message.get("type")
+        self.server.count_rpc(str(msg_type))
         if self.evicted and msg_type != "register":
             # Anything an evicted client says (a heartbeat racing the
             # eviction, a late RPC) gets the same answer: your lease is
@@ -120,6 +123,8 @@ class HarmonySession:
             self._handle_report_metric(message)
         elif msg_type == "query_nodes":
             self._handle_query_nodes()
+        elif msg_type == STATUS:
+            self._handle_status(message)
         elif msg_type == HEARTBEAT:
             self._handle_heartbeat()
         elif msg_type == "end":
@@ -143,6 +148,10 @@ class HarmonySession:
         self.instance = self.server.controller.register_app(
             app_name, resume_key=resume_key)
         resumed = self.instance.key == resume_key
+        if resumed:
+            controller = self.server.controller
+            controller.metrics.increment("server.session_resumes",
+                                         controller.now)
         self.server.bind_session(self)
         self._reply(make_message("registered",
                                  instance_id=self.instance.instance_id,
@@ -155,9 +164,23 @@ class HarmonySession:
     def _handle_heartbeat(self) -> None:
         instance = self._require_instance()
         self.server.heartbeats_received += 1
+        controller = self.server.controller
+        controller.metrics.increment("server.heartbeats", controller.now)
         self._reply(make_message(
             HEARTBEAT_ACK,
             lease_expires_at=self.server.lease_deadline(instance.key)))
+
+    def _handle_status(self, message: dict[str, Any]) -> None:
+        """Answer a telemetry query; registration is not required.
+
+        A monitoring client may connect, send ``status``, and disconnect
+        without ever registering an application.
+        """
+        prefix = message.get("prefix")
+        max_traces = int(message.get("max_traces", 20))
+        payload = self.server.status_payload(
+            prefix=str(prefix) if prefix else None, max_traces=max_traces)
+        self._reply(make_message(STATUS_REPORT, **payload))
 
     def _handle_bundle_setup(self, message: dict[str, Any]) -> None:
         instance = self._require_instance()
@@ -272,6 +295,39 @@ class HarmonyServer:
         self._stopping = False
         controller.add_listener(self._on_reconfiguration)
 
+    # -- telemetry ----------------------------------------------------------
+
+    def count_rpc(self, msg_type: str) -> None:
+        """Count one received RPC as ``server.rpc.<type>`` (cumulative)."""
+        controller = self.controller
+        controller.metrics.increment(f"server.rpc.{msg_type}",
+                                     controller.now)
+
+    def status_payload(self, prefix: str | None = None,
+                       max_traces: int = 20) -> dict[str, Any]:
+        """The ``status_report`` body: metrics, traces, work counters.
+
+        ``prefix`` filters the metric snapshot by dotted prefix;
+        ``max_traces`` caps the decision traces (most recent first is the
+        log's tail, returned oldest-first).  Everything is strict-JSON
+        serializable, so it travels over the wire protocol unchanged.
+        """
+        from repro.obs.export import json_snapshot
+
+        controller = self.controller
+        snapshot = json_snapshot(controller.metrics, prefix=prefix)
+        return {
+            "metrics": snapshot["metrics"],
+            "decision_traces": [trace.to_dict() for trace in
+                                controller.trace_log.latest(max_traces)],
+            "optimizer": controller.stats.snapshot(),
+            "server": {
+                "heartbeats_received": self.heartbeats_received,
+                "active_sessions": len(self._sessions_by_key),
+                "lease_seconds": self.lease_seconds,
+            },
+        }
+
     # -- attaching clients ---------------------------------------------------
 
     def attach(self, transport: Transport) -> HarmonySession:
@@ -337,6 +393,8 @@ class HarmonyServer:
                 if instance is not None and not instance.ended:
                     self.controller.evict_app(instance,
                                               reason="lease expired")
+                self.controller.metrics.increment("server.lease_expiries",
+                                                  self.controller.now)
                 evicted.append(key)
                 if session is not None and not session.transport.closed:
                     try:

@@ -43,6 +43,7 @@ from repro.controller.controller import AdaptationController, DecisionRecord
 from repro.controller.policies import ClientCountRulePolicy
 from repro.errors import HarmonyError
 from repro.metrics import MetricInterface
+from repro.obs.trace import DecisionTrace, Span, Tracer
 
 __all__ = ["DatabaseExperimentConfig", "DatabaseExperimentResult",
            "PhaseSummary", "run_database_experiment"]
@@ -76,6 +77,10 @@ class DatabaseExperimentConfig:
     #: How long the rule's condition must hold before it fires — shows the
     #: paper's transient three-QS-client spike before the DS switch.
     rule_reaction_seconds: float = 60.0
+    #: Attach a :class:`~repro.obs.trace.Tracer` to the controller, filling
+    #: ``DatabaseExperimentResult.spans``.  Off by default — tracing must
+    #: cost nothing when unused (the scale bench asserts it).
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -99,6 +104,13 @@ class DatabaseExperimentResult:
     phases: list[PhaseSummary] = field(default_factory=list)
     queries_total: int = 0
     switch_time: float | None = None
+    #: The run's metric interface — feed it to the exporters in
+    #: :mod:`repro.obs.export` for Prometheus text or a JSON snapshot.
+    metrics: MetricInterface = field(default_factory=MetricInterface)
+    #: Structured "why this option won" records, newest last.
+    decision_traces: list[DecisionTrace] = field(default_factory=list)
+    #: Hot-path timing spans; empty unless ``config.trace`` was set.
+    spans: list[Span] = field(default_factory=list)
 
     def mean_response(self, client: str, start: float, end: float,
                       ) -> float | None:
@@ -138,8 +150,9 @@ def run_database_experiment(config: DatabaseExperimentConfig | None = None,
         policy = None  # AdaptationController default: ModelDrivenPolicy
     else:
         raise HarmonyError(f"unknown policy {config.policy!r}")
+    tracer = Tracer() if config.trace else None
     controller = AdaptationController(
-        cluster, metrics=metrics, policy=policy,
+        cluster, metrics=metrics, policy=policy, tracer=tracer,
         reevaluation_period_seconds=config.reevaluation_period_seconds)
     harmony_server = HarmonyServer(controller)
     server_app = DatabaseServerApp(cluster, "server0", engine,
@@ -191,7 +204,10 @@ def run_database_experiment(config: DatabaseExperimentConfig | None = None,
                          for app in clients},
         options_over_time=options_over_time,
         decisions=list(controller.decision_log),
-        queries_total=sum(app.stats.queries_completed for app in clients))
+        queries_total=sum(app.stats.queries_completed for app in clients),
+        metrics=metrics,
+        decision_traces=list(controller.trace_log.traces()),
+        spans=list(tracer.spans) if tracer is not None else [])
 
     result.switch_time = _find_switch_time(result.decisions)
     result.phases = _summarize_phases(result, config)

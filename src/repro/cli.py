@@ -10,6 +10,10 @@ Installed as ``harmony-repro`` (or run as ``python -m repro.cli``):
   experiment and print the Figure 7 phases;
 * ``harmony-repro fig4 [...]``      — run the Figure 4 repartitioning
   experiment;
+* ``harmony-repro metrics [...]``   — run the Figure 7 experiment and dump
+  its telemetry (Prometheus text or JSON snapshot);
+* ``harmony-repro trace [...]``     — run the Figure 7 experiment and
+  explain each reconfiguration (decision traces, optional JSONL dumps);
 * ``harmony-repro serve [...]``     — start a real TCP Harmony server over
   a cluster described by ``harmonyNode`` declarations.
 """
@@ -47,14 +51,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig7 = subparsers.add_parser(
         "fig7", help="run the Section 6 database experiment (Figure 7)")
-    fig7.add_argument("--policy", choices=("rule", "model"),
-                      default="rule")
-    fig7.add_argument("--tuples", type=int, default=10_000)
-    fig7.add_argument("--clients", type=int, default=3)
+    _add_fig7_options(fig7)
 
     fig4 = subparsers.add_parser(
         "fig4", help="run the repartitioning experiment (Figure 4)")
     fig4.add_argument("--apps", type=int, default=3)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="run the Figure 7 experiment and export its "
+                        "telemetry")
+    _add_fig7_options(metrics)
+    metrics.add_argument("--format", choices=("prometheus", "json"),
+                         default="prometheus")
+    metrics.add_argument("--prefix", default=None,
+                         help="only export metric names with this prefix")
+
+    trace = subparsers.add_parser(
+        "trace", help="run the Figure 7 experiment and explain every "
+                      "reconfiguration decision")
+    _add_fig7_options(trace)
+    trace.add_argument("--max", type=int, default=10,
+                       help="print at most this many traces (newest last)")
+    trace.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="also write decision traces as JSON lines")
+    trace.add_argument("--spans", default=None, metavar="PATH",
+                       help="also write timing spans as JSON lines")
 
     serve = subparsers.add_parser(
         "serve", help="start a TCP Harmony server (the Section 5 "
@@ -72,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_fig7_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--policy", choices=("rule", "model"),
+                        default="rule")
+    parser.add_argument("--tuples", type=int, default=10_000)
+    parser.add_argument("--clients", type=int, default=3)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -80,6 +108,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "format": _cmd_format,
         "fig7": _cmd_fig7,
         "fig4": _cmd_fig4,
+        "metrics": _cmd_metrics,
+        "trace": _cmd_trace,
         "serve": _cmd_serve,
     }[args.command]
     try:
@@ -152,15 +182,7 @@ def _cmd_tags(_args: argparse.Namespace) -> int:
 
 
 def _cmd_fig7(args: argparse.Namespace) -> int:
-    from repro.apps.database import (
-        DatabaseExperimentConfig,
-        run_database_experiment,
-    )
-
-    result = run_database_experiment(DatabaseExperimentConfig(
-        tuple_count=args.tuples, policy=args.policy,
-        client_count=args.clients,
-        total_duration_seconds=200.0 * (args.clients + 1)))
+    result = _run_fig7_experiment(args)
     print(f"{result.queries_total} queries; switch at "
           f"t={result.switch_time}")
     for phase in result.phases:
@@ -169,6 +191,67 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
         print(f"  [{phase.start_time:5.0f},{phase.end_time:5.0f}) "
               f"{phase.active_clients} client(s) "
               f"{phase.dominant_option}: {means}")
+    return 0
+
+
+def _run_fig7_experiment(args: argparse.Namespace, trace: bool = False):
+    from repro.apps.database import (
+        DatabaseExperimentConfig,
+        run_database_experiment,
+    )
+
+    return run_database_experiment(DatabaseExperimentConfig(
+        tuple_count=args.tuples, policy=args.policy,
+        client_count=args.clients,
+        total_duration_seconds=200.0 * (args.clients + 1),
+        trace=trace))
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import json_snapshot, prometheus_text
+
+    result = _run_fig7_experiment(args)
+    if args.format == "prometheus":
+        print(prometheus_text(result.metrics, prefix=args.prefix), end="")
+    else:
+        print(json.dumps(json_snapshot(result.metrics, prefix=args.prefix),
+                         indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.export import decision_traces_to_jsonl, spans_to_jsonl
+
+    result = _run_fig7_experiment(args, trace=args.spans is not None)
+    traces = result.decision_traces
+    shown = traces[-args.max:] if args.max and args.max > 0 else traces
+    print(f"{len(traces)} decision trace(s); showing {len(shown)}")
+    for trace in shown:
+        print(f"\n[t={trace.time:.1f}s] {trace.app_key} "
+              f"bundle={trace.bundle_name} trigger={trace.trigger!r}")
+        print(f"  objective {trace.objective_before:.6g}s -> "
+              f"{trace.objective_after:.6g}s; "
+              f"chose {trace.chosen_option!r}")
+        for candidate in trace.candidates:
+            marker = "*" if candidate.chosen else " "
+            reason = ("chosen" if candidate.chosen
+                      else f"rejected: {candidate.rejection_reason}")
+            print(f"  {marker} {candidate.option_name:>4}  "
+                  f"predicted={candidate.predicted_seconds:.6g}s  "
+                  f"friction={candidate.friction_cost_seconds:.6g}s  "
+                  f"{reason}")
+            if candidate.detail:
+                print(f"        {candidate.detail}")
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            handle.write(decision_traces_to_jsonl(traces))
+        print(f"\nwrote {len(traces)} trace(s) to {args.jsonl}")
+    if args.spans:
+        with open(args.spans, "w", encoding="utf-8") as handle:
+            handle.write(spans_to_jsonl(result.spans))
+        print(f"wrote {len(result.spans)} span(s) to {args.spans}")
     return 0
 
 

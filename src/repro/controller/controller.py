@@ -23,8 +23,9 @@ expected benefits of making various changes."
 from __future__ import annotations
 
 import math
+import time as _time
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Mapping
+from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.allocation.allocation import allocate
 from repro.allocation.matcher import Matcher, MatchStrategy
@@ -48,6 +49,14 @@ from repro.controller.trial import OptimizerStats, TrialEngine
 from repro.errors import AllocationError, ControllerError
 from repro.metrics import MetricInterface
 from repro.namespace import Namespace
+from repro.obs.instrument import Telemetry
+from repro.obs.trace import (
+    NULL_TRACER,
+    REJECT_WORSE_OBJECTIVE,
+    CandidateTrace,
+    DecisionTrace,
+    DecisionTraceLog,
+)
 from repro.prediction.contention import PlacedConfiguration, SystemView
 from repro.prediction.models import (
     DefaultModel,
@@ -58,7 +67,8 @@ from repro.prediction.models import (
 from repro.rsl import Bundle, build_bundle
 
 __all__ = ["AdaptationController", "DecisionRecord", "ReconfigurationEvent",
-           "SessionLifecycleEvent", "ModelDrivenPolicy", "DecisionPolicy"]
+           "SessionLifecycleEvent", "ModelDrivenPolicy", "DecisionPolicy",
+           "candidate_traces"]
 
 
 @dataclass(frozen=True)
@@ -147,9 +157,13 @@ class ModelDrivenPolicy(DecisionPolicy):
             raise AllocationError(
                 f"{instance.key}: no feasible configuration for bundle "
                 f"{state.bundle.bundle_name!r}")
-        controller.apply_candidate(instance, state, result.best,
-                                   reason="initial",
-                                   objective_before=result.current_objective)
+        controller.apply_candidate(
+            instance, state, result.best,
+            reason="initial",
+            objective_before=result.current_objective,
+            trace_candidates=candidate_traces(
+                controller, state, result.evaluated, result.best,
+                result.current_objective))
 
     def reevaluate(self, controller: "AdaptationController") -> int:
         changes = 0
@@ -233,20 +247,63 @@ class ModelDrivenPolicy(DecisionPolicy):
                 and best.assignment.placements == \
                 state.chosen.assignment.placements:
             return False  # already there
-        friction_cost = controller.friction_cost(state, best.option_name)
-        decision = controller.friction_policy.evaluate(
-            current_objective=result.current_objective,
-            candidate_objective=best.objective_value,
-            friction_cost_seconds=friction_cost,
-            candidate_response_seconds=best.predicted_seconds)
+        with controller.tracer.span("controller.friction_gate",
+                                    app=instance.key) as span:
+            friction_cost = controller.friction_cost(state,
+                                                     best.option_name)
+            decision = controller.friction_policy.evaluate(
+                current_objective=result.current_objective,
+                candidate_objective=best.objective_value,
+                friction_cost_seconds=friction_cost,
+                candidate_response_seconds=best.predicted_seconds)
+            span.set("friction_cost_seconds", friction_cost)
+            span.set("worthwhile", bool(decision))
         if not decision:
             return False
         controller.apply_candidate(
             instance, state, best,
             reason=f"reevaluation (gain {decision.objective_gain:.3g}s, "
                    f"friction {friction_cost:.3g}s)",
-            objective_before=result.current_objective)
+            objective_before=result.current_objective,
+            trace_candidates=candidate_traces(
+                controller, state, result.evaluated, best,
+                result.current_objective))
         return True
+
+
+def candidate_traces(controller: "AdaptationController", state: BundleState,
+                     evaluated: Sequence[Candidate],
+                     best: Candidate,
+                     objective_before: float,
+                     ) -> list[CandidateTrace]:
+    """Trace records for one optimizer sweep's evaluated candidates.
+
+    The winner (by identity) gets ``rejection_reason=None``; every other
+    candidate is marked :data:`REJECT_WORSE_OBJECTIVE` with the losing
+    margin spelled out in ``detail``.
+    """
+    records: list[CandidateTrace] = []
+    for candidate in evaluated:
+        chosen = candidate is best
+        if chosen:
+            reason, detail = None, ""
+        else:
+            reason = REJECT_WORSE_OBJECTIVE
+            detail = (f"objective {candidate.objective_value:.6g}s vs "
+                      f"winner {best.objective_value:.6g}s")
+        records.append(CandidateTrace(
+            option_name=candidate.option_name,
+            variable_assignment=dict(candidate.variable_assignment),
+            placements=dict(candidate.assignment.placements),
+            predicted_seconds=candidate.predicted_seconds,
+            objective_value=candidate.objective_value,
+            objective_delta=candidate.objective_value - objective_before,
+            friction_cost_seconds=controller.friction_cost(
+                state, candidate.option_name),
+            chosen=chosen,
+            rejection_reason=reason,
+            detail=detail))
+    return records
 
 
 def _same_configuration(state: BundleState, candidate: Candidate) -> bool:
@@ -271,9 +328,19 @@ class AdaptationController:
                  default_model: PerformanceModel | None = None,
                  match_strategy: MatchStrategy = MatchStrategy.FIRST_FIT,
                  reevaluation_period_seconds: float = 30.0,
-                 incremental: bool = True):
+                 incremental: bool = True,
+                 tracer=None,
+                 trace_log: DecisionTraceLog | None = None):
         self.cluster = cluster
         self.metrics = metrics or MetricInterface()
+        #: Span recorder (pass a Tracer to profile; the no-op default
+        #: keeps instrumented call sites zero-cost).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Always-on bounded log of per-reconfiguration decision traces.
+        self.trace_log = trace_log if trace_log is not None \
+            else DecisionTraceLog()
+        #: Counter/gauge/timer verbs timestamped on the simulation clock.
+        self.telemetry = Telemetry(self.metrics, lambda: self.now)
         self.namespace = namespace or Namespace()
         self.objective = objective or MeanResponseTime()
         self.policy = policy or ModelDrivenPolicy()
@@ -317,16 +384,19 @@ class AdaptationController:
         instance is still registered the registry returns it unchanged
         (no duplicate registration, allocations intact).
         """
-        instance = self.registry.register(app_name, self.now,
-                                          resume_key=resume_key)
-        resumed = resume_key is not None and instance.key == resume_key
-        self._record_lifecycle(
-            "rejoined" if resumed else "registered", instance.key,
-            detail="resumed within lease" if resumed else "")
-        if not resumed:
-            self.metrics.report("controller.registered_apps", self.now,
-                                float(len(self.registry)))
-        return instance
+        with self.tracer.span("controller.register", app=app_name) as span:
+            instance = self.registry.register(app_name, self.now,
+                                              resume_key=resume_key)
+            resumed = resume_key is not None and instance.key == resume_key
+            span.set("key", instance.key)
+            span.set("resumed", resumed)
+            self._record_lifecycle(
+                "rejoined" if resumed else "registered", instance.key,
+                detail="resumed within lease" if resumed else "")
+            if not resumed:
+                self.metrics.report("controller.registered_apps", self.now,
+                                    float(len(self.registry)))
+            return instance
 
     def setup_bundle(self, instance: AppInstance,
                      bundle: Bundle | str) -> BundleState:
@@ -343,21 +413,26 @@ class AdaptationController:
         """
         if isinstance(bundle, str):
             bundle = build_bundle(bundle)
-        existing = instance.bundles.get(bundle.bundle_name)
-        if existing is not None:
-            if existing.bundle.option_names() != bundle.option_names():
-                raise ControllerError(
-                    f"{instance.key}: bundle {bundle.bundle_name!r} "
-                    f"replayed with different options")
-            if existing.chosen is None:
-                # The replay found the bundle unconfigured (stranded by a
-                # failure): try to place it again.
-                self.policy.configure_new_bundle(self, instance, existing)
-                self.policy.reevaluate(self)
-            return existing
-        state = self.registry.add_bundle(instance, bundle)
-        self.policy.configure_new_bundle(self, instance, state)
-        self.policy.reevaluate(self)
+        with self.tracer.span("controller.setup_bundle",
+                              app=instance.key,
+                              bundle=bundle.bundle_name):
+            existing = instance.bundles.get(bundle.bundle_name)
+            if existing is not None:
+                if existing.bundle.option_names() != bundle.option_names():
+                    raise ControllerError(
+                        f"{instance.key}: bundle {bundle.bundle_name!r} "
+                        f"replayed with different options")
+                if existing.chosen is None:
+                    # The replay found the bundle unconfigured (stranded by
+                    # a failure): try to place it again.
+                    self.policy.configure_new_bundle(self, instance,
+                                                     existing)
+                    self.policy.reevaluate(self)
+                return existing
+            state = self.registry.add_bundle(instance, bundle)
+            self.policy.configure_new_bundle(self, instance, state)
+            self.policy.reevaluate(self)
+        self.report_work_counters()
         return state
 
     def end_app(self, instance: AppInstance) -> None:
@@ -376,7 +451,9 @@ class AdaptationController:
         ``evicted`` lifecycle event plus a ``controller.evictions`` metric
         record the degradation.
         """
-        self._release_app(instance, kind="evicted", detail=reason)
+        with self.tracer.span("controller.evict", app=instance.key,
+                              reason=reason):
+            self._release_app(instance, kind="evicted", detail=reason)
         self.metrics.report("controller.evictions", self.now, 1.0)
 
     def _release_app(self, instance: AppInstance, kind: str,
@@ -421,8 +498,15 @@ class AdaptationController:
 
     def apply_candidate(self, instance: AppInstance, state: BundleState,
                         candidate: Candidate, reason: str,
-                        objective_before: float = math.inf) -> None:
-        """Make ``candidate`` the live configuration of this bundle."""
+                        objective_before: float = math.inf,
+                        trace_candidates: Sequence[CandidateTrace] | None
+                        = None) -> None:
+        """Make ``candidate`` the live configuration of this bundle.
+
+        ``trace_candidates`` carries the full evaluated-alternatives
+        record for the decision trace; when omitted, the trace lists the
+        chosen candidate alone.
+        """
         old = state.chosen
         old_description = old.describe() if old else None
         option_changed = old is None or \
@@ -482,6 +566,28 @@ class AdaptationController:
             reason=reason,
             objective_before=objective_before,
             objective_after=objective_after))
+        if trace_candidates is None:
+            trace_candidates = [CandidateTrace(
+                option_name=candidate.option_name,
+                variable_assignment=dict(candidate.variable_assignment),
+                placements=dict(candidate.assignment.placements),
+                predicted_seconds=candidate.predicted_seconds,
+                objective_value=candidate.objective_value,
+                objective_delta=candidate.objective_value
+                - objective_before,
+                friction_cost_seconds=self.friction_cost(
+                    state, candidate.option_name),
+                chosen=True,
+                rejection_reason=None)]
+        self.trace_log.record(DecisionTrace(
+            time=self.now, app_key=instance.key,
+            bundle_name=state.bundle.bundle_name,
+            trigger=reason,
+            objective_before=objective_before,
+            objective_after=objective_after,
+            chosen_option=candidate.option_name,
+            chosen_placements=dict(candidate.assignment.placements),
+            candidates=tuple(trace_candidates)))
         option_index = state.bundle.option_names().index(
             candidate.option_name)
         self.metrics.report(
@@ -589,7 +695,7 @@ class AdaptationController:
             view=self.view, matcher=self.matcher,
             objective=self.objective, predict_all=self.predict_all,
             now=self.now, engine=self._engine, cache=self._config_cache,
-            stats=self.stats)
+            stats=self.stats, tracer=self.tracer)
 
     # -- topology changes -----------------------------------------------------
 
@@ -697,9 +803,42 @@ class AdaptationController:
     # -- periodic re-evaluation ------------------------------------------------
 
     def reevaluate(self) -> int:
-        """One re-evaluation sweep; returns the number of changes."""
-        self.update_external_load()
-        return self.policy.reevaluate(self)
+        """One re-evaluation sweep; returns the number of changes.
+
+        Reports the sweep's wall-clock cost as
+        ``controller.reevaluation_seconds`` (timestamped on the simulation
+        clock) and refreshes the cumulative work counters.
+        """
+        start = _time.perf_counter()
+        with self.tracer.span("controller.reevaluate") as span:
+            self.update_external_load()
+            changes = self.policy.reevaluate(self)
+            span.set("changes", changes)
+        self.metrics.report("controller.reevaluation_seconds", self.now,
+                            _time.perf_counter() - start)
+        self.report_work_counters()
+        return changes
+
+    def report_work_counters(self) -> None:
+        """Publish cumulative optimizer/prediction/cache work counters.
+
+        Counter semantics: each sample carries the running total (see
+        :meth:`MetricInterface.increment`), so exporters read the latest
+        sample and rates fall out of windowed differences.
+        """
+        now = self.now
+        self.metrics.report("optimizer.candidates_evaluated", now,
+                            float(self.stats.candidates_evaluated))
+        self.metrics.report("optimizer.match_calls", now,
+                            float(self.stats.match_calls))
+        self.metrics.report("prediction.model_calls", now,
+                            float(self.stats.predictions_recomputed))
+        self.metrics.report("prediction.full_view_recomputes", now,
+                            float(self.stats.full_view_recomputes))
+        if self._config_cache is not None:
+            for key, value in self._config_cache.snapshot().items():
+                self.metrics.report(f"optimizer.cache.{key}", now,
+                                    float(value))
 
     def start_periodic_reevaluation(self) -> Process:
         """Spawn the Section 4.3 periodic adaptation process."""

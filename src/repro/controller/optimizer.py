@@ -45,6 +45,7 @@ from repro.allocation.matcher import Assignment, Matcher
 from repro.controller.objective import Objective
 from repro.controller.registry import AppInstance, BundleState
 from repro.errors import AllocationError, RslSemanticError
+from repro.obs.trace import NULL_TRACER
 from repro.prediction.contention import SystemView
 from repro.rsl.expressions import MapEnvironment
 from repro.rsl.model import Bundle, TuningOption
@@ -108,6 +109,8 @@ class OptimizationContext:
     cache: "ConfigurationCache | None" = None
     #: Work counters (candidates, recomputes); optional.
     stats: "OptimizerStats | None" = None
+    #: Span recorder; the no-op singleton keeps tracing zero-cost-when-off.
+    tracer: object = NULL_TRACER
 
 
 def bundle_holder(instance: AppInstance, state: BundleState) -> str:
@@ -147,13 +150,26 @@ class ConfigurationCache:
         self._spaces: dict[tuple[int, int],
                            tuple[Bundle, list[ConfigurationEntry]]] = {}
         self._memory_probes: dict[tuple, float | None] = {}
+        self.space_hits = 0
+        self.space_misses = 0
+        self.probe_hits = 0
+        self.probe_misses = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Hit/miss counters, for the telemetry layer."""
+        return {"space_hits": self.space_hits,
+                "space_misses": self.space_misses,
+                "probe_hits": self.probe_hits,
+                "probe_misses": self.probe_misses}
 
     def space_for(self, bundle: Bundle,
                   probe_limit: int) -> list[ConfigurationEntry]:
         key = (id(bundle), probe_limit)
         hit = self._spaces.get(key)
         if hit is not None:
+            self.space_hits += 1
             return hit[1]
+        self.space_misses += 1
         entries: list[ConfigurationEntry] = []
         for option in bundle.options:
             for variable_assignment in option.variable_assignments():
@@ -186,7 +202,9 @@ class ConfigurationCache:
                tuple(sorted(base.variable_assignment.items())),
                demand.local_name, span_mb)
         if key in self._memory_probes:
+            self.probe_hits += 1
             return self._memory_probes[key]
+        self.probe_misses += 1
         grant_key = f"{demand.local_name}.memory"
         if _grant_affects_nodes(option, grant_key):
             best = _best_memory_for(option, base, demand, span_mb)
@@ -218,9 +236,16 @@ def enumerate_candidates(instance: AppInstance, state: BundleState,
     else:
         order_key = _load_order_key(context.view,
                                     exclude_apps=(instance.key,))
+    stats = context.stats
     if context.cache is not None:
-        for entry in context.cache.space_for(state.bundle,
-                                             context.memory_probe_limit):
+        with context.tracer.span("optimizer.configuration_space",
+                                 bundle=state.bundle.bundle_name) as span:
+            entries = context.cache.space_for(state.bundle,
+                                              context.memory_probe_limit)
+            span.set("entries", len(entries))
+        for entry in entries:
+            if stats is not None:
+                stats.match_calls += 1
             try:
                 assignment = context.matcher.match(
                     entry.demands, extra_memory=entry.extra_memory,
@@ -238,7 +263,7 @@ def enumerate_candidates(instance: AppInstance, state: BundleState,
         for variable_assignment in option.variable_assignments():
             yield from _candidates_for_assignment(
                 option, dict(variable_assignment), context, ignore,
-                order_key)
+                order_key, stats)
 
 
 def _load_order_key(view: SystemView,
@@ -272,6 +297,7 @@ def _candidates_for_assignment(option: TuningOption,
                                context: OptimizationContext,
                                ignore_holders: frozenset[str],
                                order_key,
+                               stats: "OptimizerStats | None" = None,
                                ) -> Iterator[Candidate]:
     try:
         base = instantiate_option(option, variable_assignment)
@@ -279,6 +305,8 @@ def _candidates_for_assignment(option: TuningOption,
         return
     for grants in _memory_grant_choices(option, base,
                                         context.memory_probe_limit):
+        if stats is not None:
+            stats.match_calls += 1
         try:
             demands = (base if not grants
                        else instantiate_option(option, variable_assignment,
@@ -433,11 +461,17 @@ def _best_memory_by_expression(option: TuningOption, base: ConcreteDemands,
 
 @dataclass
 class OptimizationResult:
-    """Best candidate found for one bundle, with search statistics."""
+    """Best candidate found for one bundle, with search statistics.
+
+    ``evaluated`` holds every scored candidate (``best`` is one of them,
+    by identity) so decision traces can record the alternatives the
+    winner beat.
+    """
 
     best: Candidate | None
     candidates_evaluated: int = 0
     current_objective: float = math.inf
+    evaluated: list[Candidate] = field(default_factory=list)
 
 
 class GreedyOptimizer:
@@ -462,8 +496,18 @@ class GreedyOptimizer:
         best feasible combination, or ``None`` when either side has no
         feasible candidate.
         """
-        if context.engine is not None:
-            return self._optimize_pair_incremental(first, second, context)
+        with context.tracer.span("optimizer.optimize_pair",
+                                 first=first[0].key,
+                                 second=second[0].key):
+            if context.engine is not None:
+                return self._optimize_pair_incremental(first, second,
+                                                       context)
+            return self._optimize_pair_naive(first, second, context)
+
+    def _optimize_pair_naive(self, first: tuple[AppInstance, BundleState],
+                             second: tuple[AppInstance, BundleState],
+                             context: OptimizationContext,
+                             ) -> tuple[Candidate, Candidate, float] | None:
         instance_a, state_a = first
         instance_b, state_b = second
         ignore = frozenset({bundle_holder(instance_a, state_a),
@@ -570,16 +614,31 @@ class GreedyOptimizer:
                         context: OptimizationContext) -> OptimizationResult:
         """Pick the configuration of this bundle minimizing the objective,
         holding every other application (and bundle) fixed."""
-        if context.engine is not None:
-            return self._optimize_bundle_incremental(instance, state,
+        with context.tracer.span("optimizer.optimize_bundle",
+                                 app=instance.key,
+                                 bundle=state.bundle.bundle_name) as span:
+            if context.engine is not None:
+                result = self._optimize_bundle_incremental(instance, state,
+                                                           context)
+            else:
+                result = self._optimize_bundle_naive(instance, state,
                                                      context)
+            span.set("candidates_evaluated", result.candidates_evaluated)
+            if result.best is not None:
+                span.set("chosen", result.best.option_name)
+            return result
+
+    def _optimize_bundle_naive(self, instance: AppInstance,
+                               state: BundleState,
+                               context: OptimizationContext,
+                               ) -> OptimizationResult:
         current_objective = context.objective.evaluate(
             context.predict_all(context.view))
 
         best: Candidate | None = None
-        evaluated = 0
+        evaluated: list[Candidate] = []
         for candidate in enumerate_candidates(instance, state, context):
-            evaluated += 1
+            evaluated.append(candidate)
             trial_view = context.view.copy()
             trial_view.place(instance.key, candidate.demands,
                              candidate.assignment)
@@ -591,9 +650,11 @@ class GreedyOptimizer:
                     candidate.objective_value < best.objective_value - 1e-12:
                 best = candidate
         if context.stats is not None:
-            context.stats.candidates_evaluated += evaluated
-        return OptimizationResult(best=best, candidates_evaluated=evaluated,
-                                  current_objective=current_objective)
+            context.stats.candidates_evaluated += len(evaluated)
+        return OptimizationResult(best=best,
+                                  candidates_evaluated=len(evaluated),
+                                  current_objective=current_objective,
+                                  evaluated=evaluated)
 
     def _optimize_bundle_incremental(
             self, instance: AppInstance, state: BundleState,
@@ -607,9 +668,9 @@ class GreedyOptimizer:
         current_objective = context.objective.evaluate(live)
 
         best: Candidate | None = None
-        evaluated = 0
+        evaluated: list[Candidate] = []
         for candidate in enumerate_candidates(instance, state, context):
-            evaluated += 1
+            evaluated.append(candidate)
             with ViewTrial(context.view) as trial:
                 trial.place(instance.key, candidate.demands,
                             candidate.assignment)
@@ -622,9 +683,11 @@ class GreedyOptimizer:
                     candidate.objective_value < best.objective_value - 1e-12:
                 best = candidate
         if context.stats is not None:
-            context.stats.candidates_evaluated += evaluated
-        return OptimizationResult(best=best, candidates_evaluated=evaluated,
-                                  current_objective=current_objective)
+            context.stats.candidates_evaluated += len(evaluated)
+        return OptimizationResult(best=best,
+                                  candidates_evaluated=len(evaluated),
+                                  current_objective=current_objective,
+                                  evaluated=evaluated)
 
 
 class ExhaustiveOptimizer:

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import math
+
 from repro.allocation.instantiate import instantiate_option
 from repro.controller.controller import (
     AdaptationController,
@@ -21,6 +23,11 @@ from repro.controller.optimizer import Candidate, bundle_holder
 from repro.controller.registry import AppInstance, BundleState
 from repro.controller.trial import ViewTrial
 from repro.errors import AllocationError
+from repro.obs.trace import (
+    REJECT_INFEASIBLE,
+    REJECT_RULE_NOT_SELECTED,
+    CandidateTrace,
+)
 
 __all__ = ["ClientCountRulePolicy"]
 
@@ -99,35 +106,111 @@ class ClientCountRulePolicy(DecisionPolicy):
         return (f"#active({self.app_name}) >= {self.threshold} -> "
                 f"{self.at_or_above_option}")
 
-    def _set(self, controller: AdaptationController, instance: AppInstance,
-             state: BundleState, option_name: str, reason: str,
-             required: bool = False) -> None:
+    def _evaluate_option(self, controller: AdaptationController,
+                         instance: AppInstance, state: BundleState,
+                         option_name: str) -> Candidate:
+        """Instantiate, match, and score one option on the live view.
+
+        Raises :class:`AllocationError` when the option has no feasible
+        placement.  Scoring is by trial-and-rollback: the placement is
+        applied in place and undone before returning.
+        """
         option = state.bundle.option_named(option_name)
         assignment_vars = {spec.name: spec.default_value()
                            for spec in option.variables}
         demands = instantiate_option(option, assignment_vars)
-        try:
-            # A reconfiguring application may re-use the resources it
-            # currently holds, so its own reservations are ignored.
-            assignment = controller.matcher.match(
-                demands,
-                ignore_holders={bundle_holder(instance, state)})
-        except AllocationError:
-            if required:
-                raise  # an initial configuration must exist
-            return  # re-evaluation: keep the current configuration
+        # A reconfiguring application may re-use the resources it
+        # currently holds, so its own reservations are ignored.
+        assignment = controller.matcher.match(
+            demands,
+            ignore_holders={bundle_holder(instance, state)})
         candidate = Candidate(
             option_name=option_name,
             variable_assignment=assignment_vars,
             memory_grants={},
             demands=demands,
             assignment=assignment)
-        # Score by trial-and-rollback on the live view: the placement is
-        # applied in place and undone before the real apply below.
         with ViewTrial(controller.view) as trial:
             trial.place(instance.key, demands, assignment)
             predictions = controller.predict_all(controller.view)
         candidate.predicted_seconds = predictions.get(
             instance.key, float("inf"))
         candidate.objective_value = controller.objective.evaluate(predictions)
-        controller.apply_candidate(instance, state, candidate, reason=reason)
+        return candidate
+
+    def _set(self, controller: AdaptationController, instance: AppInstance,
+             state: BundleState, option_name: str, reason: str,
+             required: bool = False) -> None:
+        try:
+            candidate = self._evaluate_option(controller, instance, state,
+                                              option_name)
+        except AllocationError:
+            if required:
+                raise  # an initial configuration must exist
+            return  # re-evaluation: keep the current configuration
+        objective_before = controller.current_objective()
+        controller.apply_candidate(
+            instance, state, candidate, reason=reason,
+            objective_before=objective_before,
+            trace_candidates=self._trace_alternatives(
+                controller, instance, state, candidate, objective_before))
+
+    def _trace_alternatives(self, controller: AdaptationController,
+                            instance: AppInstance, state: BundleState,
+                            chosen: Candidate, objective_before: float,
+                            ) -> list[CandidateTrace]:
+        """Score every option of the bundle, purely for the decision trace.
+
+        The rule picks its target without comparing objectives, so the
+        alternatives are evaluated here — the trace must still explain
+        what the rule's choice cost relative to the other options (the
+        "why QS beat DS" record for Figure 7).
+        """
+        records: list[CandidateTrace] = []
+        for option in state.bundle.options:
+            if option.name == chosen.option_name:
+                records.append(CandidateTrace(
+                    option_name=chosen.option_name,
+                    variable_assignment=dict(chosen.variable_assignment),
+                    placements=dict(chosen.assignment.placements),
+                    predicted_seconds=chosen.predicted_seconds,
+                    objective_value=chosen.objective_value,
+                    objective_delta=chosen.objective_value
+                    - objective_before,
+                    friction_cost_seconds=controller.friction_cost(
+                        state, chosen.option_name),
+                    chosen=True,
+                    rejection_reason=None))
+                continue
+            try:
+                alternative = self._evaluate_option(controller, instance,
+                                                    state, option.name)
+            except AllocationError:
+                records.append(CandidateTrace(
+                    option_name=option.name,
+                    variable_assignment={},
+                    placements={},
+                    predicted_seconds=math.inf,
+                    objective_value=math.inf,
+                    objective_delta=math.inf,
+                    friction_cost_seconds=controller.friction_cost(
+                        state, option.name),
+                    chosen=False,
+                    rejection_reason=REJECT_INFEASIBLE,
+                    detail="no feasible placement"))
+                continue
+            records.append(CandidateTrace(
+                option_name=option.name,
+                variable_assignment=dict(alternative.variable_assignment),
+                placements=dict(alternative.assignment.placements),
+                predicted_seconds=alternative.predicted_seconds,
+                objective_value=alternative.objective_value,
+                objective_delta=alternative.objective_value
+                - objective_before,
+                friction_cost_seconds=controller.friction_cost(
+                    state, option.name),
+                chosen=False,
+                rejection_reason=REJECT_RULE_NOT_SELECTED,
+                detail=f"rule selected {chosen.option_name!r} "
+                       f"({self._describe_rule()})"))
+        return records

@@ -47,16 +47,18 @@ __all__ = ["OptimizerStats", "ViewTrial", "TrialEngine"]
 
 @dataclass
 class OptimizerStats:
-    """Counters for optimizer work, surfaced by the scale benchmarks."""
+    """Counters for optimizer work, surfaced by benchmarks and telemetry."""
 
     candidates_evaluated: int = 0
     predictions_recomputed: int = 0
     full_view_recomputes: int = 0
+    match_calls: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {"candidates_evaluated": self.candidates_evaluated,
                 "predictions_recomputed": self.predictions_recomputed,
-                "full_view_recomputes": self.full_view_recomputes}
+                "full_view_recomputes": self.full_view_recomputes,
+                "match_calls": self.match_calls}
 
 
 class ViewTrial:
@@ -138,14 +140,16 @@ class TrialEngine:
         controller = self.controller
         view = controller.view
         controller.stats.full_view_recomputes += 1
-        predictions: dict[str, float] = {}
-        opaque: set[str] = set()
-        for placed in view.configurations():
-            value = controller.predict_app(view, placed)
-            if value is not None:
-                predictions[placed.app_key] = value
-            if not controller.model_is_footprint_safe(placed):
-                opaque.add(placed.app_key)
+        with controller.tracer.span("prediction.rebuild") as span:
+            predictions: dict[str, float] = {}
+            opaque: set[str] = set()
+            for placed in view.configurations():
+                value = controller.predict_app(view, placed)
+                if value is not None:
+                    predictions[placed.app_key] = value
+                if not controller.model_is_footprint_safe(placed):
+                    opaque.add(placed.app_key)
+            span.set("apps", len(predictions))
         self._predictions = predictions
         self._opaque = opaque
         self._version = view.version
@@ -182,16 +186,18 @@ class TrialEngine:
         """
         controller = self.controller
         view = controller.view
-        dirty = self.dirty_set(tokens)
-        predictions: dict[str, float] = {}
-        for placed in view.configurations():
-            app_key = placed.app_key
-            if app_key not in dirty and app_key in base:
-                predictions[app_key] = base[app_key]
-                continue
-            value = controller.predict_app(view, placed)
-            if value is not None:
-                predictions[app_key] = value
+        with controller.tracer.span("prediction.trial") as span:
+            dirty = self.dirty_set(tokens)
+            predictions: dict[str, float] = {}
+            for placed in view.configurations():
+                app_key = placed.app_key
+                if app_key not in dirty and app_key in base:
+                    predictions[app_key] = base[app_key]
+                    continue
+                value = controller.predict_app(view, placed)
+                if value is not None:
+                    predictions[app_key] = value
+            span.set("dirty", len(dirty))
         return predictions
 
     # -- commits -----------------------------------------------------------

@@ -6,7 +6,11 @@ import bisect
 from dataclasses import dataclass
 from typing import Iterator
 
-__all__ = ["Observation", "TimeSeries"]
+__all__ = ["Observation", "TimeSeries", "DEFAULT_MAX_OBSERVATIONS"]
+
+#: Generous default retention per series: enough for a week of 10 s
+#: collector samples, small enough that long-running servers don't leak.
+DEFAULT_MAX_OBSERVATIONS = 65_536
 
 
 @dataclass(frozen=True)
@@ -23,10 +27,22 @@ class TimeSeries:
     Appends must be non-decreasing in time (the simulation clock is
     monotonic).  Queries are binary-search based, so windowed statistics stay
     cheap even for long runs.
+
+    ``max_observations`` bounds retention: once the series holds that many
+    samples, the oldest are dropped on append (``None`` keeps everything,
+    for short experiment runs that post-process full histories).
+    ``observations_dropped`` counts evictions so consumers can tell a
+    short history from a trimmed one.
     """
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "",
+                 max_observations: int | None = None):
+        if max_observations is not None and max_observations < 1:
+            raise ValueError("max_observations must be positive or None, "
+                             f"got {max_observations}")
         self.name = name
+        self.max_observations = max_observations
+        self.observations_dropped = 0
         self._times: list[float] = []
         self._values: list[float] = []
 
@@ -40,6 +56,12 @@ class TimeSeries:
                 f"({time} after {self._times[-1]})")
         self._times.append(time)
         self._values.append(float(value))
+        bound = self.max_observations
+        if bound is not None and len(self._times) > bound:
+            excess = len(self._times) - bound
+            del self._times[:excess]
+            del self._values[:excess]
+            self.observations_dropped += excess
 
     def latest(self) -> Observation | None:
         if not self._times:

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterator
 
-from repro.metrics.history import Observation, TimeSeries
+from repro.metrics.history import (DEFAULT_MAX_OBSERVATIONS, Observation,
+                                   TimeSeries)
 
 __all__ = ["MetricInterface"]
 
@@ -24,11 +25,22 @@ Subscriber = Callable[[str, Observation], None]
 
 
 class MetricInterface:
-    """Central metric registry, history store, and pub/sub hub."""
+    """Central metric registry, history store, and pub/sub hub.
 
-    def __init__(self) -> None:
+    Every series created through the interface is bounded by
+    ``default_max_observations`` (``None`` disables retention); see
+    :class:`~repro.metrics.history.TimeSeries`.
+    """
+
+    def __init__(self, default_max_observations: int | None
+                 = DEFAULT_MAX_OBSERVATIONS) -> None:
+        self.default_max_observations = default_max_observations
         self._series: dict[str, TimeSeries] = {}
         self._subscribers: list[tuple[str, Subscriber]] = []
+
+    def _new_series(self, name: str) -> TimeSeries:
+        return TimeSeries(name,
+                          max_observations=self.default_max_observations)
 
     # -- producing ----------------------------------------------------------
 
@@ -36,19 +48,32 @@ class MetricInterface:
         """Record one observation and push it to matching subscribers."""
         series = self._series.get(name)
         if series is None:
-            series = self._series[name] = TimeSeries(name)
+            series = self._series[name] = self._new_series(name)
         series.append(time, value)
         observation = Observation(time, float(value))
         for prefix, subscriber in list(self._subscribers):
             if name == prefix or name.startswith(prefix + "."):
                 subscriber(name, observation)
 
+    def increment(self, name: str, time: float,
+                  amount: float = 1.0) -> float:
+        """Report a cumulative counter sample: latest value + ``amount``.
+
+        Counters are stored as ordinary series whose samples carry the
+        running total (Prometheus counter semantics), so rates fall out of
+        windowed differences.  Returns the new total.
+        """
+        latest = self.latest(name)
+        total = (0.0 if latest is None else latest) + amount
+        self.report(name, time, total)
+        return total
+
     # -- consuming ----------------------------------------------------------
 
     def series(self, name: str) -> TimeSeries:
         """The history for ``name`` (an empty series if never reported)."""
         if name not in self._series:
-            self._series[name] = TimeSeries(name)
+            self._series[name] = self._new_series(name)
         return self._series[name]
 
     def latest(self, name: str) -> float | None:

@@ -1,0 +1,28 @@
+"""Observability: decision traces, timing spans, telemetry, exporters.
+
+Three layers (see docs/observability.md):
+
+* ``trace``      — span timing + per-reconfiguration decision traces;
+* ``instrument`` — counter/gauge/timer facade over the metric interface;
+* ``export``     — Prometheus text / JSON snapshot / JSONL dumps.
+"""
+
+from repro.obs.export import (decision_traces_to_jsonl, json_snapshot,
+                              prometheus_text, sanitize_metric_name,
+                              spans_to_jsonl)
+from repro.obs.instrument import Telemetry, publish_fault_stats
+from repro.obs.trace import (NULL_TRACER, REJECT_INFEASIBLE,
+                             REJECT_RULE_NOT_SELECTED,
+                             REJECT_WORSE_OBJECTIVE, CandidateTrace,
+                             DecisionTrace, DecisionTraceLog, NullTracer,
+                             Span, Tracer)
+
+__all__ = [
+    "Tracer", "Span", "NullTracer", "NULL_TRACER",
+    "CandidateTrace", "DecisionTrace", "DecisionTraceLog",
+    "REJECT_WORSE_OBJECTIVE", "REJECT_RULE_NOT_SELECTED",
+    "REJECT_INFEASIBLE",
+    "Telemetry", "publish_fault_stats",
+    "prometheus_text", "json_snapshot", "sanitize_metric_name",
+    "decision_traces_to_jsonl", "spans_to_jsonl",
+]

@@ -1,0 +1,64 @@
+"""Instrumentation facade feeding the existing metric interface.
+
+:class:`Telemetry` wraps a :class:`~repro.metrics.interface.MetricInterface`
+with counter/gauge/timer verbs so instrumented code reads as intent
+(``telemetry.count("server.rpc.register")``) rather than bookkeeping.
+Metric *timestamps* come from the injected ``clock`` — the simulation or
+server clock, so telemetry lands on the same timeline as the experiment
+metrics — while :meth:`Telemetry.timer` *durations* are measured with
+:func:`time.perf_counter` (wall time is what a profiler wants even inside
+a simulated run).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Callable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.faults import FaultStats
+    from repro.metrics.interface import MetricInterface
+
+__all__ = ["Telemetry", "publish_fault_stats"]
+
+
+class Telemetry:
+    """Counter / gauge / timer verbs over a :class:`MetricInterface`."""
+
+    def __init__(self, metrics: "MetricInterface",
+                 clock: Callable[[], float]):
+        self.metrics = metrics
+        self.clock = clock
+
+    def count(self, name: str, amount: float = 1.0) -> float:
+        """Bump a cumulative counter; returns the running total."""
+        return self.metrics.increment(name, self.clock(), amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Report an instantaneous value."""
+        self.metrics.report(name, self.clock(), float(value))
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Report the block's wall-clock duration (seconds) as a gauge."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.gauge(name, time.perf_counter() - start)
+
+
+def publish_fault_stats(stats: "FaultStats", metrics: "MetricInterface",
+                        time: float = 0.0,
+                        prefix: str = "faults.transport") -> None:
+    """Report a fault-injection tally as ``<prefix>.*`` metrics.
+
+    Chaos tests assert drop/delay/duplicate counts through the same
+    telemetry path as production counters; see
+    :meth:`repro.api.faults.FaultStats.publish`.
+    """
+    for kind, value in stats.snapshot().items():
+        metrics.report(f"{prefix}.{kind}", time, float(value))
+    for fault_type, count in sorted(stats.by_type.items()):
+        metrics.report(f"{prefix}.by_type.{fault_type}", time, float(count))

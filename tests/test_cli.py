@@ -79,6 +79,51 @@ class TestExperiments:
         assert "frame 1 (2 app(s)): 4+4" in out
 
 
+class TestObservability:
+    def test_metrics_prometheus(self, capsys):
+        assert main(["metrics", "--tuples", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE controller_objective gauge" in out
+        assert "optimizer_candidates_evaluated" in out
+
+    def test_metrics_json_with_prefix(self, capsys):
+        assert main(["metrics", "--tuples", "2000", "--format", "json",
+                     "--prefix", "server.rpc"]) == 0
+        import json
+        snapshot = json.loads(capsys.readouterr().out)
+        names = list(snapshot["metrics"])
+        assert names
+        assert all(name.startswith("server.rpc.") for name in names)
+
+    def test_trace_explains_both_options(self, capsys):
+        assert main(["trace", "--tuples", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "chose 'QS'" in out
+        assert "chose 'DS'" in out          # the Figure 7 switch
+        assert "rejected: rule-not-selected" in out
+        assert "rule selected 'DS'" in out  # why QS lost at the switch
+
+    def test_trace_jsonl_dumps(self, tmp_path, capsys):
+        import json
+        traces = tmp_path / "traces.jsonl"
+        spans = tmp_path / "spans.jsonl"
+        assert main(["trace", "--tuples", "2000",
+                     "--jsonl", str(traces), "--spans", str(spans)]) == 0
+        trace_records = [json.loads(line)
+                         for line in traces.read_text().splitlines()]
+        assert any(record["chosen_option"] == "DS"
+                   for record in trace_records)
+        span_records = [json.loads(line)
+                        for line in spans.read_text().splitlines()]
+        assert any(record["name"] == "controller.reevaluate"
+                   for record in span_records)
+
+    def test_trace_max_caps_output(self, capsys):
+        assert main(["trace", "--tuples", "2000", "--max", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "showing 1" in out
+
+
 class TestServe:
     def test_serve_once_binds_and_exits(self, rsl_file, capsys):
         path = rsl_file("harmonyNode alpha {speed 2}\n"
