@@ -33,6 +33,7 @@ import time
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.api.protocol import (
+    CONTROLLER_RECOVERING,
     HEARTBEAT,
     HEARTBEAT_ACK,
     LEASE_EXPIRED,
@@ -44,6 +45,7 @@ from repro.api.retry import RetryPolicy
 from repro.api.transport import Transport
 from repro.api.variables import HarmonyVariable, VariableTable, VariableType
 from repro.errors import (
+    ControllerRecoveringError,
     HarmonyError,
     LeaseExpiredError,
     ProtocolError,
@@ -378,6 +380,11 @@ class HarmonyClient:
         response = self._response
         assert response is not None
         if response.get("type") == "error":
+            if response.get("code") == CONTROLLER_RECOVERING:
+                # Typed and retryable-by-the-caller: the server is
+                # replaying its durability log in read-only mode.
+                raise ControllerRecoveringError(
+                    f"server error: {response.get('message', 'recovering')}")
             raise HarmonyError(
                 f"server error: {response.get('message', 'unknown')}")
         if response.get("type") == LEASE_EXPIRED:

@@ -28,7 +28,7 @@ Server -> client:
 * ``heartbeat_ack``    {lease_expires_at?}
 * ``lease_expired``    {message}
 * ``ended``            {}
-* ``error``            {message}
+* ``error``            {message, code?}
 
 ``register`` with a ``resume_key`` is a *rejoin*: if the named instance is
 still registered (its lease has not expired), the server re-binds the new
@@ -36,6 +36,13 @@ connection to it instead of creating a duplicate; otherwise registration
 proceeds fresh and ``registered.resumed`` is False.  ``heartbeat`` renews
 the session lease; ``lease_expired`` is the server's answer to any message
 from a session it has already evicted.
+
+``error.code`` carries a machine-readable discriminator when one exists;
+the only defined value is ``controller_recovering`` — the server is
+replaying its durability log in read-only mode, and the client library
+maps it to :class:`~repro.errors.ControllerRecoveringError` instead of a
+generic failure.  :data:`MUTATING_TYPES` is the message set the read-only
+mode refuses (queries, status, and heartbeats still flow).
 """
 
 from __future__ import annotations
@@ -49,7 +56,8 @@ from repro.errors import ProtocolError
 __all__ = ["encode_message", "FrameDecoder", "make_message",
            "require_field", "CLIENT_TYPES", "SERVER_TYPES",
            "HEARTBEAT", "HEARTBEAT_ACK", "LEASE_EXPIRED",
-           "STATUS", "STATUS_REPORT"]
+           "STATUS", "STATUS_REPORT", "CONTROLLER_RECOVERING",
+           "MUTATING_TYPES"]
 
 _HEADER = struct.Struct(">I")
 MAX_FRAME_BYTES = 16 * 1024 * 1024
@@ -71,6 +79,16 @@ SERVER_TYPES = frozenset({
     "registered", "bundle_ok", "variable_added", "variable_update",
     "node_list", STATUS_REPORT, HEARTBEAT_ACK, LEASE_EXPIRED, "ended",
     "error",
+})
+
+#: Error code on ``error`` replies sent while recovery is in flight.
+CONTROLLER_RECOVERING = "controller_recovering"
+
+#: Requests that change controller state — refused (with
+#: ``error.code=controller_recovering``) while the server is in the
+#: degraded read-only mode during crash recovery.
+MUTATING_TYPES = frozenset({
+    "register", "bundle_setup", "report_metric", "end",
 })
 
 

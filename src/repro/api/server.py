@@ -26,9 +26,11 @@ import time
 from typing import Any, Callable
 
 from repro.api.protocol import (
+    CONTROLLER_RECOVERING,
     HEARTBEAT,
     HEARTBEAT_ACK,
     LEASE_EXPIRED,
+    MUTATING_TYPES,
     STATUS,
     STATUS_REPORT,
     make_message,
@@ -101,6 +103,15 @@ class HarmonySession:
     def _dispatch(self, message: dict[str, Any]) -> None:
         msg_type = message.get("type")
         self.server.count_rpc(str(msg_type))
+        if self.server.recovering and msg_type in MUTATING_TYPES:
+            # Degraded read-only mode while crash recovery replays the
+            # durability log: queries and status still flow, anything
+            # state-changing is refused with a typed, retryable error.
+            self._reply(make_message(
+                "error", code=CONTROLLER_RECOVERING,
+                message="controller is recovering; mutations are "
+                        "refused until recovery completes"))
+            return
         if self.evicted and msg_type != "register":
             # Anything an evicted client says (a heartbeat racing the
             # eviction, a late RPC) gets the same answer: your lease is
@@ -109,7 +120,10 @@ class HarmonySession:
                 LEASE_EXPIRED,
                 message=f"session {self.client_id} lease expired"))
             return
-        if self.instance is not None:
+        if self.instance is not None and not self.instance.ended:
+            # Never renew a lease for an evicted instance: a duplicate
+            # `register` arriving after an eviction must start a fresh
+            # session, not re-arm the dead key's lease.
             self.server.touch(self.instance.key)
         if msg_type == "register":
             self._handle_register(message)
@@ -278,11 +292,16 @@ class HarmonyServer:
     def __init__(self, controller: AdaptationController,
                  auto_flush: bool = True,
                  lease_seconds: float | None = None,
-                 clock: Callable[[], float] | None = None):
+                 clock: Callable[[], float] | None = None,
+                 recovering: bool = False):
         self.controller = controller
         self.auto_flush = auto_flush
         self.lease_seconds = lease_seconds
         self.clock: Callable[[], float] = clock or time.monotonic
+        #: Degraded read-only mode (crash recovery in flight): mutating
+        #: requests get ``error.code=controller_recovering`` until
+        #: :meth:`complete_recovery`.
+        self.recovering = recovering
         self.buffer = PendingVariableBuffer()
         self.lock = threading.RLock()
         self.heartbeats_received = 0
@@ -325,8 +344,21 @@ class HarmonyServer:
                 "heartbeats_received": self.heartbeats_received,
                 "active_sessions": len(self._sessions_by_key),
                 "lease_seconds": self.lease_seconds,
+                "recovering": self.recovering,
             },
         }
+
+    # -- recovery mode -------------------------------------------------------
+
+    def begin_recovery(self) -> None:
+        """Enter the degraded read-only mode (mutations refused)."""
+        with self.lock:
+            self.recovering = True
+
+    def complete_recovery(self) -> None:
+        """Recovery finished: accept mutations (and rejoins) again."""
+        with self.lock:
+            self.recovering = False
 
     # -- attaching clients ---------------------------------------------------
 
@@ -391,6 +423,10 @@ class HarmonyServer:
                 except ControllerError:
                     instance = None
                 if instance is not None and not instance.ended:
+                    if self.controller.journal is not None:
+                        # Audit record: the state change itself is the
+                        # eviction's ``release`` record.
+                        self.controller.journal.record_lease_expired(key)
                     self.controller.evict_app(instance,
                                               reason="lease expired")
                 self.controller.metrics.increment("server.lease_expiries",
@@ -425,8 +461,14 @@ class HarmonyServer:
         self._lease_thread.start()
 
     def stop_lease_monitor(self) -> None:
+        """Stop the monitor and *wait for it*: after this returns, no
+        lease check is running or will ever run again."""
+        thread = self._lease_thread
         if self._lease_stop is not None:
             self._lease_stop.set()
+        if thread is not None and thread.is_alive() \
+                and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
         self._lease_thread = None
         self._lease_stop = None
 
@@ -446,6 +488,7 @@ class HarmonyServer:
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((host, port))
         listener.listen()
+        self._stopping = False
         self._listener_socket = listener
         self._accept_thread = threading.Thread(
             target=self._accept_loop, daemon=True)
@@ -453,15 +496,30 @@ class HarmonyServer:
         return listener.getsockname()
 
     def stop(self) -> None:
-        """Stop accepting and close the listener (sessions stay alive)."""
+        """Shut down in dependency order: monitors first, sessions last.
+
+        The lease monitor is stopped *and joined* and the accept loop
+        closed before any session state is dropped, so a lease check can
+        never fire against a half-torn-down server (evicting through a
+        controller whose sessions are already detached).  Session
+        transports themselves stay open — clients own their connections.
+        """
         self._stopping = True
         self.stop_lease_monitor()
+        accept_thread = self._accept_thread
         if self._listener_socket is not None:
             try:
                 self._listener_socket.close()
             except OSError:
                 pass
             self._listener_socket = None
+        if accept_thread is not None and accept_thread.is_alive() \
+                and accept_thread is not threading.current_thread():
+            accept_thread.join(timeout=5.0)
+        self._accept_thread = None
+        with self.lock:
+            self._sessions_by_key.clear()
+            self._leases.clear()
 
     def _accept_loop(self) -> None:
         listener = self._listener_socket

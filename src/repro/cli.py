@@ -15,7 +15,12 @@ Installed as ``harmony-repro`` (or run as ``python -m repro.cli``):
 * ``harmony-repro trace [...]``     — run the Figure 7 experiment and
   explain each reconfiguration (decision traces, optional JSONL dumps);
 * ``harmony-repro serve [...]``     — start a real TCP Harmony server over
-  a cluster described by ``harmonyNode`` declarations.
+  a cluster described by ``harmonyNode`` declarations;
+* ``harmony-repro checkpoint [...]`` — journal a demo workload into a
+  durability directory (optionally crashing mid-write to leave a torn
+  tail for ``restore`` to repair);
+* ``harmony-repro restore [...]``   — rebuild a controller from a
+  durability directory and print the recovery report.
 """
 
 from __future__ import annotations
@@ -90,6 +95,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--once", action="store_true",
                        help="bind, print the address, and exit "
                             "(for scripting/tests)")
+
+    checkpoint = subparsers.add_parser(
+        "checkpoint", help="journal a demo workload (WAL + snapshots) "
+                           "into a durability directory")
+    checkpoint.add_argument("--dir", required=True,
+                            help="durability directory (created if absent)")
+    checkpoint.add_argument("--apps", type=int, default=4,
+                            help="how many applications to register")
+    checkpoint.add_argument("--snapshot-every", type=int, default=8,
+                            help="snapshot cadence in WAL records "
+                                 "(0 disables snapshots)")
+    checkpoint.add_argument("--kill-after", type=int, default=None,
+                            metavar="N",
+                            help="simulate a crash with a torn write on "
+                                 "the Nth WAL append (0-based)")
+
+    restore = subparsers.add_parser(
+        "restore", help="rebuild a controller from a durability "
+                        "directory and print the recovery report")
+    restore.add_argument("--dir", required=True,
+                         help="durability directory written by checkpoint")
     return parser
 
 
@@ -111,6 +137,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,
         "serve": _cmd_serve,
+        "checkpoint": _cmd_checkpoint,
+        "restore": _cmd_restore,
     }[args.command]
     try:
         return handler(args)
@@ -310,6 +338,93 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             time.sleep(1.0)
     except KeyboardInterrupt:  # pragma: no cover
         server.stop()
+    return 0
+
+
+_DEMO_RSL = """
+harmonyBundle {name} where {{
+    {{small {{node worker {{os linux}} {{seconds 5}} {{memory 16}}}}}}
+    {{big {{node worker {{os linux}} {{seconds 3}} {{memory 64}}}}}}}}
+"""
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from repro.cluster import Cluster
+    from repro.controller import AdaptationController
+    from repro.persistence import (
+        CrashPoint,
+        DurabilityJournal,
+        ScriptedCrashSchedule,
+        SimulatedCrash,
+        snapshot_files,
+    )
+
+    schedule = None
+    if args.kill_after is not None:
+        schedule = ScriptedCrashSchedule(
+            {args.kill_after: CrashPoint.TORN_APPEND})
+
+    controller = AdaptationController(
+        Cluster.full_mesh(["n0", "n1", "n2", "n3"], memory_mb=256))
+    journal = DurabilityJournal(args.dir,
+                                snapshot_every=args.snapshot_every,
+                                crash_schedule=schedule)
+    journal.attach(controller)
+    crashed = False
+    try:
+        for index in range(args.apps):
+            instance = controller.register_app(f"app{index}")
+            controller.setup_bundle(instance,
+                                    _DEMO_RSL.format(name=f"app{index}"))
+        controller.handle_node_failure("n0")
+        controller.handle_node_restored("n0")
+        controller.configure_stranded()
+    except SimulatedCrash as crash:
+        crashed = True
+        print(f"simulated crash: torn write on WAL append "
+              f"#{crash.append_index} — run restore to repair")
+    journal.close()
+
+    print(f"{args.dir}: {journal.wal.append_count} append(s), "
+          f"{journal.wal.bytes_written} byte(s), "
+          f"{len(snapshot_files(args.dir))} snapshot(s)")
+    if not crashed:
+        print(f"{len(controller.registry)} application(s) journaled; "
+              f"objective {controller.current_objective():.6g}s")
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    from repro.controller import AdaptationController
+
+    controller = AdaptationController.restore(args.dir)
+    report = controller.last_recovery
+    snapshot = (f"snapshot seq {report.snapshot_seq}"
+                if report.snapshot_path else "no snapshot (genesis)")
+    print(f"{args.dir}: restored from {snapshot} + "
+          f"{report.records_replayed} replayed record(s) "
+          f"in {report.recovery_seconds:.3f}s")
+    if report.skipped_snapshots:
+        print(f"  skipped {len(report.skipped_snapshots)} "
+              f"corrupt snapshot(s)")
+    retried = controller.configure_stranded()
+    if retried:
+        print(f"  reconfigured {retried} stranded bundle(s)")
+    print(f"{len(controller.registry)} application(s); "
+          f"objective {controller.current_objective():.6g}s")
+    for instance in controller.registry.instances():
+        if not instance.bundles:
+            print(f"  {instance.key}: no bundles (registration survived "
+                  f"the crash; the bundle record did not)")
+        for bundle_name, state in sorted(instance.bundles.items()):
+            if state.chosen is None:
+                print(f"  {instance.key} {bundle_name}: unconfigured")
+            else:
+                hosts = ",".join(sorted(
+                    state.chosen.assignment.hostnames()))
+                print(f"  {instance.key} {bundle_name}: "
+                      f"{state.chosen.option_name} on {hosts}")
+    controller.journal.close()
     return 0
 
 

@@ -338,3 +338,22 @@ class Kernel:
         if deadline is not None and self._now < deadline:
             self._now = deadline
         return None
+
+    def advance_to(self, time: float) -> None:
+        """Jump the clock forward to ``time`` without running events.
+
+        Used by durability-log replay, which must re-apply each recorded
+        decision at its original timestamp: the clock is advanced to the
+        record's time and the decision re-executed against it.  Going
+        backwards is an error; an advance past pending events would
+        reorder history, so that is rejected too.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"advance_to({time}) would move time backwards "
+                f"(now={self._now})")
+        if self._queue and self._queue[0][0] < time:
+            raise SimulationError(
+                f"advance_to({time}) would skip over a pending event at "
+                f"t={self._queue[0][0]}")
+        self._now = time

@@ -366,6 +366,34 @@ class AdaptationController:
         self._model_cache: dict[tuple[str, str, str], PerformanceModel] = {}
         self._listeners: list[Callable[[ReconfigurationEvent], None]] = []
         self._reevaluation_process: Process | None = None
+        #: Durability journal (``repro.persistence``): ``None`` keeps the
+        #: controller purely in-memory; attach a
+        #: :class:`~repro.persistence.journal.DurabilityJournal` to WAL
+        #: every state-changing event.  Set by ``journal.attach()``.
+        self.journal = None
+        #: The :class:`~repro.persistence.recovery.RecoveryReport` of the
+        #: :meth:`restore` call that built this controller, if any.
+        self.last_recovery = None
+
+    @classmethod
+    def restore(cls, directory: str, **kwargs) -> "AdaptationController":
+        """Rebuild a journaled controller from its durability directory.
+
+        Loads the newest valid snapshot, deterministically replays the
+        WAL tail, re-attaches the journal, and returns the controller
+        with ``last_recovery`` describing what was done.  Keyword
+        arguments are forwarded to
+        :func:`repro.persistence.recovery.restore_controller` — pass the
+        same policy/objective/model collaborators the crashed process
+        used.
+        """
+        from repro.persistence.recovery import restore_controller
+        return restore_controller(directory, **kwargs)
+
+    def _checkpoint(self) -> None:
+        """Operation boundary: let the journal snapshot if it is due."""
+        if self.journal is not None:
+            self.journal.checkpoint_if_due()
 
     # -- clock -------------------------------------------------------------
 
@@ -396,6 +424,9 @@ class AdaptationController:
             if not resumed:
                 self.metrics.report("controller.registered_apps", self.now,
                                     float(len(self.registry)))
+            if self.journal is not None:
+                self.journal.record_register(instance, resumed, resume_key)
+                self._checkpoint()
             return instance
 
     def setup_bundle(self, instance: AppInstance,
@@ -411,6 +442,7 @@ class AdaptationController:
         of the same name offering the same options, its live state is
         returned without re-optimizing.
         """
+        rsl_text = bundle if isinstance(bundle, str) else None
         if isinstance(bundle, str):
             bundle = build_bundle(bundle)
         with self.tracer.span("controller.setup_bundle",
@@ -428,11 +460,19 @@ class AdaptationController:
                     self.policy.configure_new_bundle(self, instance,
                                                      existing)
                     self.policy.reevaluate(self)
+                self._checkpoint()
                 return existing
             state = self.registry.add_bundle(instance, bundle)
+            if self.journal is not None:
+                if rsl_text is None:
+                    from repro.rsl import unparse_bundle
+                    rsl_text = unparse_bundle(bundle)
+                self.journal.record_setup_bundle(
+                    instance.key, bundle.bundle_name, rsl_text)
             self.policy.configure_new_bundle(self, instance, state)
             self.policy.reevaluate(self)
         self.report_work_counters()
+        self._checkpoint()
         return state
 
     def end_app(self, instance: AppInstance) -> None:
@@ -459,12 +499,17 @@ class AdaptationController:
     def _release_app(self, instance: AppInstance, kind: str,
                      detail: str) -> None:
         """Shared clean/forced removal path."""
+        if self.journal is not None:
+            # Journaled before the survivors re-optimize, so the release
+            # precedes any reconfiguration records that reuse its space.
+            self.journal.record_release(instance.key, kind, detail)
         self.view.remove(instance.key)
         self.registry.remove(instance)
         self._record_lifecycle(kind, instance.key, detail=detail)
         self.metrics.report("controller.registered_apps", self.now,
                             float(len(self.registry)))
         self.policy.reevaluate(self)
+        self._checkpoint()
 
     def _record_lifecycle(self, kind: str, app_key: str,
                           detail: str = "") -> None:
@@ -473,15 +518,30 @@ class AdaptationController:
 
     def register_model(self, instance: AppInstance, bundle_name: str,
                        model: PerformanceModel,
-                       option_name: str | None = None) -> None:
-        """Attach an explicit prediction model (the TCL-script analogue)."""
+                       option_name: str | None = None,
+                       model_name: str | None = None) -> None:
+        """Attach an explicit prediction model (the TCL-script analogue).
+
+        Models are opaque callables the durability layer cannot
+        serialize, so a journaled controller requires ``model_name`` — a
+        key into the journal's ``model_registry`` under which the *same*
+        model object is supplied again at restore time.
+        """
         key = bundle_name if option_name is None \
             else f"{bundle_name}.{option_name}"
+        if self.journal is not None:
+            if model_name is None:
+                raise ControllerError(
+                    f"{instance.key}: a journaled controller registers "
+                    f"models by name — pass model_name= (and list it in "
+                    f"the journal's model_registry)")
+            self.journal.record_model(instance.key, key, model_name)
         instance.models[key] = model
         # Custom models can read anything: drop cached predictions and the
         # instance's cached spec-resolved models.
         if self._engine is not None:
             self._engine.invalidate()
+        self._checkpoint()
 
     # -- reconfiguration plumbing -------------------------------------------
 
@@ -528,6 +588,9 @@ class AdaptationController:
                 # from the system view so predictions stop counting it.
                 state.chosen = None
                 self.view.remove(instance.key)
+                if self.journal is not None:
+                    self.journal.record_unconfigured(
+                        instance.key, state.bundle.bundle_name)
                 raise ControllerError(
                     f"{instance.key}: lost resources while reconfiguring "
                     f"{state.bundle.bundle_name!r}") from None
@@ -595,6 +658,12 @@ class AdaptationController:
             self.now, float(option_index))
         self.metrics.report("controller.objective", self.now,
                             objective_after)
+        if self.journal is not None:
+            # The append is this decision's commit point: replay re-applies
+            # the recorded result and verifies it reproduces
+            # ``objective_after`` exactly.
+            self.journal.record_apply(instance, state, candidate, reason,
+                                      objective_before, objective_after)
 
         if option_changed:
             event = ReconfigurationEvent(
@@ -711,6 +780,11 @@ class AdaptationController:
 
         Returns the keys of applications that could not be replaced.
         """
+        if self.journal is not None:
+            # Journaled before the displacement: replay fails the node and
+            # strips its placements, then the subsequent ``apply`` records
+            # restore the survivors exactly as the policy re-placed them.
+            self.journal.record_node_failure(hostname)
         node = self.cluster.node(hostname)
         node.fail()
         stranded: list[str] = []
@@ -738,13 +812,17 @@ class AdaptationController:
                     stranded.append(instance.key)
         self.policy.reevaluate(self)
         self.metrics.report("controller.node_failures", self.now, 1.0)
+        self._checkpoint()
         return stranded
 
     def handle_node_restored(self, hostname: str) -> int:
         """A machine (re)joined; re-evaluate everyone to exploit it."""
+        if self.journal is not None:
+            self.journal.record_node_restored(hostname)
         self.cluster.node(hostname).restore()
         changes = self.policy.reevaluate(self)
         self.metrics.report("controller.node_restorations", self.now, 1.0)
+        self._checkpoint()
         return changes
 
     def configure_stranded(self) -> int:
@@ -817,6 +895,7 @@ class AdaptationController:
         self.metrics.report("controller.reevaluation_seconds", self.now,
                             _time.perf_counter() - start)
         self.report_work_counters()
+        self._checkpoint()
         return changes
 
     def report_work_counters(self) -> None:

@@ -10,7 +10,6 @@ resolve as in Section 3.2.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -128,7 +127,18 @@ class ApplicationRegistry:
     def __init__(self, namespace: Namespace | None = None):
         self.namespace = namespace or Namespace()
         self._instances: dict[str, AppInstance] = {}
-        self._ids = itertools.count(1)
+        # A plain integer (not itertools.count) so the durability layer
+        # can snapshot and restore the id sequence exactly.
+        self._next_id = 1
+
+    @property
+    def next_instance_id(self) -> int:
+        """The id the next registration will receive (snapshot state)."""
+        return self._next_id
+
+    @next_instance_id.setter
+    def next_instance_id(self, value: int) -> None:
+        self._next_id = int(value)
 
     def register(self, app_name: str, now: float,
                  resume_key: str | None = None) -> AppInstance:
@@ -146,10 +156,19 @@ class ApplicationRegistry:
                     and not existing.ended:
                 return existing
         instance = AppInstance(app_name=app_name,
-                               instance_id=next(self._ids),
+                               instance_id=self._next_id,
                                registered_at=now)
+        self._next_id += 1
         self._instances[instance.key] = instance
         return instance
+
+    def adopt(self, instance: AppInstance) -> None:
+        """Re-admit a fully-built instance (snapshot restore path)."""
+        if instance.key in self._instances:
+            raise ControllerError(
+                f"instance {instance.key!r} already registered")
+        self._instances[instance.key] = instance
+        self._next_id = max(self._next_id, instance.instance_id + 1)
 
     def add_bundle(self, instance: AppInstance, bundle: Bundle) -> BundleState:
         if bundle.bundle_name in instance.bundles:

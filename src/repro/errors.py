@@ -109,6 +109,45 @@ class LeaseExpiredError(HarmonyError):
     """
 
 
+class WalCorruptionError(HarmonyError):
+    """The write-ahead log contains a record that cannot be trusted.
+
+    Raised when a checksum mismatch, malformed frame, or sequence-number
+    gap appears *before* the end of the log — a torn tail (the common
+    crash artifact) is silently truncated instead, because everything
+    before it is intact.  Recovery never guesses past a corrupt record.
+    """
+
+
+class SnapshotCorruptionError(WalCorruptionError):
+    """No usable snapshot exists but the WAL was compacted past genesis.
+
+    Also raised per-file when a snapshot's envelope, checksum, or state
+    digest does not verify; recovery falls back to the next older
+    snapshot and only propagates this when no valid base state remains.
+    """
+
+
+class RecoveryError(HarmonyError):
+    """Replaying the durability log did not reproduce the logged state.
+
+    The WAL records each decision's resulting objective; if re-applying a
+    record yields a different value (or a snapshot's self-digest fails),
+    the replay is non-deterministic or the log lies — recovery stops
+    rather than serving wrong placements.
+    """
+
+
+class ControllerRecoveringError(HarmonyError):
+    """The server is replaying its durability log; mutations are refused.
+
+    While recovery is in flight the server runs in degraded read-only
+    mode: ``status`` and queries are served, state-changing requests get
+    a typed error (wire code ``controller_recovering``) so clients can
+    back off and retry after recovery completes.
+    """
+
+
 class SimulationError(HarmonyError):
     """The discrete-event kernel detected an inconsistency."""
 

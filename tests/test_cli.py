@@ -169,6 +169,37 @@ class TestServe:
             server.stop()
 
 
+class TestDurability:
+    def test_checkpoint_then_restore_round_trip(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        assert main(["checkpoint", "--dir", state, "--apps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 application(s) journaled" in out
+        assert "snapshot(s)" in out
+        assert main(["restore", "--dir", state]) == 0
+        out = capsys.readouterr().out
+        assert "restored from" in out
+        assert "replayed record(s)" in out
+        assert "3 application(s)" in out
+        assert "app0.1 where:" in out
+
+    def test_checkpoint_kill_leaves_a_repairable_torn_tail(self, tmp_path,
+                                                           capsys):
+        state = str(tmp_path / "state")
+        assert main(["checkpoint", "--dir", state, "--apps", "3",
+                     "--kill-after", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated crash" in out
+        assert "append #5" in out
+        assert main(["restore", "--dir", state]) == 0
+        assert "restored from" in capsys.readouterr().out
+
+    def test_restore_with_nothing_to_restore_fails_cleanly(self, tmp_path,
+                                                           capsys):
+        assert main(["restore", "--dir", str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestFormat:
     def test_format_pretty_prints_and_roundtrips(self, rsl_file, capsys,
                                                  figure3_rsl):

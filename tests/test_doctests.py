@@ -26,7 +26,7 @@ MODULES = [
 DOCS_DIR = pathlib.Path(__file__).parent.parent / "docs"
 
 #: Markdown documents whose ```python blocks must run as doctests.
-DOC_FILES = ["fault-tolerance.md", "observability.md"]
+DOC_FILES = ["fault-tolerance.md", "observability.md", "durability.md"]
 
 
 @pytest.mark.parametrize("module", MODULES,
