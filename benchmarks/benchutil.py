@@ -1,6 +1,13 @@
-"""Formatting helpers shared by the benchmark harnesses."""
+"""Formatting and result-file helpers shared by the benchmark harnesses."""
 
 from __future__ import annotations
+
+import json
+import pathlib
+
+#: The shared scale-trajectory file: one JSON object per app count, merged
+#: across benchmarks (admission scale, concurrent load) and across runs.
+BENCH_JSON = pathlib.Path(__file__).parent / "results" / "BENCH_scale.json"
 
 
 def fmt_row(cells, widths):
@@ -13,3 +20,20 @@ def fmt_seconds(value: float | None) -> str:
     if value is None:
         return "-"
     return f"{value:.2f}"
+
+
+def merge_bench_point(app_count: int, fields: dict) -> None:
+    """Merge ``fields`` into BENCH_scale.json's point for this app count.
+
+    Points are keyed by ``apps`` so different benchmarks contribute
+    columns to the same row instead of duplicating it.
+    """
+    BENCH_JSON.parent.mkdir(exist_ok=True)
+    points = {}
+    if BENCH_JSON.exists():
+        points = {point["apps"]: point
+                  for point in json.loads(BENCH_JSON.read_text())}
+    point = points.setdefault(app_count, {"apps": app_count})
+    point.update(fields)
+    BENCH_JSON.write_text(json.dumps(
+        [points[key] for key in sorted(points)], indent=2) + "\n")

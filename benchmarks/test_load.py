@@ -1,0 +1,212 @@
+"""Closed-loop concurrent-client load bench: serial vs coalesced admission.
+
+The paper's prototype handles one application at a time; this bench
+measures what the concurrent admission pipeline buys when N clients
+arrive at once.  Each client is a real :class:`HarmonyClient` on its own
+thread driving the full register → bundle_setup → heartbeat/metric loop
+through the server's message path:
+
+* **serial** — no scheduler: every admission runs a full reevaluation
+  sweep inline, exactly the pre-pipeline behaviour;
+* **coalesced** — ``server.start_scheduler()``: admissions request a
+  reevaluation and return; bursts merge into a handful of batched
+  sweeps (the equivalence test proves the final state is identical).
+
+Each run merges its point into ``BENCH_scale.json`` (keyed by client
+count, alongside the admission-scale columns) and writes per-operation
+latency percentiles + histogram to
+``benchmarks/results/load_latency_hist.json`` — the artifact the CI
+load-smoke job uploads.
+"""
+
+import json
+import pathlib
+import threading
+import time
+
+import pytest
+
+from repro.api import HarmonyClient, HarmonyServer, connected_pair
+from repro.cluster import Cluster
+from repro.controller import AdaptationController
+
+from benchutil import fmt_row, merge_bench_point
+
+HIST_JSON = pathlib.Path(__file__).parent / "results" / \
+    "load_latency_hist.json"
+
+#: Heartbeat + report_metric rounds each client runs after admission.
+STEADY_ROUNDS = 5
+
+#: The acceptance bar: coalesced register-burst throughput at 64 clients
+#: must be at least this multiple of the serial baseline.
+REQUIRED_SPEEDUP_AT_64 = 5.0
+
+
+def two_option_rsl(index):
+    return f"""
+harmonyBundle App{index} size {{
+    {{small {{node n {{seconds 60}} {{memory 24}}}}}}
+    {{large {{node n {{seconds 35}} {{memory 24}} {{replicate 2}}}}
+            {{communication 4}}}}}}
+"""
+
+
+def percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def run_load(client_count, coalesced):
+    """Drive ``client_count`` closed-loop clients; returns measurements."""
+    cluster = Cluster.full_mesh([f"n{i}" for i in range(32)],
+                                memory_mb=256.0)
+    controller = AdaptationController(cluster)
+    server = HarmonyServer(controller)
+    if coalesced:
+        server.start_scheduler(coalesce_window=0.01, max_delay=0.25)
+
+    clients = []
+    for _ in range(client_count):
+        client_end, server_end = connected_pair()
+        server.attach(server_end)
+        clients.append(HarmonyClient(client_end))
+
+    start_barrier = threading.Barrier(client_count + 1)
+    admitted_barrier = threading.Barrier(client_count + 1)
+    register_latencies = []
+    steady_latencies = []
+    record_lock = threading.Lock()
+
+    def drive(index, client):
+        start_barrier.wait(30.0)
+        begin = time.perf_counter()
+        client.startup(f"App{index}")
+        client.bundle_setup(two_option_rsl(index))
+        register_elapsed = time.perf_counter() - begin
+        admitted_barrier.wait(60.0)
+        mine = []
+        for round_index in range(STEADY_ROUNDS):
+            begin = time.perf_counter()
+            client.heartbeat()
+            client.report_metric("response_time",
+                                 float(index + round_index))
+            client.query_status(max_traces=0)
+            mine.append(time.perf_counter() - begin)
+        with record_lock:
+            register_latencies.append(register_elapsed)
+            steady_latencies.extend(mine)
+
+    threads = [threading.Thread(target=drive, args=(i, c), daemon=True)
+               for i, c in enumerate(clients)]
+    for thread in threads:
+        thread.start()
+
+    start_barrier.wait(30.0)
+    burst_begin = time.perf_counter()
+    admitted_barrier.wait(60.0)
+    register_burst_seconds = time.perf_counter() - burst_begin
+    for thread in threads:
+        thread.join(60.0)
+    # Converge: drain any pending coalesced sweep before declaring done.
+    total_begin = time.perf_counter()
+    server.stop()
+    drain_seconds = time.perf_counter() - total_begin
+
+    configured = sum(
+        1 for instance in controller.registry.instances()
+        for state in instance.bundles.values()
+        if state.chosen is not None)
+    assert configured == client_count, \
+        f"{configured}/{client_count} clients configured"
+    for node in controller.cluster.nodes():
+        assert node.memory.reserved_mb <= node.memory.total_mb + 1e-9
+
+    batches = controller.metrics.latest("controller.coalesced_batches")
+    return {
+        "register_burst_seconds": register_burst_seconds + (
+            drain_seconds if coalesced else 0.0),
+        "register_latencies": sorted(register_latencies),
+        "steady_latencies": sorted(steady_latencies),
+        "coalesced_batches": 0 if batches is None else int(batches),
+    }
+
+
+def merge_latency_hist(client_count, mode, measurements):
+    """Merge one run's latency profile into load_latency_hist.json."""
+    HIST_JSON.parent.mkdir(exist_ok=True)
+    profile = {}
+    if HIST_JSON.exists():
+        profile = json.loads(HIST_JSON.read_text())
+    steady = measurements["steady_latencies"]
+    registers = measurements["register_latencies"]
+    # Fixed log-scale bucket edges (seconds): stable across runs so the
+    # artifact diffs cleanly.
+    edges = [0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0]
+    counts = [0] * (len(edges) + 1)
+    for value in steady:
+        slot = sum(1 for edge in edges if value >= edge)
+        counts[slot] += 1
+    profile.setdefault(str(client_count), {})[mode] = {
+        "steady_p50_ms": round(percentile(steady, 0.50) * 1e3, 3),
+        "steady_p95_ms": round(percentile(steady, 0.95) * 1e3, 3),
+        "steady_p99_ms": round(percentile(steady, 0.99) * 1e3, 3),
+        "register_p50_ms": round(percentile(registers, 0.50) * 1e3, 3),
+        "register_p95_ms": round(percentile(registers, 0.95) * 1e3, 3),
+        "histogram_edges_seconds": edges,
+        "histogram_counts": counts,
+    }
+    HIST_JSON.write_text(json.dumps(profile, indent=2) + "\n")
+
+
+@pytest.mark.parametrize("client_count", [32, 64, 128])
+def test_concurrent_load(report, client_count):
+    serial = run_load(client_count, coalesced=False)
+    coalesced = run_load(client_count, coalesced=True)
+
+    serial_wall = serial["register_burst_seconds"]
+    coalesced_wall = coalesced["register_burst_seconds"]
+    speedup = serial_wall / coalesced_wall if coalesced_wall > 0 \
+        else float("inf")
+
+    merge_latency_hist(client_count, "serial", serial)
+    merge_latency_hist(client_count, "coalesced", coalesced)
+    merge_bench_point(client_count, {
+        "load_register_burst_serial_seconds": round(serial_wall, 4),
+        "load_register_burst_coalesced_seconds": round(coalesced_wall, 4),
+        "load_register_speedup": round(speedup, 2),
+        "load_coalesced_batches": coalesced["coalesced_batches"],
+        "load_steady_p95_ms": round(
+            percentile(coalesced["steady_latencies"], 0.95) * 1e3, 3),
+    })
+
+    widths = [22, 12, 12]
+    report(f"load_{client_count}clients", [
+        f"Concurrent load: {client_count} closed-loop clients "
+        f"(register burst + {STEADY_ROUNDS} steady rounds)", "",
+        fmt_row(["", "serial", "coalesced"], widths),
+        fmt_row(["register burst (s)", f"{serial_wall:.3f}",
+                 f"{coalesced_wall:.3f}"], widths),
+        fmt_row(["burst speedup", "1.0x", f"{speedup:.1f}x"], widths),
+        fmt_row(["steady p50 (ms)",
+                 f"{percentile(serial['steady_latencies'], .5) * 1e3:.2f}",
+                 f"{percentile(coalesced['steady_latencies'], .5) * 1e3:.2f}"],
+                widths),
+        fmt_row(["steady p95 (ms)",
+                 f"{percentile(serial['steady_latencies'], .95) * 1e3:.2f}",
+                 f"{percentile(coalesced['steady_latencies'], .95) * 1e3:.2f}"],
+                widths),
+        fmt_row(["batched sweeps", "-",
+                 str(coalesced["coalesced_batches"])], widths),
+    ])
+
+    # The coalesced pipeline really batched (far fewer sweeps than apps).
+    assert 0 < coalesced["coalesced_batches"] < client_count
+    # The acceptance bar from the issue: >=5x burst throughput at 64.
+    if client_count == 64:
+        assert speedup >= REQUIRED_SPEEDUP_AT_64, (
+            f"64-client register burst speedup {speedup:.1f}x is below "
+            f"the required {REQUIRED_SPEEDUP_AT_64}x")

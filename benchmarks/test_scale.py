@@ -15,8 +15,6 @@ trajectory is machine-readable (CI uploads it as an artifact; see
 docs/performance.md for how to read the counters).
 """
 
-import json
-import pathlib
 import time
 
 import pytest
@@ -24,9 +22,7 @@ import pytest
 from repro.cluster import Cluster
 from repro.controller import AdaptationController, ModelDrivenPolicy
 
-from benchutil import fmt_row
-
-BENCH_JSON = pathlib.Path(__file__).parent / "results" / "BENCH_scale.json"
+from benchutil import fmt_row, merge_bench_point
 
 
 def two_option_rsl(index):
@@ -52,23 +48,10 @@ def run_scale(app_count: int, pairwise: bool, tracer=None):
     return controller
 
 
-def _merge_bench_point(app_count: int, fields: dict) -> None:
-    """Merge fields into BENCH_scale.json's point for this app count."""
-    BENCH_JSON.parent.mkdir(exist_ok=True)
-    points = {}
-    if BENCH_JSON.exists():
-        points = {point["apps"]: point
-                  for point in json.loads(BENCH_JSON.read_text())}
-    point = points.setdefault(app_count, {"apps": app_count})
-    point.update(fields)
-    BENCH_JSON.write_text(json.dumps(
-        [points[key] for key in sorted(points)], indent=2) + "\n")
-
-
 def record_bench_point(app_count: int, wall_seconds: float,
                        stats: dict) -> None:
     """Merge one measurement into BENCH_scale.json (keyed by app count)."""
-    _merge_bench_point(app_count, {
+    merge_bench_point(app_count, {
         "wall_seconds": round(wall_seconds, 4),
         "candidates_evaluated": stats["candidates_evaluated"],
         "predictions_recomputed": stats["predictions_recomputed"],
@@ -160,7 +143,7 @@ def test_tracing_overhead(report):
 
     projected = tracer.spans_started * noop_span_seconds
     overhead_ratio = projected / off_seconds
-    _merge_bench_point(app_count, {
+    merge_bench_point(app_count, {
         "tracing_off_seconds": round(off_seconds, 4),
         "tracing_on_seconds": round(on_seconds, 4),
         "spans_started": tracer.spans_started,

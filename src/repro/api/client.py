@@ -33,6 +33,7 @@ import time
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.api.protocol import (
+    CONTROLLER_BUSY,
     CONTROLLER_RECOVERING,
     HEARTBEAT,
     HEARTBEAT_ACK,
@@ -45,6 +46,7 @@ from repro.api.retry import RetryPolicy
 from repro.api.transport import Transport
 from repro.api.variables import HarmonyVariable, VariableTable, VariableType
 from repro.errors import (
+    ControllerBusyError,
     ControllerRecoveringError,
     HarmonyError,
     LeaseExpiredError,
@@ -364,7 +366,11 @@ class HarmonyClient:
                 self._recover_connection()
             try:
                 return self._request_once(message)
-            except (RequestTimeoutError, TransportError) as exc:
+            except (RequestTimeoutError, TransportError,
+                    ControllerBusyError) as exc:
+                # ControllerBusyError is the server's admission
+                # backpressure — transient by contract, so it rides the
+                # same backoff loop as connection failures.
                 last_error = exc
         raise RetryExhaustedError(str(message.get("type")),
                                   policy.max_attempts) from last_error
@@ -385,6 +391,9 @@ class HarmonyClient:
                 # replaying its durability log in read-only mode.
                 raise ControllerRecoveringError(
                     f"server error: {response.get('message', 'recovering')}")
+            if response.get("code") == CONTROLLER_BUSY:
+                raise ControllerBusyError(
+                    f"server error: {response.get('message', 'busy')}")
             raise HarmonyError(
                 f"server error: {response.get('message', 'unknown')}")
         if response.get("type") == LEASE_EXPIRED:

@@ -57,7 +57,7 @@ __all__ = ["encode_message", "FrameDecoder", "make_message",
            "require_field", "CLIENT_TYPES", "SERVER_TYPES",
            "HEARTBEAT", "HEARTBEAT_ACK", "LEASE_EXPIRED",
            "STATUS", "STATUS_REPORT", "CONTROLLER_RECOVERING",
-           "MUTATING_TYPES"]
+           "CONTROLLER_BUSY", "MUTATING_TYPES"]
 
 _HEADER = struct.Struct(">I")
 MAX_FRAME_BYTES = 16 * 1024 * 1024
@@ -83,6 +83,12 @@ SERVER_TYPES = frozenset({
 
 #: Error code on ``error`` replies sent while recovery is in flight.
 CONTROLLER_RECOVERING = "controller_recovering"
+
+#: Error code on ``error`` replies refused by admission backpressure:
+#: the bounded pending-register queue is full.  Transient and retryable
+#: — the client library maps it to
+#: :class:`~repro.errors.ControllerBusyError` and retries with backoff.
+CONTROLLER_BUSY = "controller_busy"
 
 #: Requests that change controller state — refused (with
 #: ``error.code=controller_recovering``) while the server is in the

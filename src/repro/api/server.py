@@ -11,6 +11,32 @@ staged into a :class:`~repro.api.variables.PendingVariableBuffer` and pushed
 to the owning session by ``flush_pending_vars()`` (automatically after each
 decision wave when ``auto_flush`` is on, the default).
 
+Concurrency model (three locks, strictly ordered)
+-------------------------------------------------
+
+The server runs handler code on whatever thread delivered the message (a
+TCP reader thread, or the caller's thread for in-process transports).
+Instead of one global lock, state is partitioned:
+
+* ``controller_lock`` — serializes controller mutations (``register``,
+  ``bundle_setup``, ``end``, lease evictions, recovery transitions).
+  This is the expensive lock: optimization sweeps run under it.
+* ``_flush_lock`` — serializes the pending-variable buffer (staging and
+  flushing), so a flush never races a concurrent stage.
+* ``sessions_lock`` — guards the session registry, leases, and push
+  generations.  Heartbeats, status queries, and metric reports only ever
+  take this (or no lock at all), so they never contend with an
+  optimization sweep in flight.
+
+Acquisition order is ``controller_lock`` → ``_flush_lock`` →
+``sessions_lock``; never acquire an earlier lock while holding a later
+one.  Replies are always sent with ``sessions_lock`` released.
+
+Admission backpressure: ``max_pending_admissions`` bounds how many
+``register``/``bundle_setup`` requests may queue on ``controller_lock``;
+excess requests are refused immediately with
+``error.code=controller_busy`` (retryable) instead of stacking threads.
+
 Variable naming convention for pushed resource information:
 
 * ``<bundle>.option``            — the chosen option name,
@@ -20,12 +46,15 @@ Variable naming convention for pushed resource information:
 
 from __future__ import annotations
 
+import contextlib
 import socket
 import threading
 import time
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from repro.api.protocol import (
+    CLIENT_TYPES,
+    CONTROLLER_BUSY,
     CONTROLLER_RECOVERING,
     HEARTBEAT,
     HEARTBEAT_ACK,
@@ -44,6 +73,7 @@ from repro.controller.controller import (
 )
 from repro.controller.registry import AppInstance
 from repro.errors import (
+    ControllerBusyError,
     ControllerError,
     HarmonyError,
     ProtocolError,
@@ -54,6 +84,15 @@ __all__ = ["HarmonyServer", "HarmonySession", "DEFAULT_PORT"]
 
 #: The prototype's "well-known port" (any free port works; tests use 0).
 DEFAULT_PORT = 52766
+
+#: Requests that mutate controller state and therefore take
+#: ``controller_lock``.  Everything else runs without it.
+_CONTROLLER_LOCKED_TYPES = frozenset({"register", "bundle_setup", "end"})
+
+#: The admission pipeline: the subset of controller-locked requests the
+#: bounded pending queue applies to.  ``end`` is exempt — releasing
+#: capacity must never be refused for lack of capacity.
+_ADMISSION_TYPES = frozenset({"register", "bundle_setup"})
 
 
 class HarmonySession:
@@ -77,32 +116,45 @@ class HarmonySession:
         """Whether this session's instance was removed behind its back."""
         return self.instance is not None and self.instance.ended
 
-    def push_updates(self, updates: dict[str, Any]) -> None:
+    def push_updates(self, updates: dict[str, Any],
+                     generation: int = 0) -> None:
         if self.transport.closed:
             # The client is gone but its lease may still be running: keep
             # the batch staged so a rejoin within the lease receives it.
             self.server.mark_disconnected(self)
-            self.server.buffer.stage_many(self.client_id, updates)
+            self.server.stage_updates(self.client_id, updates, generation)
             return
         try:
             self.transport.send(make_message("variable_update",
                                              updates=updates))
         except TransportError:
             self.server.mark_disconnected(self)
-            self.server.buffer.stage_many(self.client_id, updates)
+            self.server.stage_updates(self.client_id, updates, generation)
 
     # -- message handling ---------------------------------------------------
 
     def _on_message(self, message: dict[str, Any]) -> None:
-        with self.server.lock:
-            try:
+        msg_type = str(message.get("type"))
+        self.server.count_rpc(msg_type)
+        try:
+            if msg_type in _CONTROLLER_LOCKED_TYPES:
+                if msg_type in _ADMISSION_TYPES:
+                    with self.server.admission_slot():
+                        with self.server.controller_lock:
+                            self._dispatch(message)
+                else:
+                    with self.server.controller_lock:
+                        self._dispatch(message)
+            else:
                 self._dispatch(message)
-            except HarmonyError as exc:
-                self._reply(make_message("error", message=str(exc)))
+        except ControllerBusyError as exc:
+            self._reply(make_message("error", code=CONTROLLER_BUSY,
+                                     message=str(exc)))
+        except HarmonyError as exc:
+            self._reply(make_message("error", message=str(exc)))
 
     def _dispatch(self, message: dict[str, Any]) -> None:
         msg_type = message.get("type")
-        self.server.count_rpc(str(msg_type))
         if self.server.recovering and msg_type in MUTATING_TYPES:
             # Degraded read-only mode while crash recovery replays the
             # durability log: queries and status still flow, anything
@@ -120,11 +172,6 @@ class HarmonySession:
                 LEASE_EXPIRED,
                 message=f"session {self.client_id} lease expired"))
             return
-        if self.instance is not None and not self.instance.ended:
-            # Never renew a lease for an evicted instance: a duplicate
-            # `register` arriving after an eviction must start a fresh
-            # session, not re-arm the dead key's lease.
-            self.server.touch(self.instance.key)
         if msg_type == "register":
             self._handle_register(message)
         elif msg_type == "bundle_setup":
@@ -145,6 +192,12 @@ class HarmonySession:
             self._handle_end()
         else:
             raise ProtocolError(f"unknown message type {msg_type!r}")
+        if self.instance is not None and not self.instance.ended:
+            # Renew the lease only after the message *dispatched
+            # successfully*: a stream of malformed or rejected requests
+            # must not keep a session alive forever, and an evicted
+            # instance's dead key must never be re-armed.
+            self.server.touch(self.instance.key)
 
     def _handle_register(self, message: dict[str, Any]) -> None:
         app_name = str(require_field(message, "app_name"))
@@ -177,12 +230,15 @@ class HarmonySession:
 
     def _handle_heartbeat(self) -> None:
         instance = self._require_instance()
-        self.server.heartbeats_received += 1
-        controller = self.server.controller
+        server = self.server
+        # Renew before answering: the ack carries the *new* deadline.
+        server.touch(instance.key)
+        with server.sessions_lock:
+            server.heartbeats_received += 1
+            deadline = server._leases.get(instance.key)
+        controller = server.controller
         controller.metrics.increment("server.heartbeats", controller.now)
-        self._reply(make_message(
-            HEARTBEAT_ACK,
-            lease_expires_at=self.server.lease_deadline(instance.key)))
+        self._reply(make_message(HEARTBEAT_ACK, lease_expires_at=deadline))
 
     def _handle_status(self, message: dict[str, Any]) -> None:
         """Answer a telemetry query; registration is not required.
@@ -229,6 +285,12 @@ class HarmonySession:
         controller = self.server.controller
         controller.metrics.report(f"app.{instance.key}.{name}",
                                   controller.now, value)
+        scheduler = controller.scheduler
+        if scheduler is not None:
+            # Metric reports never re-optimize inline (that would put an
+            # optimization sweep on every telemetry packet); with a
+            # scheduler attached they feed the coalesced batch instead.
+            scheduler.request(f"metric:{instance.key}.{name}")
 
     def _handle_query_nodes(self) -> None:
         """Answer with current resource availability.
@@ -287,13 +349,22 @@ class HarmonyServer:
     instead of stranding its allocation.  ``clock`` defaults to
     ``time.monotonic``; simulated deployments inject their own (or pass
     ``now=`` to :meth:`check_leases`) to stay deterministic.
+
+    ``max_pending_admissions`` (optional) bounds the admission pipeline:
+    at most that many ``register``/``bundle_setup`` requests may hold or
+    wait on ``controller_lock`` at once; excess requests are refused with
+    a retryable ``controller_busy`` error.  ``None`` (the default) leaves
+    admissions unbounded.
+
+    See the module docstring for the lock layout and ordering rules.
     """
 
     def __init__(self, controller: AdaptationController,
                  auto_flush: bool = True,
                  lease_seconds: float | None = None,
                  clock: Callable[[], float] | None = None,
-                 recovering: bool = False):
+                 recovering: bool = False,
+                 max_pending_admissions: int | None = None):
         self.controller = controller
         self.auto_flush = auto_flush
         self.lease_seconds = lease_seconds
@@ -303,12 +374,26 @@ class HarmonyServer:
         #: :meth:`complete_recovery`.
         self.recovering = recovering
         self.buffer = PendingVariableBuffer()
-        self.lock = threading.RLock()
+        #: Serializes controller mutations (the expensive lock).
+        self.controller_lock = threading.RLock()
+        #: Guards the session registry, leases, and push generations.
+        self.sessions_lock = threading.RLock()
+        #: Serializes pending-variable staging and flushing.
+        self._flush_lock = threading.RLock()
+        self.max_pending_admissions = max_pending_admissions
+        self._admission_gate = threading.Lock()
+        self._pending_admissions = 0
         self.heartbeats_received = 0
+        self.scheduler = None
         self._sessions_by_key: dict[str, HarmonySession] = {}
         self._leases: dict[str, float] = {}
+        #: Highest push generation delivered per client — stale batches
+        #: (older than what the client already holds) are dropped.
+        self._push_generations: dict[str, int] = {}
+        self._push_seq = 0
         self._listener_socket: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
+        self._accept_retry_seconds = 0.05
         self._lease_thread: threading.Thread | None = None
         self._lease_stop: threading.Event | None = None
         self._stopping = False
@@ -317,9 +402,15 @@ class HarmonyServer:
     # -- telemetry ----------------------------------------------------------
 
     def count_rpc(self, msg_type: str) -> None:
-        """Count one received RPC as ``server.rpc.<type>`` (cumulative)."""
+        """Count one received RPC as ``server.rpc.<type>`` (cumulative).
+
+        Unknown type tags share one ``server.rpc.unknown`` bucket: metric
+        cardinality is bounded by the protocol vocabulary, so a client
+        spraying garbage tags cannot mint unbounded series.
+        """
+        bucket = msg_type if msg_type in CLIENT_TYPES else "unknown"
         controller = self.controller
-        controller.metrics.increment(f"server.rpc.{msg_type}",
+        controller.metrics.increment(f"server.rpc.{bucket}",
                                      controller.now)
 
     def status_payload(self, prefix: str | None = None,
@@ -335,30 +426,84 @@ class HarmonyServer:
 
         controller = self.controller
         snapshot = json_snapshot(controller.metrics, prefix=prefix)
+        with self.sessions_lock:
+            heartbeats = self.heartbeats_received
+            active = len(self._sessions_by_key)
         return {
             "metrics": snapshot["metrics"],
             "decision_traces": [trace.to_dict() for trace in
                                 controller.trace_log.latest(max_traces)],
             "optimizer": controller.stats.snapshot(),
             "server": {
-                "heartbeats_received": self.heartbeats_received,
-                "active_sessions": len(self._sessions_by_key),
+                "heartbeats_received": heartbeats,
+                "active_sessions": active,
                 "lease_seconds": self.lease_seconds,
                 "recovering": self.recovering,
             },
         }
 
+    # -- admission backpressure ----------------------------------------------
+
+    @contextlib.contextmanager
+    def admission_slot(self) -> Iterator[None]:
+        """Hold one slot in the bounded admission pipeline.
+
+        Raises :class:`~repro.errors.ControllerBusyError` immediately
+        when every slot is taken — the caller never blocks on a full
+        queue, it gets a retryable refusal.
+        """
+        if self.max_pending_admissions is None:
+            yield
+            return
+        with self._admission_gate:
+            if self._pending_admissions >= self.max_pending_admissions:
+                controller = self.controller
+                controller.metrics.increment("server.admissions_rejected",
+                                             controller.now)
+                raise ControllerBusyError(
+                    f"admission queue is full "
+                    f"({self.max_pending_admissions} pending); retry")
+            self._pending_admissions += 1
+        try:
+            yield
+        finally:
+            with self._admission_gate:
+                self._pending_admissions -= 1
+
     # -- recovery mode -------------------------------------------------------
 
     def begin_recovery(self) -> None:
         """Enter the degraded read-only mode (mutations refused)."""
-        with self.lock:
+        with self.controller_lock:
             self.recovering = True
 
     def complete_recovery(self) -> None:
         """Recovery finished: accept mutations (and rejoins) again."""
-        with self.lock:
+        with self.controller_lock:
             self.recovering = False
+
+    # -- the coalescing scheduler --------------------------------------------
+
+    def start_scheduler(self, coalesce_window: float = 0.05,
+                        max_delay: float = 0.5,
+                        clock: Callable[[], float] | None = None):
+        """Attach and start a coalescing reevaluation scheduler.
+
+        The scheduler runs its batches under ``controller_lock``, so a
+        coalesced sweep serializes with admissions exactly like an inline
+        sweep would — but register/end/metric triggers return immediately
+        and merge into one batch per quiescence window.  Returns the
+        scheduler; :meth:`stop` drains and stops it.
+        """
+        from repro.controller.scheduler import CoalescingScheduler
+
+        if self.scheduler is not None:
+            raise ProtocolError("scheduler already attached")
+        self.scheduler = CoalescingScheduler(
+            self.controller, coalesce_window=coalesce_window,
+            max_delay=max_delay, clock=clock, lock=self.controller_lock)
+        self.scheduler.start()
+        return self.scheduler
 
     # -- attaching clients ---------------------------------------------------
 
@@ -367,14 +512,30 @@ class HarmonyServer:
         return HarmonySession(self, transport)
 
     def bind_session(self, session: HarmonySession) -> None:
-        self._sessions_by_key[session.client_id] = session
+        with self.sessions_lock:
+            self._sessions_by_key[session.client_id] = session
         self.touch(session.client_id)
 
     def detach(self, session: HarmonySession) -> None:
-        if session.instance is not None:
-            self._sessions_by_key.pop(session.instance.key, None)
-            self.buffer.discard(session.instance.key)
-            self._leases.pop(session.instance.key, None)
+        """Drop a session's registry entry, lease, and staged batch.
+
+        Guarded by identity: a *stale* session (the client reconnected
+        and a newer session owns the key) detaching — say, its dead
+        transport failing a late reply — must not tear down the live
+        session's lease or staged updates.
+        """
+        instance = session.instance
+        if instance is None:
+            return
+        key = instance.key
+        with self._flush_lock:
+            with self.sessions_lock:
+                if self._sessions_by_key.get(key) is not session:
+                    return
+                self._sessions_by_key.pop(key, None)
+                self._leases.pop(key, None)
+                self._push_generations.pop(key, None)
+            self.buffer.discard(key)
 
     def mark_disconnected(self, session: HarmonySession) -> None:
         """A session's transport died, but its lease keeps running.
@@ -383,19 +544,23 @@ class HarmonyServer:
         survive until the lease expires (eviction) or the client rejoins
         with its resume key (rebind + replay).
         """
-        if session.instance is not None and \
-                self._sessions_by_key.get(session.instance.key) is session:
-            self._sessions_by_key.pop(session.instance.key, None)
+        if session.instance is None:
+            return
+        with self.sessions_lock:
+            if self._sessions_by_key.get(session.instance.key) is session:
+                self._sessions_by_key.pop(session.instance.key, None)
 
     # -- session leases -------------------------------------------------------
 
     def touch(self, key: str) -> None:
         """Renew one application's lease (any received message counts)."""
         if self.lease_seconds is not None:
-            self._leases[key] = self.clock() + self.lease_seconds
+            with self.sessions_lock:
+                self._leases[key] = self.clock() + self.lease_seconds
 
     def lease_deadline(self, key: str) -> float | None:
-        return self._leases.get(key)
+        with self.sessions_lock:
+            return self._leases.get(key)
 
     def check_leases(self, now: float | None = None) -> list[str]:
         """Evict every application whose lease has expired.
@@ -411,13 +576,18 @@ class HarmonyServer:
         if now is None:
             now = self.clock()
         evicted: list[str] = []
-        with self.lock:
-            expired = [key for key, deadline in self._leases.items()
-                       if deadline <= now]
+        notify: list[HarmonySession] = []
+        with self.controller_lock:
+            with self.sessions_lock:
+                expired = [key for key, deadline in self._leases.items()
+                           if deadline <= now]
             for key in expired:
-                self._leases.pop(key, None)
-                session = self._sessions_by_key.pop(key, None)
-                self.buffer.discard(key)
+                with self.sessions_lock:
+                    self._leases.pop(key, None)
+                    session = self._sessions_by_key.pop(key, None)
+                    self._push_generations.pop(key, None)
+                with self._flush_lock:
+                    self.buffer.discard(key)
                 try:
                     instance = self.controller.registry.instance(key)
                 except ControllerError:
@@ -433,12 +603,14 @@ class HarmonyServer:
                                                   self.controller.now)
                 evicted.append(key)
                 if session is not None and not session.transport.closed:
-                    try:
-                        session.transport.send(make_message(
-                            LEASE_EXPIRED,
-                            message=f"session {key} lease expired"))
-                    except TransportError:
-                        pass
+                    notify.append(session)
+        for session in notify:
+            try:
+                session.transport.send(make_message(
+                    LEASE_EXPIRED,
+                    message=f"session {session.client_id} lease expired"))
+            except (TransportError, ProtocolError):
+                pass
         return evicted
 
     def start_lease_monitor(self, period_seconds: float | None = None,
@@ -479,8 +651,9 @@ class HarmonyServer:
         """Listen for application connections; returns the bound address.
 
         Pass ``port=0`` for an ephemeral port (tests).  Each accepted
-        connection gets a :class:`TcpTransport` and a session; handling runs
-        on the transports' reader threads, serialized by ``self.lock``.
+        connection gets a :class:`TcpTransport` and a session; handling
+        runs on the transports' reader threads, synchronized by the
+        server's lock layout (see the module docstring).
         """
         if self._listener_socket is not None:
             raise ProtocolError("server already listening")
@@ -498,13 +671,17 @@ class HarmonyServer:
     def stop(self) -> None:
         """Shut down in dependency order: monitors first, sessions last.
 
-        The lease monitor is stopped *and joined* and the accept loop
-        closed before any session state is dropped, so a lease check can
-        never fire against a half-torn-down server (evicting through a
-        controller whose sessions are already detached).  Session
-        transports themselves stay open — clients own their connections.
+        The scheduler is drained and stopped, then the lease monitor is
+        stopped *and joined* and the accept loop closed before any
+        session state is dropped, so neither a scheduled batch nor a
+        lease check can ever fire against a half-torn-down server.
+        Session transports themselves stay open — clients own their
+        connections.
         """
         self._stopping = True
+        if self.scheduler is not None:
+            self.scheduler.stop(flush=True)
+            self.scheduler = None
         self.stop_lease_monitor()
         accept_thread = self._accept_thread
         if self._listener_socket is not None:
@@ -517,20 +694,41 @@ class HarmonyServer:
                 and accept_thread is not threading.current_thread():
             accept_thread.join(timeout=5.0)
         self._accept_thread = None
-        with self.lock:
+        with self.sessions_lock:
             self._sessions_by_key.clear()
             self._leases.clear()
+            self._push_generations.clear()
 
     def _accept_loop(self) -> None:
-        listener = self._listener_socket
-        while not self._stopping and listener is not None:
+        while True:
+            listener = self._listener_socket
+            if self._stopping or listener is None:
+                return
             try:
                 sock, _addr = listener.accept()
             except OSError:
-                return
+                if self._stopping or self._listener_socket is None:
+                    # Orderly shutdown closed the listener under us.
+                    return
+                # A transient accept failure (EMFILE, ECONNABORTED, …)
+                # must not kill the accept loop for the server's
+                # lifetime: count it, back off briefly, keep serving.
+                controller = self.controller
+                controller.metrics.increment("server.accept_errors",
+                                             controller.now)
+                if self._accept_retry_seconds > 0:
+                    time.sleep(self._accept_retry_seconds)
+                continue
             self.attach(TcpTransport(sock))
 
     # -- variable pushing ----------------------------------------------------------
+
+    def stage_updates(self, client_id: str, updates: dict[str, Any],
+                      generation: int = 0) -> None:
+        """Stage a batch under the flush lock (never races a flush)."""
+        with self._flush_lock:
+            self.buffer.stage_many(client_id, updates,
+                                   generation=generation)
 
     def _on_reconfiguration(self, event: ReconfigurationEvent) -> None:
         updates: dict[str, Any] = {
@@ -543,7 +741,10 @@ class HarmonyServer:
         for grant_key, megabytes in event.memory_grants.items():
             # grant_key is "<local_name>.memory"
             updates[f"{event.bundle_name}.{grant_key}"] = megabytes
-        self.buffer.stage_many(event.app_key, updates)
+        with self._flush_lock:
+            self._push_seq += 1
+            self.buffer.stage_many(event.app_key, updates,
+                                   generation=self._push_seq)
         if self.auto_flush:
             self.flush_pending_vars()
 
@@ -554,17 +755,38 @@ class HarmonyServer:
         (they are within their lease; eviction discards them for good), so
         a reconfiguration that lands during a disconnect window is
         delivered when the client rejoins.
+
+        Flushes are serialized and each delivery carries its batch's
+        newest generation stamp; a batch older than what the client
+        already received is dropped (``server.stale_pushes_dropped``)
+        rather than rewinding the client's variables.
         """
         def ready(client_id: str) -> bool:
-            session = self._sessions_by_key.get(client_id)
+            with self.sessions_lock:
+                session = self._sessions_by_key.get(client_id)
             return session is not None and not session.transport.closed
 
-        def send(client_id: str, updates: dict[str, Any]) -> None:
-            session = self._sessions_by_key.get(client_id)
-            if session is not None:
-                session.push_updates(updates)
+        def send(client_id: str, updates: dict[str, Any],
+                 generation: int) -> None:
+            with self.sessions_lock:
+                session = self._sessions_by_key.get(client_id)
+                delivered = self._push_generations.get(client_id, 0)
+            if session is None:
+                return
+            if 0 < generation < delivered:
+                controller = self.controller
+                controller.metrics.increment("server.stale_pushes_dropped",
+                                             controller.now)
+                return
+            session.push_updates(updates, generation=generation)
+            if generation > delivered:
+                with self.sessions_lock:
+                    if generation > self._push_generations.get(client_id, 0):
+                        self._push_generations[client_id] = generation
 
-        return self.buffer.flush(send, ready=ready)
+        with self._flush_lock:
+            return self.buffer.flush(send, ready=ready,
+                                     with_generation=True)
 
     def current_variable_value(self, instance: AppInstance,
                                name: str) -> Any:

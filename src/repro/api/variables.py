@@ -151,19 +151,32 @@ class PendingVariableBuffer:
 
     def __init__(self) -> None:
         self._pending: dict[str, dict[str, Any]] = {}
+        #: Highest generation staged per client (delivery-order stamps:
+        #: the server drops a batch older than what the client already
+        #: received rather than applying updates out of order).
+        self._generations: dict[str, int] = {}
 
-    def stage(self, client_id: str, name: str, value: Any) -> None:
+    def stage(self, client_id: str, name: str, value: Any,
+              generation: int = 0) -> None:
         self._pending.setdefault(client_id, {})[name] = value
+        if generation > self._generations.get(client_id, 0):
+            self._generations[client_id] = generation
 
-    def stage_many(self, client_id: str, updates: dict[str, Any]) -> None:
+    def stage_many(self, client_id: str, updates: dict[str, Any],
+                   generation: int = 0) -> None:
         for name, value in updates.items():
-            self.stage(client_id, name, value)
+            self.stage(client_id, name, value, generation=generation)
 
     def pending_for(self, client_id: str) -> dict[str, Any]:
         return dict(self._pending.get(client_id, {}))
 
+    def generation_for(self, client_id: str) -> int:
+        """The newest generation staged into this client's batch."""
+        return self._generations.get(client_id, 0)
+
     def flush(self, send: Callable[[str, dict[str, Any]], None],
-              ready: Callable[[str], bool] | None = None) -> int:
+              ready: Callable[[str], bool] | None = None,
+              with_generation: bool = False) -> int:
         """Send every client its coalesced batch; returns batches sent.
 
         ``ready`` (optional) gates delivery per client: a client that is
@@ -172,21 +185,33 @@ class PendingVariableBuffer:
         finds it ready again or :meth:`discard` drops it.  This is what
         makes updates produced during a disconnect window survive until
         the client rejoins.
+
+        ``with_generation`` invokes ``send(client_id, updates,
+        generation)`` with the batch's newest staged generation, for
+        callers that order deliveries.
         """
         pending, self._pending = self._pending, {}
+        generations, self._generations = self._generations, {}
         sent = 0
         for client_id, updates in pending.items():
             if not updates:
                 continue
+            generation = generations.get(client_id, 0)
             if ready is not None and not ready(client_id):
                 # Re-stage under anything newly staged by `send` callbacks.
                 held = self._pending.setdefault(client_id, {})
                 for name, value in updates.items():
                     held.setdefault(name, value)
+                if generation > self._generations.get(client_id, 0):
+                    self._generations[client_id] = generation
                 continue
-            send(client_id, updates)
+            if with_generation:
+                send(client_id, updates, generation)
+            else:
+                send(client_id, updates)
             sent += 1
         return sent
 
     def discard(self, client_id: str) -> None:
         self._pending.pop(client_id, None)
+        self._generations.pop(client_id, None)

@@ -26,6 +26,7 @@ from repro.controller.optimizer import (
     enumerate_candidates,
 )
 from repro.controller.policies import ClientCountRulePolicy
+from repro.controller.scheduler import CoalescingScheduler
 from repro.controller.trial import OptimizerStats, TrialEngine, ViewTrial
 from repro.controller.registry import (
     AppInstance,
@@ -37,7 +38,7 @@ from repro.controller.registry import (
 __all__ = [
     "AdaptationController", "DecisionPolicy", "ModelDrivenPolicy",
     "ClientCountRulePolicy", "DecisionRecord", "ReconfigurationEvent",
-    "SessionLifecycleEvent",
+    "SessionLifecycleEvent", "CoalescingScheduler",
     "Objective", "MeanResponseTime", "MaxResponseTime",
     "ThroughputObjective", "WeightedMeanResponseTime",
     "GreedyOptimizer", "ExhaustiveOptimizer", "Candidate",

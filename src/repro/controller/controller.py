@@ -374,6 +374,12 @@ class AdaptationController:
         #: The :class:`~repro.persistence.recovery.RecoveryReport` of the
         #: :meth:`restore` call that built this controller, if any.
         self.last_recovery = None
+        #: Coalescing reevaluation scheduler
+        #: (:class:`~repro.controller.scheduler.CoalescingScheduler`):
+        #: ``None`` keeps every trigger synchronous (the serial oracle);
+        #: constructing a scheduler for this controller attaches it here
+        #: and re-routes :meth:`request_reevaluation` through it.
+        self.scheduler = None
 
     @classmethod
     def restore(cls, directory: str, **kwargs) -> "AdaptationController":
@@ -459,7 +465,8 @@ class AdaptationController:
                     # a failure): try to place it again.
                     self.policy.configure_new_bundle(self, instance,
                                                      existing)
-                    self.policy.reevaluate(self)
+                    self.request_reevaluation(
+                        f"bundle_replayed:{instance.key}")
                 self._checkpoint()
                 return existing
             state = self.registry.add_bundle(instance, bundle)
@@ -470,7 +477,7 @@ class AdaptationController:
                 self.journal.record_setup_bundle(
                     instance.key, bundle.bundle_name, rsl_text)
             self.policy.configure_new_bundle(self, instance, state)
-            self.policy.reevaluate(self)
+            self.request_reevaluation(f"bundle_setup:{instance.key}")
         self.report_work_counters()
         self._checkpoint()
         return state
@@ -508,8 +515,23 @@ class AdaptationController:
         self._record_lifecycle(kind, instance.key, detail=detail)
         self.metrics.report("controller.registered_apps", self.now,
                             float(len(self.registry)))
-        self.policy.reevaluate(self)
+        self.request_reevaluation(f"{kind}:{instance.key}")
         self._checkpoint()
+
+    def request_reevaluation(self, reason: str) -> int | None:
+        """One reevaluation trigger: coalesced when a scheduler is
+        attached, inline otherwise.
+
+        The inline path is the paper's original behaviour (every
+        application event reevaluates the whole system synchronously)
+        and doubles as the serial oracle the batched controller is
+        tested against.  Returns the covering scheduler generation, or
+        ``None`` when the sweep already ran inline.
+        """
+        if self.scheduler is not None:
+            return self.scheduler.request(reason)
+        self.policy.reevaluate(self)
+        return None
 
     def _record_lifecycle(self, kind: str, app_key: str,
                           detail: str = "") -> None:

@@ -138,6 +138,18 @@ class RecoveryError(HarmonyError):
     """
 
 
+class ControllerBusyError(HarmonyError):
+    """The server's admission queue is full; try again shortly.
+
+    Raised client-side when a ``register``/``bundle_setup`` is refused
+    with the wire code ``controller_busy``: more admissions are already
+    waiting on the optimizer than the server's bounded pending-register
+    queue allows.  The condition is transient — the client's
+    :class:`~repro.api.retry.RetryPolicy` retries it with backoff like
+    any other recoverable failure.
+    """
+
+
 class ControllerRecoveringError(HarmonyError):
     """The server is replaying its durability log; mutations are refused.
 

@@ -14,6 +14,7 @@ names are dotted, conventionally ``<scope>.<entity>.<quantity>`` — e.g.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterator
 
 from repro.metrics.history import (DEFAULT_MAX_OBSERVATIONS, Observation,
@@ -37,6 +38,12 @@ class MetricInterface:
         self.default_max_observations = default_max_observations
         self._series: dict[str, TimeSeries] = {}
         self._subscribers: list[tuple[str, Subscriber]] = []
+        # Concurrent sessions report through one interface once the API
+        # server stops serializing every RPC behind a global lock; the
+        # read-modify-write in increment() (and series creation) must be
+        # atomic or bursts of counter bumps lose samples.  Subscribers
+        # are invoked outside the lock — they may re-enter report().
+        self._lock = threading.RLock()
 
     def _new_series(self, name: str) -> TimeSeries:
         return TimeSeries(name,
@@ -46,12 +53,14 @@ class MetricInterface:
 
     def report(self, name: str, time: float, value: float) -> None:
         """Record one observation and push it to matching subscribers."""
-        series = self._series.get(name)
-        if series is None:
-            series = self._series[name] = self._new_series(name)
-        series.append(time, value)
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = self._new_series(name)
+            series.append(time, value)
+            subscribers = list(self._subscribers)
         observation = Observation(time, float(value))
-        for prefix, subscriber in list(self._subscribers):
+        for prefix, subscriber in subscribers:
             if name == prefix or name.startswith(prefix + "."):
                 subscriber(name, observation)
 
@@ -61,20 +70,23 @@ class MetricInterface:
 
         Counters are stored as ordinary series whose samples carry the
         running total (Prometheus counter semantics), so rates fall out of
-        windowed differences.  Returns the new total.
+        windowed differences.  Returns the new total.  Atomic: concurrent
+        increments never lose a bump.
         """
-        latest = self.latest(name)
-        total = (0.0 if latest is None else latest) + amount
-        self.report(name, time, total)
+        with self._lock:
+            latest = self.latest(name)
+            total = (0.0 if latest is None else latest) + amount
+            self.report(name, time, total)
         return total
 
     # -- consuming ----------------------------------------------------------
 
     def series(self, name: str) -> TimeSeries:
         """The history for ``name`` (an empty series if never reported)."""
-        if name not in self._series:
-            self._series[name] = self._new_series(name)
-        return self._series[name]
+        with self._lock:
+            if name not in self._series:
+                self._series[name] = self._new_series(name)
+            return self._series[name]
 
     def latest(self, name: str) -> float | None:
         obs = self.series(name).latest()
@@ -86,10 +98,12 @@ class MetricInterface:
 
     def names(self, prefix: str | None = None) -> list[str]:
         """Registered metric names, optionally filtered by dotted prefix."""
-        if prefix is None:
-            return sorted(self._series)
-        return sorted(name for name in self._series
-                      if name == prefix or name.startswith(prefix + "."))
+        with self._lock:
+            if prefix is None:
+                return sorted(self._series)
+            return sorted(name for name in self._series
+                          if name == prefix
+                          or name.startswith(prefix + "."))
 
     def subscribe(self, prefix: str, subscriber: Subscriber,
                   ) -> Callable[[], None]:

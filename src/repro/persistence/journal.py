@@ -212,6 +212,24 @@ class DurabilityJournal:
         """Audit record: the eviction itself arrives as a ``release``."""
         self.append("lease_expired", {"key": app_key})
 
+    def record_reevaluation_batch(self, generation: int,
+                                  reasons: list[str],
+                                  changes: int) -> None:
+        """One coalesced reevaluation: audit record for the whole batch.
+
+        The batch's state changes arrive as the ``apply`` records its
+        sweep emitted; this record ties them to the scheduler generation
+        and the triggers that were merged.  Reasons are capped so a
+        metric storm cannot bloat the log.
+        """
+        from repro.controller.scheduler import MAX_JOURNALED_REASONS
+
+        self.append("reevaluation_batch", {
+            "generation": generation,
+            "size": len(reasons),
+            "reasons": list(reasons[:MAX_JOURNALED_REASONS]),
+            "changes": changes})
+
     def record_recovered(self, report: dict[str, Any]) -> None:
         self.append("recovered", report)
 

@@ -277,7 +277,8 @@ def _apply_record(controller: AdaptationController,
         controller.cluster.node(str(data["hostname"])).restore()
         controller.metrics.report("controller.node_restorations",
                                   controller.now, 1.0)
-    elif kind in ("genesis", "lease_expired", "recovered"):
+    elif kind in ("genesis", "lease_expired", "recovered",
+                  "reevaluation_batch"):
         pass  # audit-only records: no state to re-apply
     else:
         raise RecoveryError(

@@ -1,0 +1,227 @@
+"""The coalescing reevaluation scheduler: debounce, bound, generations."""
+
+import threading
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.controller import AdaptationController, CoalescingScheduler
+from repro.controller.scheduler import MAX_JOURNALED_REASONS
+from repro.persistence import DurabilityJournal
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def two_option_rsl(index):
+    return f"""
+harmonyBundle App{index} size {{
+    {{small {{node n {{seconds 60}} {{memory 24}}}}}}
+    {{large {{node n {{seconds 35}} {{memory 24}} {{replicate 2}}}}
+            {{communication 4}}}}}}
+"""
+
+
+@pytest.fixture
+def controller():
+    cluster = Cluster.full_mesh([f"n{i}" for i in range(8)],
+                                memory_mb=256.0)
+    return AdaptationController(cluster)
+
+
+@pytest.fixture
+def sched(controller):
+    clock = FakeClock()
+    scheduler = CoalescingScheduler(controller, coalesce_window=0.05,
+                                    max_delay=0.5, clock=clock)
+    return controller, scheduler, clock
+
+
+class TestCoalescing:
+    def test_requests_within_window_merge_into_one_batch(self, sched):
+        controller, scheduler, clock = sched
+        for i in range(10):
+            scheduler.request(f"trigger:{i}")
+            clock.advance(0.01)  # under the 0.05 quiescence window
+        assert scheduler.pending_requests == 10
+        assert not scheduler.run_pending()  # window not yet quiet
+        clock.advance(0.05)
+        assert scheduler.run_pending()
+        assert scheduler.batches_run == 1
+        assert scheduler.requests_coalesced == 10
+        assert scheduler.pending_requests == 0
+
+    def test_quiet_window_after_single_request(self, sched):
+        _controller, scheduler, clock = sched
+        scheduler.request("only")
+        clock.advance(0.049)
+        assert not scheduler.run_pending()
+        clock.advance(0.002)
+        assert scheduler.run_pending()
+
+    def test_max_delay_bounds_a_chatty_burst(self, sched):
+        """Continuous requests cannot starve the batch past max_delay."""
+        _controller, scheduler, clock = sched
+        scheduler.request("first")
+        ran = False
+        # A request every 0.04s keeps the 0.05s window from ever going
+        # quiet; the 0.5s staleness bound must fire anyway.
+        while clock.now < 1.0 and not ran:
+            clock.advance(0.04)
+            scheduler.request("again")
+            ran = scheduler.run_pending()
+        assert ran
+        assert clock.now <= 0.5 + 0.05
+
+    def test_flush_forces_an_undue_batch(self, sched):
+        _controller, scheduler, clock = sched
+        scheduler.request("x")
+        assert scheduler.flush()
+        assert scheduler.batches_run == 1
+        assert not scheduler.flush()  # nothing pending
+
+    def test_due_at_is_min_of_window_and_staleness_bound(self, sched):
+        _controller, scheduler, clock = sched
+        assert scheduler.due_at() is None
+        scheduler.request("a")
+        assert scheduler.due_at() == pytest.approx(0.05)
+        clock.advance(0.48)
+        scheduler.request("b")
+        # last+window = 0.53 but first+max_delay = 0.5 wins.
+        assert scheduler.due_at() == pytest.approx(0.5)
+
+
+class TestGenerations:
+    def test_request_returns_the_covering_generation(self, sched):
+        _controller, scheduler, clock = sched
+        assert scheduler.request("a") == 1
+        assert scheduler.request("b") == 1  # same batch
+        clock.advance(1.0)
+        scheduler.run_pending()
+        assert scheduler.generation == 1
+        assert scheduler.request("c") == 2
+
+    def test_wait_for_generation_observes_completed_batches(self, sched):
+        _controller, scheduler, clock = sched
+        covering = scheduler.request("a")
+        assert not scheduler.wait_for_generation(covering, timeout=0.0)
+        scheduler.flush()
+        assert scheduler.wait_for_generation(covering, timeout=0.0)
+
+    def test_validation_rejects_inverted_windows(self, controller):
+        with pytest.raises(ValueError):
+            CoalescingScheduler(controller, coalesce_window=1.0,
+                                max_delay=0.5)
+
+
+class TestControllerIntegration:
+    def test_admissions_route_through_the_scheduler(self, sched):
+        """With a scheduler attached, setup_bundle defers its sweep."""
+        controller, scheduler, clock = sched
+        instance = controller.register_app("App0")
+        controller.setup_bundle(instance, two_option_rsl(0))
+        # The bundle still gets its initial configuration synchronously…
+        assert instance.bundles["size"].chosen is not None
+        # …but the global reevaluation is pending, not run.
+        assert scheduler.pending_requests == 1
+        assert scheduler.batches_run == 0
+        scheduler.flush()
+        assert scheduler.batches_run == 1
+
+    def test_without_scheduler_reevaluation_is_inline(self, controller):
+        assert controller.scheduler is None
+        instance = controller.register_app("App0")
+        controller.setup_bundle(instance, two_option_rsl(0))
+        # No scheduler: nothing pending anywhere, sweep already happened.
+        assert controller.request_reevaluation("manual") is None
+
+    def test_batch_telemetry(self, sched):
+        controller, scheduler, clock = sched
+        for i in range(4):
+            scheduler.request(f"t:{i}")
+        scheduler.flush()
+        metrics = controller.metrics
+        assert metrics.latest("controller.coalesced_batches") == 1.0
+        assert metrics.latest("controller.batch_size") == 4.0
+
+    def test_batch_runs_inside_the_supplied_lock(self, controller):
+        lock = threading.RLock()
+        seen = []
+
+        class SpyLock:
+            def __enter__(self):
+                seen.append("acquired")
+                return lock.__enter__()
+
+            def __exit__(self, *exc):
+                return lock.__exit__(*exc)
+
+        scheduler = CoalescingScheduler(controller, coalesce_window=0.0,
+                                        max_delay=0.0, clock=FakeClock(),
+                                        lock=SpyLock())
+        scheduler.request("x")
+        scheduler.run_pending()
+        assert seen == ["acquired"]
+
+
+class TestJournal:
+    def test_one_wal_record_per_batch(self, tmp_path, sched):
+        controller, scheduler, clock = sched
+        journal = DurabilityJournal(str(tmp_path))
+        journal.attach(controller)
+        for i in range(3):
+            scheduler.request(f"t:{i}")
+        scheduler.flush()
+        kinds = [record.kind for record in journal.wal.records()]
+        assert kinds.count("reevaluation_batch") == 1
+        record = [r for r in journal.wal.records()
+                  if r.kind == "reevaluation_batch"][0]
+        assert record.data["generation"] == 1
+        assert record.data["size"] == 3
+        assert record.data["reasons"] == ["t:0", "t:1", "t:2"]
+        journal.close()
+
+    def test_journaled_reasons_are_capped(self, tmp_path, sched):
+        controller, scheduler, clock = sched
+        journal = DurabilityJournal(str(tmp_path))
+        journal.attach(controller)
+        for i in range(MAX_JOURNALED_REASONS + 20):
+            scheduler.request(f"t:{i}")
+        scheduler.flush()
+        record = [r for r in journal.wal.records()
+                  if r.kind == "reevaluation_batch"][0]
+        assert record.data["size"] == MAX_JOURNALED_REASONS + 20
+        assert len(record.data["reasons"]) == MAX_JOURNALED_REASONS
+        journal.close()
+
+
+class TestThreadedLoop:
+    def test_background_thread_runs_due_batches(self, controller):
+        scheduler = CoalescingScheduler(controller,
+                                        coalesce_window=0.01,
+                                        max_delay=0.05)
+        scheduler.start()
+        try:
+            covering = scheduler.request("threaded")
+            assert scheduler.wait_for_generation(covering, timeout=5.0)
+            assert scheduler.batches_run >= 1
+        finally:
+            scheduler.stop()
+
+    def test_stop_drains_pending_work(self, controller):
+        clock = FakeClock()
+        scheduler = CoalescingScheduler(controller, coalesce_window=10.0,
+                                        max_delay=10.0, clock=clock)
+        scheduler.start()
+        scheduler.request("never-due")
+        scheduler.stop(flush=True)
+        assert scheduler.batches_run == 1
+        assert scheduler.pending_requests == 0

@@ -26,7 +26,8 @@ MODULES = [
 DOCS_DIR = pathlib.Path(__file__).parent.parent / "docs"
 
 #: Markdown documents whose ```python blocks must run as doctests.
-DOC_FILES = ["fault-tolerance.md", "observability.md", "durability.md"]
+DOC_FILES = ["fault-tolerance.md", "observability.md", "durability.md",
+             "architecture.md"]
 
 
 @pytest.mark.parametrize("module", MODULES,
