@@ -1,0 +1,81 @@
+"""Regression tests for the BENCH_scale.json merge helper.
+
+The trajectory file accumulates columns from several benchmarks
+(admission scale, partitioned scale, load, tracing overhead) across
+separate pytest invocations.  A bug here silently erases history — the
+exact failure mode these tests pin down: re-running a *subset* of app
+counts must preserve every previously recorded row and column.
+"""
+
+import json
+import threading
+
+from benchutil import merge_bench_point, read_bench_points
+
+
+def test_merge_preserves_other_rows_and_columns(tmp_path):
+    path = tmp_path / "BENCH_scale.json"
+    merge_bench_point(128, {"wall_seconds": 1.5, "partition_count": 8},
+                      path=path)
+    merge_bench_point(1024, {"wall_seconds": 2.1}, path=path)
+
+    # A later subset re-run touches only the 128 row, with fewer columns.
+    merge_bench_point(128, {"wall_seconds": 1.2}, path=path)
+
+    points = read_bench_points(path)
+    assert sorted(points) == [128, 1024]
+    # Updated column took the new value; untouched column survived.
+    assert points[128]["wall_seconds"] == 1.2
+    assert points[128]["partition_count"] == 8
+    # Rows the re-run never mentioned are intact.
+    assert points[1024]["wall_seconds"] == 2.1
+
+
+def test_merge_is_idempotent(tmp_path):
+    path = tmp_path / "BENCH_scale.json"
+    fields = {"wall_seconds": 0.5, "candidates_evaluated": 42}
+    merge_bench_point(48, fields, path=path)
+    first = path.read_text()
+    merge_bench_point(48, fields, path=path)
+    assert path.read_text() == first
+
+
+def test_merge_sorts_rows_and_round_trips_json(tmp_path):
+    path = tmp_path / "BENCH_scale.json"
+    for apps in (512, 4, 96):
+        merge_bench_point(apps, {"wall_seconds": float(apps)}, path=path)
+    raw = json.loads(path.read_text())
+    assert [point["apps"] for point in raw] == [4, 96, 512]
+
+
+def test_merge_never_leaves_partial_file(tmp_path):
+    """The temp file is cleaned up by the atomic rename."""
+    path = tmp_path / "BENCH_scale.json"
+    merge_bench_point(24, {"wall_seconds": 0.1}, path=path)
+    leftovers = [p.name for p in tmp_path.iterdir()]
+    assert path.name in leftovers
+    assert not any(name.endswith(".tmp") for name in leftovers)
+
+
+def test_concurrent_merges_lose_no_updates(tmp_path):
+    """Racing writers serialize under the lock: all columns land."""
+    path = tmp_path / "BENCH_scale.json"
+    errors = []
+
+    def writer(column: str) -> None:
+        try:
+            for round_index in range(20):
+                merge_bench_point(256, {column: round_index}, path=path)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(f"col{i}",))
+               for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    point = read_bench_points(path)[256]
+    assert all(point[f"col{i}"] == 19 for i in range(4))

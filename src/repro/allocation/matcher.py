@@ -72,6 +72,12 @@ class Matcher:
         self._order_key: Callable[[str], float] | None = None
         self._free_mb: dict[str, float] = {}
         self._ordered_nodes: list[SimNode] = []
+        #: (patterns, topology_version) -> nodes any pattern matches, in
+        #: cluster insertion order.  Pattern-restricted demands (pods,
+        #: racks) then pay O(|matching nodes|) per match instead of
+        #: O(cluster).
+        self._pattern_memo: dict[frozenset[str],
+                                 tuple[int, list[SimNode]]] = {}
 
     def match(self, demands: ConcreteDemands,
               extra_memory: Mapping[str, float] | None = None,
@@ -99,7 +105,7 @@ class Matcher:
         placements: dict[str, str] = {}
         self._ignore_holders = frozenset(ignore_holders or ())
         self._order_key = order_key
-        self._prepare_candidate_order()
+        self._prepare_candidate_order(self._reachable_nodes(demands))
         if self._search(list(demands.nodes), demands, placements,
                         extra_memory or {}):
             return Assignment(placements=dict(placements))
@@ -126,7 +132,31 @@ class Matcher:
             del placements[demand.local_name]
         return False
 
-    def _prepare_candidate_order(self) -> None:
+    def _reachable_nodes(self, demands: ConcreteDemands) -> list[SimNode]:
+        """Nodes some demand's hostname pattern can match, memoized.
+
+        Restricting the candidate base to the union of the demands'
+        patterns is exact — ``_candidates`` re-filters per demand, and a
+        node matching no pattern can never be placed — and turns the
+        per-match cost from O(cluster) into O(|matching nodes|) for
+        pattern-scoped bundles.  A ``*`` anywhere short-circuits to the
+        whole cluster.  The memo is keyed by the pattern set and guarded
+        by the topology version (add_node/add_link invalidate it).
+        """
+        patterns = frozenset(d.hostname_pattern for d in demands.nodes)
+        if "*" in patterns or not patterns:
+            return list(self.cluster.nodes())
+        version = self.cluster.topology_version
+        hit = self._pattern_memo.get(patterns)
+        if hit is not None and hit[0] == version:
+            return hit[1]
+        nodes = [node for node in self.cluster.nodes()
+                 if any(_hostname_matches(p, node.hostname)
+                        for p in patterns)]
+        self._pattern_memo[patterns] = (version, nodes)
+        return nodes
+
+    def _prepare_candidate_order(self, base: list[SimNode]) -> None:
         """Precompute per-match state constant across the backtracking.
 
         Reservations cannot change mid-search, so each node's free memory
@@ -138,13 +168,13 @@ class Matcher:
         the per-demand form only by a constant (``needed_mb``) shift.
         """
         free_mb: dict[str, float] = {}
-        for node in self.cluster.nodes():
+        for node in base:
             free = node.memory.available_mb
             for holder in self._ignore_holders:
                 free += node.memory.held_by(holder)
             free_mb[node.hostname] = free
         self._free_mb = free_mb
-        ordered = list(self.cluster.nodes())
+        ordered = list(base)
         if self.strategy is MatchStrategy.BEST_FIT:
             ordered.sort(key=lambda n: free_mb[n.hostname])
         elif self.strategy is MatchStrategy.WORST_FIT:

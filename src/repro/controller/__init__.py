@@ -25,6 +25,8 @@ from repro.controller.optimizer import (
     OptimizationContext,
     enumerate_candidates,
 )
+from repro.controller.parallel import ParallelSweepExecutor
+from repro.controller.partition import GainPriorityQueue, PartitionIndex
 from repro.controller.policies import ClientCountRulePolicy
 from repro.controller.scheduler import CoalescingScheduler
 from repro.controller.trial import OptimizerStats, TrialEngine, ViewTrial
@@ -44,6 +46,7 @@ __all__ = [
     "GreedyOptimizer", "ExhaustiveOptimizer", "Candidate",
     "OptimizationContext", "ConfigurationCache", "enumerate_candidates",
     "OptimizerStats", "TrialEngine", "ViewTrial",
+    "PartitionIndex", "GainPriorityQueue", "ParallelSweepExecutor",
     "FrictionPolicy", "SwitchDecision",
     "PerformanceEventMonitor", "PerformanceEvent",
     "ApplicationRegistry", "AppInstance", "BundleState",

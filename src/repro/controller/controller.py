@@ -39,6 +39,12 @@ from repro.controller.optimizer import (
     GreedyOptimizer,
     OptimizationContext,
 )
+from repro.controller.parallel import ParallelSweepExecutor
+from repro.controller.partition import (
+    GainPriorityQueue,
+    PartitionIndex,
+    bundle_key,
+)
 from repro.controller.registry import (
     AppInstance,
     ApplicationRegistry,
@@ -143,10 +149,17 @@ class ModelDrivenPolicy(DecisionPolicy):
 
     def __init__(self, optimizer: GreedyOptimizer | None = None,
                  pairwise_exchange: bool = True,
-                 max_pairwise_bundles: int = 12):
+                 max_pairwise_bundles: int = 12,
+                 top_k_bundles: int | None = None):
         self.optimizer = optimizer or GreedyOptimizer()
         self.pairwise_exchange = pairwise_exchange
         self.max_pairwise_bundles = max_pairwise_bundles
+        #: Evaluate at most this many bundles per partitioned sweep,
+        #: picked by last observed gain (the rest stay dirty for later
+        #: sweeps).  ``None`` — the default, and the only setting the
+        #: equivalence guarantees cover — evaluates every dirty bundle.
+        self.top_k_bundles = top_k_bundles
+        self.gain_queue = GainPriorityQueue()
 
     def configure_new_bundle(self, controller: "AdaptationController",
                              instance: AppInstance,
@@ -166,15 +179,107 @@ class ModelDrivenPolicy(DecisionPolicy):
                 result.current_objective))
 
     def reevaluate(self, controller: "AdaptationController") -> int:
-        changes = 0
-        # "we simply iterate through the list of active applications and
-        # within each application through the list of options"
-        for instance in controller.registry.instances():
-            for state in instance.bundles.values():
-                if self._reevaluate_bundle(controller, instance, state):
-                    changes += 1
+        index = controller.partition_index
+        if index is not None:
+            changes = self._sweep_partitioned(controller, index)
+        else:
+            changes = 0
+            # "we simply iterate through the list of active applications
+            # and within each application through the list of options"
+            for instance in controller.registry.instances():
+                for state in instance.bundles.values():
+                    if self._reevaluate_bundle(controller, instance,
+                                               state):
+                        changes += 1
         if self.pairwise_exchange:
+            # Deliberately global and unrestricted: two sub-threshold
+            # single-bundle gains can jointly cross the hysteresis bound,
+            # and the pair's friction amortizes over the *joint* response
+            # — neither decomposes by partition.  The pass self-disables
+            # above ``max_pairwise_bundles``, so it costs nothing at the
+            # scales where partitioning matters.
             changes += self._pairwise_pass(controller)
+        return changes
+
+    def _sweep_partitioned(self, controller: "AdaptationController",
+                           index: PartitionIndex) -> int:
+        """Registry-order sweep with per-bundle clean-skip.
+
+        Iterates bundles in exactly the serial order — partitions only
+        decide *skips*, never ordering — so the decision log is
+        byte-identical to the serial oracle even when registrations
+        interleave partitions.  A bundle is skipped when its partition's
+        epoch watermark proves its last no-op evaluation still holds
+        (see :class:`~repro.controller.partition.PartitionIndex`).
+        Independent partitions fan out to the process pool first when a
+        :class:`~repro.controller.parallel.ParallelSweepExecutor` is
+        attached; their proposals are then merged in the same global
+        registry order.
+        """
+        index.refresh()
+        stats = controller.stats
+        stats.partition_sweeps += 1
+        prune = index.prunable(controller.objective)
+        entries = [(instance, state)
+                   for instance in controller.registry.instances()
+                   for state in instance.bundles.values()]
+        keys = [bundle_key(instance, state) for instance, state in entries]
+        if self.top_k_bundles is not None:
+            selected, _ = self.gain_queue.select(keys, self.top_k_bundles)
+            selected_set: set | None = set(selected)
+        else:
+            selected_set = None
+        pool = controller.parallel_executor
+        pool_result = None
+        if pool is not None and prune and selected_set is None:
+            # top-k selection changes which bundles run, which the pool's
+            # partition snapshots cannot express — pooling stands down.
+            pool_result = pool.sweep_partitions(index, entries, keys)
+        changes = 0
+        #: pid -> [elapsed, evaluated, changed, skipped]
+        activity: dict[int, list] = {}
+        for (instance, state), key in zip(entries, keys):
+            part = index.partition_of(key)
+            pid = part.pid if part is not None else 0
+            cell = activity.setdefault(pid, [0.0, 0, 0, 0])
+            if (selected_set is not None and key not in selected_set) or \
+                    (prune and index.is_clean(key)):
+                stats.pruned_bundles += 1
+                stats.pruned_candidates += index.candidate_count(state)
+                cell[3] += 1
+                continue
+            start = _time.perf_counter()
+            if pool_result is not None and pid in pool_result.pooled_pids:
+                changed, stable, gain = pool.merge_one(
+                    controller, self, instance, state, key, pool_result)
+            else:
+                changed, stable, gain, _ = self._reevaluate_bundle_outcome(
+                    controller, instance, state)
+            cell[0] += _time.perf_counter() - start
+            cell[1] += 1
+            if changed:
+                changes += 1
+                cell[2] += 1
+            elif stable and prune:
+                index.mark_clean(key)
+            if gain is not None:
+                self.gain_queue.record(key, gain)
+        tracer = controller.tracer
+        if tracer.enabled:
+            end = tracer.elapsed()
+            for pid, (elapsed, evaluated, changed, skipped) in \
+                    sorted(activity.items()):
+                if evaluated == 0 and skipped == 0:
+                    continue
+                part = index._parts.get(pid)
+                tracer.record_span(
+                    "optimizer.partition_sweep",
+                    max(0.0, end - elapsed), elapsed,
+                    partition=pid,
+                    size=len(part.members) if part is not None else 0,
+                    evaluated=evaluated, changes=changed, pruned=skipped)
+        controller.metrics.report("optimizer.partitions", controller.now,
+                                  float(index.partition_count))
         return changes
 
     def _pairwise_pass(self, controller: "AdaptationController") -> int:
@@ -232,21 +337,47 @@ class ModelDrivenPolicy(DecisionPolicy):
     def _reevaluate_bundle(self, controller: "AdaptationController",
                            instance: AppInstance,
                            state: BundleState) -> bool:
+        return self._reevaluate_bundle_outcome(controller, instance,
+                                               state)[0]
+
+    def _reevaluate_bundle_outcome(
+            self, controller: "AdaptationController",
+            instance: AppInstance, state: BundleState,
+            ) -> tuple[bool, bool, float | None, Candidate | None]:
+        """Evaluate one bundle; returns ``(changed, stable, gain,
+        applied)``.
+
+        ``applied`` is the candidate put live when ``changed`` (the
+        parallel executor ships it back from worker processes as a
+        proposal), ``None`` otherwise.
+
+        ``stable`` asserts the no-change outcome would recur if nothing
+        in this bundle's partition changes — even while *other*
+        partitions improve — so a clean watermark may be recorded (for a
+        decomposable objective).  True for: no feasible candidate, best
+        equals current (candidate ranking is invariant under equal
+        shifts), rejection with gain <= 0 (sign-invariant), and
+        friction-amortization rejections (gain, response, and friction
+        are all partition-local).  False for: granularity-blocked
+        outcomes (time-dependent) and hysteresis rejections (the
+        relative-gain denominator is the *global* objective, so another
+        partition's improvement can tip them over the threshold).
+        """
         now = controller.now
         if state.chosen is None:
-            return False
+            return False, True, None, None
         if not state.granularity_allows_switch(now):
-            return False
+            return False, False, None, None
         context = controller.optimization_context()
         result = self.optimizer.optimize_bundle(instance, state, context)
         best = result.best
         if best is None:
-            return False
+            return False, True, 0.0, None
         if best.option_name == state.chosen.option_name and \
                 best.variable_assignment == state.chosen.variable_assignment \
                 and best.assignment.placements == \
                 state.chosen.assignment.placements:
-            return False  # already there
+            return False, True, 0.0, None  # already there
         with controller.tracer.span("controller.friction_gate",
                                     app=instance.key) as span:
             friction_cost = controller.friction_cost(state,
@@ -259,7 +390,9 @@ class ModelDrivenPolicy(DecisionPolicy):
             span.set("friction_cost_seconds", friction_cost)
             span.set("worthwhile", bool(decision))
         if not decision:
-            return False
+            gain = decision.objective_gain
+            stable = gain <= 0 or decision.amortized_gain > 0
+            return False, stable, max(0.0, gain), None
         controller.apply_candidate(
             instance, state, best,
             reason=f"reevaluation (gain {decision.objective_gain:.3g}s, "
@@ -268,7 +401,7 @@ class ModelDrivenPolicy(DecisionPolicy):
             trace_candidates=candidate_traces(
                 controller, state, result.evaluated, best,
                 result.current_objective))
-        return True
+        return True, False, decision.objective_gain, best
 
 
 def candidate_traces(controller: "AdaptationController", state: BundleState,
@@ -329,6 +462,8 @@ class AdaptationController:
                  match_strategy: MatchStrategy = MatchStrategy.FIRST_FIT,
                  reevaluation_period_seconds: float = 30.0,
                  incremental: bool = True,
+                 partitioned: bool | None = None,
+                 parallel_workers: int = 0,
                  tracer=None,
                  trace_log: DecisionTraceLog | None = None):
         self.cluster = cluster
@@ -363,6 +498,28 @@ class AdaptationController:
             TrialEngine(self) if incremental else None
         self._config_cache: ConfigurationCache | None = \
             ConfigurationCache() if incremental else None
+        #: ``partitioned`` (default: follows ``incremental``) maintains a
+        #: :class:`~repro.controller.partition.PartitionIndex` so sweeps
+        #: skip provably-unaffected bundles; ``partitioned=False`` with
+        #: ``incremental=True`` is the serial sweep the partitioned path
+        #: is equivalence-tested against.
+        if partitioned is None:
+            partitioned = incremental
+        if partitioned and not incremental:
+            raise ControllerError(
+                "partitioned optimization requires incremental=True")
+        self.partitioned = partitioned
+        self.partition_index: PartitionIndex | None = \
+            PartitionIndex(self) if partitioned else None
+        #: Process pool for sweeping independent partitions concurrently;
+        #: ``parallel_workers >= 2`` enables it (requires partitioned).
+        self.parallel_executor: ParallelSweepExecutor | None = None
+        if parallel_workers and parallel_workers > 1:
+            if not partitioned:
+                raise ControllerError(
+                    "parallel_workers requires partitioned optimization")
+            self.parallel_executor = ParallelSweepExecutor(
+                self, parallel_workers)
         self._model_cache: dict[tuple[str, str, str], PerformanceModel] = {}
         self._listeners: list[Callable[[ReconfigurationEvent], None]] = []
         self._reevaluation_process: Process | None = None
@@ -470,6 +627,10 @@ class AdaptationController:
                 self._checkpoint()
                 return existing
             state = self.registry.add_bundle(instance, bundle)
+            if self.partition_index is not None:
+                # Indexed before configuration so the initial apply and
+                # the follow-up sweep see the (possibly merged) component.
+                self.partition_index.add_bundle(instance, state)
             if self.journal is not None:
                 if rsl_text is None:
                     from repro.rsl import unparse_bundle
@@ -512,6 +673,8 @@ class AdaptationController:
             self.journal.record_release(instance.key, kind, detail)
         self.view.remove(instance.key)
         self.registry.remove(instance)
+        if self.partition_index is not None:
+            self.partition_index.remove_app(instance.key)
         self._record_lifecycle(kind, instance.key, detail=detail)
         self.metrics.report("controller.registered_apps", self.now,
                             float(len(self.registry)))
@@ -563,6 +726,8 @@ class AdaptationController:
         # instance's cached spec-resolved models.
         if self._engine is not None:
             self._engine.invalidate()
+        if self.partition_index is not None:
+            self.partition_index.note_models_changed()
         self._checkpoint()
 
     # -- reconfiguration plumbing -------------------------------------------
@@ -610,6 +775,9 @@ class AdaptationController:
                 # from the system view so predictions stop counting it.
                 state.chosen = None
                 self.view.remove(instance.key)
+                if self.partition_index is not None:
+                    self.partition_index.note_apply(
+                        instance.key, state.bundle.bundle_name)
                 if self.journal is not None:
                     self.journal.record_unconfigured(
                         instance.key, state.bundle.bundle_name)
@@ -686,6 +854,12 @@ class AdaptationController:
             # ``objective_after`` exactly.
             self.journal.record_apply(instance, state, candidate, reason,
                                       objective_before, objective_after)
+
+        if self.partition_index is not None:
+            # Dirties the bundle's component (every member re-evaluates
+            # against the new placement) and refreshes opacity tracking.
+            self.partition_index.note_apply(instance.key,
+                                            state.bundle.bundle_name)
 
         if option_changed:
             event = ReconfigurationEvent(
@@ -809,6 +983,11 @@ class AdaptationController:
             self.journal.record_node_failure(hostname)
         node = self.cluster.node(hostname)
         node.fail()
+        if self.partition_index is not None:
+            # Availability changed without a topology-version bump: the
+            # host's component must re-evaluate (also covers the
+            # freed-resources case when displaced bundles strand).
+            self.partition_index.touch_host(hostname)
         stranded: list[str] = []
         for instance in self.registry.instances():
             for state in instance.bundles.values():
@@ -842,6 +1021,8 @@ class AdaptationController:
         if self.journal is not None:
             self.journal.record_node_restored(hostname)
         self.cluster.node(hostname).restore()
+        if self.partition_index is not None:
+            self.partition_index.touch_host(hostname)
         changes = self.policy.reevaluate(self)
         self.metrics.report("controller.node_restorations", self.now, 1.0)
         self._checkpoint()
@@ -887,8 +1068,16 @@ class AdaptationController:
             if measured is None:
                 continue
             own = self.view.cpu_consumers(hostname)
-            self.view.set_external_cpu_load(
-                hostname, max(0.0, measured - own))
+            external = max(0.0, measured - own)
+            # Unchanged measurements are dropped before they reach the
+            # view: a no-op set would still bump the view version
+            # (invalidating cached predictions) and spuriously dirty the
+            # host's partition every steady-state sweep.
+            if external == self.view.external_cpu_load(hostname):
+                continue
+            self.view.set_external_cpu_load(hostname, external)
+            if self.partition_index is not None:
+                self.partition_index.touch_host(hostname)
         for link in self.cluster.links():
             measured = self.metrics.windowed_mean(
                 link_metric_name(link.host_a, link.host_b,
@@ -897,8 +1086,14 @@ class AdaptationController:
             if measured is None:
                 continue
             own = self.view.flows_between(link.host_a, link.host_b)
-            self.view.set_external_link_load(
-                link.host_a, link.host_b, max(0.0, measured - own))
+            external = max(0.0, measured - own)
+            if external == self.view.external_link_load(link.host_a,
+                                                        link.host_b):
+                continue
+            self.view.set_external_link_load(link.host_a, link.host_b,
+                                             external)
+            if self.partition_index is not None:
+                self.partition_index.touch_link(link.host_a, link.host_b)
 
     # -- periodic re-evaluation ------------------------------------------------
 
@@ -940,6 +1135,28 @@ class AdaptationController:
             for key, value in self._config_cache.snapshot().items():
                 self.metrics.report(f"optimizer.cache.{key}", now,
                                     float(value))
+        index = self.partition_index
+        if index is not None:
+            # Aggregates only — partition ids never become metric names,
+            # so cardinality is fixed no matter how the system fragments.
+            self.metrics.report("optimizer.partitions", now,
+                                float(index.partition_count))
+            self.metrics.report("optimizer.pruned_candidates", now,
+                                float(self.stats.pruned_candidates))
+            self.metrics.report("optimizer.partition.sweeps", now,
+                                float(self.stats.partition_sweeps))
+            self.metrics.report("optimizer.partition.pruned_bundles", now,
+                                float(self.stats.pruned_bundles))
+            self.metrics.report("optimizer.partition.merges", now,
+                                float(index.merges))
+            self.metrics.report("optimizer.partition.rebuilds", now,
+                                float(index.rebuilds))
+            self.metrics.report(
+                "optimizer.partition.largest", now,
+                float(max((len(p.members) for p in index.partitions()),
+                          default=0)))
+            self.metrics.report("optimizer.partition.parallel_sweeps", now,
+                                float(self.stats.parallel_sweeps))
 
     def start_periodic_reevaluation(self) -> Process:
         """Spawn the Section 4.3 periodic adaptation process."""

@@ -24,7 +24,17 @@ __all__ = ["Objective", "MeanResponseTime", "ThroughputObjective",
 
 
 class Objective(Protocol):
-    """Scalarizes per-application predictions; lower is better."""
+    """Scalarizes per-application predictions; lower is better.
+
+    An objective may declare ``decomposable = True`` to assert it is a
+    monotone function of a per-application sum: changing one
+    application's prediction shifts every candidate's score equally and
+    never reorders candidates that differ only elsewhere.  The
+    partitioned sweep relies on this to skip provably-clean bundles
+    (:meth:`repro.controller.partition.PartitionIndex.prunable`);
+    objectives without the attribute (e.g. :class:`MaxResponseTime`)
+    disable pruning and always get the full sweep.
+    """
 
     name: str
 
@@ -36,6 +46,7 @@ class MeanResponseTime:
     """The paper's default: average predicted completion time."""
 
     name = "mean-response-time"
+    decomposable = True
 
     def evaluate(self, predictions: Mapping[str, float]) -> float:
         if not predictions:
@@ -47,6 +58,8 @@ class MaxResponseTime:
     """Makespan-style objective: the slowest application's response."""
 
     name = "max-response-time"
+    # max() is not shift-invariant under other partitions' changes.
+    decomposable = False
 
     def evaluate(self, predictions: Mapping[str, float]) -> float:
         if not predictions:
@@ -58,6 +71,7 @@ class ThroughputObjective:
     """System throughput: jobs per second, negated so lower is better."""
 
     name = "throughput"
+    decomposable = True
 
     def evaluate(self, predictions: Mapping[str, float]) -> float:
         total = 0.0
@@ -77,6 +91,7 @@ class WeightedMeanResponseTime:
     """
 
     name = "weighted-mean-response-time"
+    decomposable = True
 
     def __init__(self, weights: Mapping[str, float] | None = None):
         self.weights = dict(weights or {})

@@ -44,7 +44,7 @@ from repro.allocation.instantiate import (
 from repro.allocation.matcher import Assignment, Matcher
 from repro.controller.objective import Objective
 from repro.controller.registry import AppInstance, BundleState
-from repro.errors import AllocationError, RslSemanticError
+from repro.errors import AllocationError, RslSemanticError, SimulationError
 from repro.obs.trace import NULL_TRACER
 from repro.prediction.contention import SystemView
 from repro.rsl.expressions import MapEnvironment
@@ -58,6 +58,11 @@ __all__ = ["Candidate", "OptimizationContext", "ConfigurationCache",
 
 #: predict_all(view) -> {app_key: predicted seconds} for every placed app.
 PredictAll = Callable[[SystemView], Mapping[str, float]]
+
+#: Default cap on elastic-memory probe values per node demand (must match
+#: ``OptimizationContext.memory_probe_limit``'s default — the partition
+#: index keys cache peeks on it).
+DEFAULT_MEMORY_PROBE_LIMIT = 3
 
 
 @dataclass
@@ -102,7 +107,7 @@ class OptimizationContext:
     predict_all: PredictAll
     now: float = 0.0
     #: Cap on elastic-memory probe values per node demand.
-    memory_probe_limit: int = 3
+    memory_probe_limit: int = DEFAULT_MEMORY_PROBE_LIMIT
     #: Delta-prediction engine; None selects the naive scoring path.
     engine: "TrialEngine | None" = None
     #: Memoized configuration spaces; None re-enumerates from the RSL.
@@ -195,6 +200,13 @@ class ConfigurationCache:
         self._spaces[key] = (bundle, entries)
         return entries
 
+    def peek_space_len(self, bundle: Bundle, probe_limit: int) -> int:
+        """Size of a bundle's cached space without computing it (0 when
+        never enumerated).  Used for pruned-candidate accounting — a skip
+        must not itself pay the enumeration it avoided."""
+        hit = self._spaces.get((id(bundle), probe_limit))
+        return len(hit[1]) if hit is not None and hit[0] is bundle else 0
+
     def best_memory_for(self, option: TuningOption, base: ConcreteDemands,
                         demand: NodeDemand,
                         span_mb: float = 64.0) -> float | None:
@@ -282,14 +294,26 @@ def _load_order_key(view: SystemView,
             continue
         for hostname, seconds in footprint.cpu.items():
             excluded[hostname] = excluded.get(hostname, 0) + len(seconds)
-    keys = {}
-    for hostname in view.cluster.hostnames():
-        load = (float(view.cpu_consumers(hostname)
-                      - excluded.get(hostname, 0))
-                + view.external_cpu_load(hostname))
-        speed = view.cluster.node(hostname).speed
-        keys[hostname] = (load, -speed)
-    return lambda hostname: keys.get(hostname, (0.0, 0.0))
+    # Lazily memoized: pattern-restricted matching only ever asks about
+    # the hosts a bundle can reach, so eagerly scoring the whole cluster
+    # would dominate per-bundle cost on large topologies.
+    keys: dict[str, tuple[float, float]] = {}
+
+    def order_key(hostname: str) -> tuple[float, float]:
+        hit = keys.get(hostname)
+        if hit is None:
+            try:
+                speed = view.cluster.node(hostname).speed
+            except SimulationError:
+                keys[hostname] = (0.0, 0.0)
+                return keys[hostname]
+            load = (float(view.cpu_consumers(hostname)
+                          - excluded.get(hostname, 0))
+                    + view.external_cpu_load(hostname))
+            hit = keys[hostname] = (load, -speed)
+        return hit
+
+    return order_key
 
 
 def _candidates_for_assignment(option: TuningOption,

@@ -1,0 +1,469 @@
+"""Parallel per-partition sweeps over a process pool.
+
+:class:`ParallelSweepExecutor` ships each independent partition of the
+:class:`~repro.controller.partition.PartitionIndex` to a worker process as
+a picklable :class:`PartitionTask`: the partition's slice of the cluster
+(nodes, links, failure state, external load), its members' bundles and
+live configurations, and — crucially — the *full parent system's*
+prediction vector.  The worker rebuilds a miniature controller, replays
+the members' reservations and placements, and runs the same per-bundle
+greedy evaluation the serial sweep would, scoring every candidate with an
+:class:`_OverlayObjective` that substitutes the partition's local
+predictions into the parent vector **at their original positions** — the
+float summation order is the parent's, so objective values (and therefore
+gains, friction decisions, and reason strings) are bitwise-identical to
+the serial sweep's.
+
+Workers return *proposals* (the candidates they applied locally), not
+decisions: the parent merges them back under its own lock, in global
+registry order, re-running the friction gate against the live objective
+before each apply.  Partitions are provably independent (that is what the
+index's connected components mean), so proposals cannot conflict; the
+re-gate exists for the one documented epsilon: a hysteresis threshold
+crossed only because *another* partition improved first.
+
+The pool is only consulted when pruning is provably safe (decomposable
+objective, no opaque models — the same condition as clean-skip) because
+concurrent evaluation freezes the rest-of-system vector at sweep start.
+With ``parallel_workers <= 1``, a single partition, or unpicklable state,
+everything silently falls back to the inline partitioned sweep.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import time as _time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.allocation.allocation import allocate
+from repro.controller.optimizer import Candidate
+from repro.errors import AllocationError, ControllerError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.controller.controller import AdaptationController
+    from repro.controller.partition import PartitionIndex
+    from repro.controller.registry import AppInstance, BundleState
+
+__all__ = ["ParallelSweepExecutor", "PartitionTask", "PoolSweepResult",
+           "run_partition_task"]
+
+BundleKey = tuple[str, str]
+
+
+@dataclass
+class MemberTask:
+    """One bundle of the partition, with everything needed to replay it."""
+
+    app_name: str
+    instance_id: int
+    registered_at: float
+    bundle: object                      # repro.rsl.model.Bundle
+    clean: bool                         # skip evaluation, placement only
+    last_switch_time: float | None
+    switch_count: int
+    #: Current configuration, or None when unconfigured: (option_name,
+    #: variable_assignment, demands, assignment, predicted_seconds,
+    #: chosen_at, memory_grants).
+    chosen: tuple | None
+
+    @property
+    def key(self) -> str:
+        return f"{self.app_name}.{self.instance_id}"
+
+
+@dataclass
+class PartitionTask:
+    """A picklable, self-contained view of one partition."""
+
+    pid: int
+    now: float
+    #: (hostname, speed, memory_mb, os, attributes, available) in parent
+    #: cluster insertion order — candidate ordering depends on it.
+    hosts: list[tuple]
+    #: (host_a, host_b, bandwidth_mbps, latency_seconds), parent order.
+    links: list[tuple]
+    #: Members in partition-local *registry* order (evaluation order).
+    members: list[MemberTask]
+    #: Member keys in parent *view* order (placement replay order).
+    placement_order: list[str]
+    #: Full-system predictions [(app_key, seconds)] in parent view order.
+    base_predictions: list[tuple[str, float]]
+    external_cpu: dict[str, float]
+    external_links: list[tuple[str, str, float]]
+    objective: object
+    friction_policy: object
+    default_model: object
+    match_strategy: object
+    allow_colocation: bool
+
+
+@dataclass
+class PoolSweepResult:
+    """What the pool produced, consumed by the inline merge pass."""
+
+    pooled_pids: set[int] = field(default_factory=set)
+    #: key -> (candidate, gain) for bundles the worker reconfigured.
+    proposals: dict[BundleKey, tuple[Candidate, float]] = \
+        field(default_factory=dict)
+    stable: set[BundleKey] = field(default_factory=set)
+    gains: dict[BundleKey, float] = field(default_factory=dict)
+    errors: int = 0
+
+
+class _OverlayObjective:
+    """Scores local predictions inside the parent's full-system vector.
+
+    ``base`` is the parent's prediction mapping in parent iteration
+    order.  Member entries are overwritten in place (dict assignment on
+    an existing key keeps its position), so ``inner.evaluate`` sums the
+    floats in exactly the order the serial sweep would.
+    """
+
+    def __init__(self, inner, base: list[tuple[str, float]],
+                 member_keys: set[str]):
+        self.inner = inner
+        self.name = getattr(inner, "name", "overlay")
+        self.decomposable = getattr(inner, "decomposable", False)
+        self._base = dict(base)
+        self._members = member_keys
+
+    def evaluate(self, predictions: Mapping[str, float]) -> float:
+        full = dict(self._base)
+        for key in self._members:
+            if key in predictions:
+                full[key] = predictions[key]
+            else:
+                full.pop(key, None)
+        return self.inner.evaluate(full)
+
+
+def run_partition_task(task: PartitionTask) -> dict:
+    """Worker entry point: sweep one partition, return proposals.
+
+    Deliberately a module-level function (process pools pickle it by
+    reference).  Builds a fresh miniature deployment — cluster slice,
+    controller, adopted instances, replayed reservations — then runs the
+    standard per-bundle evaluation in partition-local registry order,
+    applying improvements locally so later members see earlier changes
+    exactly as the serial sweep interleaves them.
+    """
+    from repro.cluster.topology import Cluster
+    from repro.controller.controller import (
+        AdaptationController,
+        ModelDrivenPolicy,
+    )
+    from repro.controller.registry import AppInstance, ChosenConfiguration
+
+    started = _time.perf_counter()
+    cluster = Cluster()
+    for hostname, speed, memory_mb, os_name, attributes, available in \
+            task.hosts:
+        node = cluster.add_node(hostname, speed=speed, memory_mb=memory_mb,
+                                os=os_name, attributes=dict(attributes))
+        if not available:
+            node.fail()
+    for host_a, host_b, bandwidth, latency in task.links:
+        cluster.add_link(host_a, host_b, bandwidth_mbps=bandwidth,
+                         latency_seconds=latency)
+    cluster.kernel.advance_to(task.now)
+
+    member_keys = {member.key for member in task.members}
+    objective = _OverlayObjective(task.objective, task.base_predictions,
+                                  member_keys)
+    controller = AdaptationController(
+        cluster, objective=objective,
+        policy=ModelDrivenPolicy(pairwise_exchange=False),
+        friction_policy=task.friction_policy,
+        default_model=task.default_model,
+        match_strategy=task.match_strategy,
+        incremental=True, partitioned=False)
+    controller.matcher.allow_colocation = task.allow_colocation
+
+    by_key: dict[str, tuple] = {}
+    for member in task.members:
+        instance = AppInstance(app_name=member.app_name,
+                               instance_id=member.instance_id,
+                               registered_at=member.registered_at)
+        controller.registry.adopt(instance)
+        state = controller.registry.add_bundle(instance, member.bundle)
+        state.last_switch_time = member.last_switch_time
+        state.switch_count = member.switch_count
+        by_key[member.key] = (instance, state, member)
+
+    # Replay current placements in the parent view's order so the local
+    # prediction vector iterates like the parent's restriction.
+    for key in task.placement_order:
+        instance, state, member = by_key[key]
+        (option_name, variable_assignment, demands, assignment,
+         predicted_seconds, chosen_at, grants) = member.chosen
+        allocation = allocate(
+            cluster, demands, assignment, memory_grants=grants,
+            predicted_duration_seconds=None,
+            holder=f"{instance.key}:{state.bundle.bundle_name}")
+        state.chosen = ChosenConfiguration(
+            option_name=option_name,
+            variable_assignment=dict(variable_assignment),
+            demands=demands, assignment=assignment,
+            allocation=allocation, predicted_seconds=predicted_seconds,
+            chosen_at=chosen_at)
+        controller.view.place(instance.key, demands, assignment)
+    for hostname, load in task.external_cpu.items():
+        controller.view.set_external_cpu_load(hostname, load)
+    for host_a, host_b, flows in task.external_links:
+        controller.view.set_external_link_load(host_a, host_b, flows)
+
+    policy = controller.policy
+    proposals: list[tuple[BundleKey, Candidate, float]] = []
+    stable: list[BundleKey] = []
+    gains: dict[BundleKey, float] = {}
+    for member in task.members:
+        if member.clean:
+            continue
+        instance, state, _ = by_key[member.key]
+        bkey = (member.key, member.bundle.bundle_name)
+        changed, is_stable, gain, applied = \
+            policy._reevaluate_bundle_outcome(controller, instance, state)
+        if gain is not None:
+            gains[bkey] = gain
+        if changed:
+            proposals.append((bkey, applied, gain))
+        elif is_stable:
+            stable.append(bkey)
+    return {
+        "pid": task.pid,
+        "proposals": proposals,
+        "stable": stable,
+        "gains": gains,
+        "stats": controller.stats.snapshot(),
+        "elapsed": _time.perf_counter() - started,
+    }
+
+
+class ParallelSweepExecutor:
+    """Fans independent partitions out to a process pool.
+
+    Created by the controller when ``parallel_workers >= 2``.  The pool
+    is forked lazily on first use and reused across sweeps; call
+    :meth:`close` (or let the process exit) to reap the workers.
+    ``min_members`` keeps trivial partitions inline — a one-bundle task
+    costs more to pickle than to evaluate.
+    """
+
+    def __init__(self, controller: "AdaptationController",
+                 workers: int, min_members: int = 2):
+        self.controller = controller
+        self.workers = workers
+        self.min_members = min_members
+        self.merge_failures = 0
+        self.pool_errors = 0
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"))
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # -- the fan-out -------------------------------------------------------
+
+    def sweep_partitions(self, index: "PartitionIndex",
+                         entries: list, keys: list[BundleKey],
+                         ) -> PoolSweepResult:
+        """Run every eligible partition's evaluation in the pool.
+
+        Returns an empty result (no pooled pids) when fewer than two
+        partitions are worth shipping — the caller's inline pass then
+        handles everything, so this method can never make a sweep wrong,
+        only concurrent.
+        """
+        result = PoolSweepResult()
+        controller = self.controller
+        by_pid: dict[int, list] = {}
+        for (instance, state), key in zip(entries, keys):
+            part = index.partition_of(key)
+            if part is None:
+                continue
+            by_pid.setdefault(part.pid, []).append((instance, state, key))
+        tasks: list[PartitionTask] = []
+        for pid, members in sorted(by_pid.items()):
+            if len(members) < self.min_members:
+                continue
+            if all(index.is_clean(key) for _, _, key in members):
+                continue  # the inline pass prunes these for free
+            if any(instance.models or len(instance.bundles) != 1
+                   or state.chosen is None
+                   for instance, state, _ in members):
+                # Explicitly registered models cannot be shipped (opaque
+                # callables), multi-bundle instances share one view slot,
+                # and unconfigured bundles have nothing to replay: all
+                # three stay on the inline path.
+                continue
+            tasks.append(self._build_task(index, pid, members))
+        if len(tasks) < 2:
+            return result
+        controller.stats.parallel_sweeps += 1
+        pool = self._ensure_pool()
+        futures = {pool.submit(run_partition_task, task): task.pid
+                   for task in tasks}
+        tracer = controller.tracer
+        for future in concurrent.futures.as_completed(futures):
+            pid = futures[future]
+            try:
+                outcome = future.result()
+            except Exception:
+                # Unpicklable state, a worker crash, anything: that
+                # partition simply falls back to the inline sweep.
+                self.pool_errors += 1
+                continue
+            result.pooled_pids.add(pid)
+            for bkey, candidate, gain in outcome["proposals"]:
+                result.proposals[bkey] = (candidate, gain)
+            result.stable.update(outcome["stable"])
+            result.gains.update(outcome["gains"])
+            stats = controller.stats
+            worker_stats = outcome["stats"]
+            stats.candidates_evaluated += \
+                worker_stats["candidates_evaluated"]
+            stats.predictions_recomputed += \
+                worker_stats["predictions_recomputed"]
+            stats.full_view_recomputes += \
+                worker_stats["full_view_recomputes"]
+            stats.match_calls += worker_stats["match_calls"]
+            if tracer.enabled:
+                tracer.record_span(
+                    "optimizer.partition_worker",
+                    max(0.0, tracer.elapsed() - outcome["elapsed"]),
+                    outcome["elapsed"], partition=pid,
+                    proposals=len(outcome["proposals"]))
+        return result
+
+    def _build_task(self, index: "PartitionIndex", pid: int,
+                    members: list) -> PartitionTask:
+        controller = self.controller
+        cluster = controller.cluster
+        part = index._parts[pid]
+        hosts: set[str] = set()
+        for resource in part.resources:
+            if resource[0] == "h":
+                hosts.add(resource[1])
+            else:
+                hosts.update(resource[1])
+        host_rows = []
+        for hostname in cluster.hostnames():  # parent insertion order
+            if hostname not in hosts:
+                continue
+            node = cluster.node(hostname)
+            host_rows.append((hostname, node.speed, node.memory.total_mb,
+                              node.os, dict(node.attributes),
+                              node.available))
+        link_rows = [(link.host_a, link.host_b, link.bandwidth_mbps,
+                      link.latency_seconds)
+                     for link in cluster.links()
+                     if link.host_a in hosts and link.host_b in hosts]
+        member_rows: dict[str, MemberTask] = {}
+        for instance, state, key in members:
+            chosen = state.chosen
+            member_rows[instance.key] = MemberTask(
+                app_name=instance.app_name,
+                instance_id=instance.instance_id,
+                registered_at=instance.registered_at,
+                bundle=state.bundle,
+                clean=index.is_clean(key),
+                last_switch_time=state.last_switch_time,
+                switch_count=state.switch_count,
+                chosen=(chosen.option_name,
+                        dict(chosen.variable_assignment),
+                        chosen.demands, chosen.assignment,
+                        chosen.predicted_seconds, chosen.chosen_at,
+                        chosen.allocation.memory_grants()))
+        placement_order = [placed.app_key
+                           for placed in controller.view.configurations()
+                           if placed.app_key in member_rows]
+        engine = controller._engine
+        live = engine.live_predictions() if engine is not None \
+            else controller.predict_all(controller.view)
+        external_cpu = {h: controller.view.external_cpu_load(h)
+                        for h in hosts
+                        if controller.view.external_cpu_load(h) > 0}
+        external_links = []
+        for link in cluster.links():
+            if link.host_a in hosts and link.host_b in hosts:
+                flows = controller.view.external_link_load(link.host_a,
+                                                           link.host_b)
+                if flows > 0:
+                    external_links.append((link.host_a, link.host_b,
+                                           flows))
+        return PartitionTask(
+            pid=pid, now=controller.now, hosts=host_rows, links=link_rows,
+            members=[member_rows[instance.key]
+                     for instance, _, _ in members],
+            placement_order=placement_order,
+            base_predictions=list(live.items()),
+            external_cpu=external_cpu, external_links=external_links,
+            objective=controller.objective,
+            friction_policy=controller.friction_policy,
+            default_model=controller.default_model,
+            match_strategy=controller.matcher.strategy,
+            allow_colocation=controller.matcher.allow_colocation)
+
+    # -- the merge ---------------------------------------------------------
+
+    def merge_one(self, controller: "AdaptationController", policy,
+                  instance: "AppInstance", state: "BundleState",
+                  key: BundleKey, pool_result: PoolSweepResult,
+                  ) -> tuple[bool, bool, float | None]:
+        """Consume one pooled bundle's result, in registry order.
+
+        Called under the parent's lock (the same context as the serial
+        sweep).  Proposals re-run the friction gate against the *live*
+        objective — the worker's gate used the sweep-start snapshot — so
+        the applied set matches the serial sweep wherever the serial
+        sweep would have decided the same way.  Gains are rest-invariant
+        for decomposable objectives, so the candidate's live objective
+        is ``current - gain`` without re-prediction.
+        """
+        entry = pool_result.proposals.get(key)
+        if entry is None:
+            stable = key in pool_result.stable
+            return False, stable, pool_result.gains.get(key)
+        candidate, gain = entry
+        if state.chosen is None or \
+                not state.granularity_allows_switch(controller.now):
+            return False, False, gain
+        current = controller.current_objective()
+        friction_cost = controller.friction_cost(state,
+                                                 candidate.option_name)
+        live_candidate = candidate.clone()
+        live_candidate.objective_value = current - gain
+        decision = controller.friction_policy.evaluate(
+            current_objective=current,
+            candidate_objective=live_candidate.objective_value,
+            friction_cost_seconds=friction_cost,
+            candidate_response_seconds=live_candidate.predicted_seconds)
+        if not decision:
+            return False, False, max(0.0, gain)
+        try:
+            controller.apply_candidate(
+                instance, state, live_candidate,
+                reason=f"reevaluation "
+                       f"(gain {decision.objective_gain:.3g}s, "
+                       f"friction {friction_cost:.3g}s)",
+                objective_before=current)
+        except (AllocationError, ControllerError):
+            # Should be unreachable (partitions are independent); keep
+            # the sweep correct by re-evaluating this bundle inline.
+            self.merge_failures += 1
+            outcome = policy._reevaluate_bundle_outcome(controller,
+                                                        instance, state)
+            return outcome[0], outcome[1], outcome[2]
+        return True, False, gain

@@ -172,18 +172,26 @@ class CoalescingScheduler:
     def _run_batch(self, generation: int, reasons: list[str]) -> None:
         controller = self.controller
         with self.reevaluation_lock:
+            pruned_before = controller.stats.pruned_candidates
             with controller.tracer.span("scheduler.batch",
                                         generation=generation,
                                         size=len(reasons)) as span:
                 changes = controller.reevaluate()
                 span.set("changes", changes)
+                index = controller.partition_index
+                partitions = index.partition_count if index is not None \
+                    else 0
+                pruned = controller.stats.pruned_candidates - pruned_before
+                span.set("partitions", partitions)
+                span.set("pruned_candidates", pruned)
             controller.metrics.increment("controller.coalesced_batches",
                                          controller.now)
             controller.metrics.report("controller.batch_size",
                                       controller.now, float(len(reasons)))
             if controller.journal is not None:
                 controller.journal.record_reevaluation_batch(
-                    generation, reasons, changes)
+                    generation, reasons, changes,
+                    partitions=partitions, pruned_candidates=pruned)
         with self._cond:
             self.generation = generation
             self.batches_run += 1

@@ -53,12 +53,21 @@ class OptimizerStats:
     predictions_recomputed: int = 0
     full_view_recomputes: int = 0
     match_calls: int = 0
+    #: Partitioned-sweep accounting (zero on the serial path).
+    partition_sweeps: int = 0
+    pruned_bundles: int = 0
+    pruned_candidates: int = 0
+    parallel_sweeps: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {"candidates_evaluated": self.candidates_evaluated,
                 "predictions_recomputed": self.predictions_recomputed,
                 "full_view_recomputes": self.full_view_recomputes,
-                "match_calls": self.match_calls}
+                "match_calls": self.match_calls,
+                "partition_sweeps": self.partition_sweeps,
+                "pruned_bundles": self.pruned_bundles,
+                "pruned_candidates": self.pruned_candidates,
+                "parallel_sweeps": self.parallel_sweeps}
 
 
 class ViewTrial:

@@ -45,6 +45,10 @@ class TimeSeries:
         self.observations_dropped = 0
         self._times: list[float] = []
         self._values: list[float] = []
+        #: Running sum of retained values, so the whole-series mean —
+        #: recomputed by every telemetry snapshot over every series — is
+        #: O(1) instead of O(observations).
+        self._sum = 0.0
 
     def __len__(self) -> int:
         return len(self._times)
@@ -56,9 +60,12 @@ class TimeSeries:
                 f"({time} after {self._times[-1]})")
         self._times.append(time)
         self._values.append(float(value))
+        self._sum += float(value)
         bound = self.max_observations
         if bound is not None and len(self._times) > bound:
             excess = len(self._times) - bound
+            for evicted in self._values[:excess]:
+                self._sum -= evicted
             del self._times[:excess]
             del self._values[:excess]
             self.observations_dropped += excess
@@ -83,6 +90,10 @@ class TimeSeries:
     def mean(self, start: float | None = None,
              end: float | None = None) -> float | None:
         """Arithmetic mean of values in the window (whole series default)."""
+        if start is None and end is None:
+            if not self._values:
+                return None
+            return self._sum / len(self._values)
         lo = 0 if start is None else bisect.bisect_left(self._times, start)
         hi = (len(self._times) if end is None
               else bisect.bisect_right(self._times, end))

@@ -123,6 +123,29 @@ class Tracer:
     def _finish(self, span: Span) -> None:
         self.spans.append(span)
 
+    def record_span(self, name: str, start_seconds: float,
+                    duration_seconds: float, **attributes: Any) -> Span:
+        """Record an already-measured span (explicit start/duration).
+
+        For work whose timing is accumulated outside a ``with`` block —
+        e.g. per-partition sweep time gathered bundle-by-bundle across an
+        interleaved registry-order pass, or worker-side elapsed times
+        reported back from a process pool.  ``start_seconds`` is relative
+        to this tracer's epoch, like every other span.
+        """
+        self.spans_started += 1
+        span = Span(self, name, attributes)
+        span.start_seconds = start_seconds
+        span.duration_seconds = duration_seconds
+        if self._stack:
+            span.parent_id = self._stack[-1].span_id
+        self._finish(span)
+        return span
+
+    def elapsed(self) -> float:
+        """Seconds since this tracer's epoch (for record_span starts)."""
+        return self._clock() - self._epoch
+
     def find(self, name: str) -> list[Span]:
         """Finished spans with this name, in completion order."""
         return [span for span in self.spans if span.name == name]
@@ -163,6 +186,14 @@ class NullTracer:
 
     def span(self, name: str, **attributes: Any) -> _NullSpan:
         return _NULL_SPAN
+
+    def record_span(self, name: str, start_seconds: float,
+                    duration_seconds: float,
+                    **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def elapsed(self) -> float:
+        return 0.0
 
     def find(self, name: str) -> list:
         return []

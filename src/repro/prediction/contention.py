@@ -185,11 +185,18 @@ class SystemView:
         current = self._footprints.get(app_key)
         if token.added is not None and app_key in self._configurations:
             self._unindex(app_key, current)
-            del self._configurations[app_key]
-            del self._footprints[app_key]
+            if token.removed is None:
+                del self._configurations[app_key]
+                del self._footprints[app_key]
         if token.removed is not None:
             # Reinstall the displaced configuration, reusing its footprint
             # (placements and topology are unchanged under a trial).
+            # Plain dict assignment: when the key is still present
+            # (rollback of a replace) the app keeps its position in
+            # :meth:`configurations`, so trial rollbacks never perturb
+            # the objective's float-summation order — sweeps that *skip*
+            # a bundle and sweeps that evaluate it leave the exact same
+            # iteration order behind.
             self._configurations[app_key] = token.removed
             self._footprints[app_key] = token.removed_footprint \
                 or _EMPTY_FOOTPRINT

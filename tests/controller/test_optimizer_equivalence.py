@@ -1,14 +1,21 @@
-"""Equivalence: the incremental engine decides exactly like the naive path.
+"""Equivalence: every optimization fast path decides like its oracle.
 
-The incremental optimization engine (transactional trials on the live
-``SystemView``, delta prediction over the dirty set, cached candidate
-instantiation) is a pure performance change — the ISSUE's correctness bar
-is that it makes *identical decisions* to the from-scratch evaluation on
-every scenario.  Each scenario here runs the same workload twice, once
-with ``incremental=True`` and once with ``incremental=False`` (the seed's
-copy-and-repredict path, kept verbatim), and asserts the decision logs,
-chosen configurations, predictions, and objective values match — while
-the incremental run performs strictly fewer full-view recomputes.
+Two stacked contracts:
+
+* The incremental engine (transactional trials on the live
+  ``SystemView``, delta prediction, cached candidate instantiation) must
+  make *identical decisions* to the seed's from-scratch evaluation
+  (``incremental=False``).  These runs pin ``partitioned=False`` so the
+  original candidate-count equality still holds exactly.
+
+* The partitioned sweep (connected-component pruning, clean-skip
+  watermarks, optional process-pool fan-out) must make identical
+  decisions to the serial incremental sweep (``incremental=True,
+  partitioned=False``) — same decision log bytes, placements,
+  predictions, and objective — while provably skipping work.  The pod
+  scenarios give it real structure (disjoint hostname-pattern pods), and
+  the merge scenario registers a bundle whose pattern spans every pod
+  mid-run, forcing a partition merge while earlier watermarks exist.
 """
 
 import pytest
@@ -50,7 +57,7 @@ def run_bag(incremental: bool, app_count: int, pairwise: bool):
     cluster = Cluster.full_mesh([f"n{i}" for i in range(8)], memory_mb=128)
     controller = AdaptationController(
         cluster, policy=ModelDrivenPolicy(pairwise_exchange=pairwise),
-        incremental=incremental)
+        incremental=incremental, partitioned=False)
     for index in range(app_count):
         instance = controller.register_app(f"Bag{index}")
         controller.setup_bundle(instance, BAG_RSL)
@@ -65,7 +72,7 @@ def run_elastic(incremental: bool, app_count: int, pairwise: bool):
                            memory_mb=128, bandwidth_mbps=2.0)
     controller = AdaptationController(
         cluster, policy=ModelDrivenPolicy(pairwise_exchange=pairwise),
-        incremental=incremental)
+        incremental=incremental, partitioned=False)
     for _ in range(app_count):
         instance = controller.register_app("DBclient")
         controller.setup_bundle(instance, ELASTIC_RSL)
@@ -80,7 +87,7 @@ def run_two_option(incremental: bool, app_count: int, pairwise: bool):
     controller = AdaptationController(
         cluster, policy=ModelDrivenPolicy(pairwise_exchange=pairwise,
                                           max_pairwise_bundles=12),
-        incremental=incremental)
+        incremental=incremental, partitioned=False)
     for index in range(app_count):
         instance = controller.register_app(f"App{index}")
         controller.setup_bundle(instance,
@@ -94,7 +101,7 @@ def run_churn(incremental: bool, app_count: int, pairwise: bool):
     cluster = Cluster.full_mesh([f"n{i}" for i in range(8)], memory_mb=128)
     controller = AdaptationController(
         cluster, policy=ModelDrivenPolicy(pairwise_exchange=pairwise),
-        incremental=incremental)
+        incremental=incremental, partitioned=False)
     instances = []
     for index in range(app_count):
         instance = controller.register_app(f"Bag{index}")
@@ -175,3 +182,146 @@ def test_incremental_is_default():
     controller = AdaptationController(cluster)
     assert controller.incremental
     assert controller._engine is not None
+    # Partitioned sweeps follow the incremental default.
+    assert controller.partitioned
+    assert controller.partition_index is not None
+
+
+# -- partitioned vs serial oracle -------------------------------------------
+
+POD_RSL = """
+harmonyBundle Pod{pod}App{index} size {{
+    {{small {{node n {{hostname p{pod}n*}} {{seconds 60}} {{memory 24}}}}}}
+    {{large {{node n {{hostname p{pod}n*}} {{seconds 35}} {{memory 24}}
+             {{replicate 2}}}}
+            {{communication 4}}}}}}
+"""
+
+BRIDGE_RSL = """
+harmonyBundle Bridge span {
+    {solo {node n {hostname p*} {seconds 30} {memory 16}}}
+    {pair {node n {hostname p*} {seconds 18} {memory 16} {replicate 2}}
+          {communication 2}}}
+"""
+
+
+def build_pod_cluster(pods: int, nodes_per_pod: int = 8) -> Cluster:
+    """``pods`` disjoint full-mesh islands, hosts named ``p<k>n<i>``."""
+    cluster = Cluster()
+    for pod in range(pods):
+        hosts = [f"p{pod}n{i}" for i in range(nodes_per_pod)]
+        for host in hosts:
+            cluster.add_node(host, memory_mb=256.0)
+        for i in range(len(hosts)):
+            for j in range(i + 1, len(hosts)):
+                cluster.add_link(hosts[i], hosts[j], bandwidth_mbps=100.0)
+    return cluster
+
+
+def run_pods(app_count: int, partitioned: bool,
+             parallel_workers: int = 0, churn: bool = True):
+    """Pod-striped admissions, then a departure and a node failure."""
+    pods = max(2, app_count // 16)
+    cluster = build_pod_cluster(pods)
+    controller = AdaptationController(
+        cluster, policy=ModelDrivenPolicy(pairwise_exchange=False),
+        incremental=True, partitioned=partitioned,
+        parallel_workers=parallel_workers)
+    instances = []
+    for index in range(app_count):
+        pod = index % pods
+        instance = controller.register_app(f"Pod{pod}App{index}")
+        controller.setup_bundle(
+            instance, POD_RSL.format(pod=pod, index=index))
+        instances.append(instance)
+    if churn:
+        controller.end_app(instances[1])
+        controller.reevaluate()
+        controller.handle_node_failure("p0n3")
+        controller.reevaluate()
+        # Cluster growth bumps the topology version: the index rebuilds,
+        # every partition goes dirty at once, and the next sweep is the
+        # one that fans out across the process pool.
+        for pod in range(pods):
+            host = f"p{pod}n8"
+            cluster.add_node(host, memory_mb=256.0)
+            for i in range(8):
+                cluster.add_link(host, f"p{pod}n{i}",
+                                 bandwidth_mbps=100.0)
+        controller.reevaluate()
+    return controller
+
+
+def run_pod_merge(partitioned: bool):
+    """Two pods evolve separately, then a ``p*`` bundle spans them.
+
+    The bridge gains a resource reach crossing every pod, so the index
+    must merge the components mid-run — with clean watermarks already
+    recorded on both sides — and keep deciding exactly like the serial
+    sweep afterwards.
+    """
+    cluster = build_pod_cluster(2)
+    controller = AdaptationController(
+        cluster, policy=ModelDrivenPolicy(pairwise_exchange=False),
+        incremental=True, partitioned=partitioned)
+    for index in range(8):
+        pod = index % 2
+        instance = controller.register_app(f"Pod{pod}App{index}")
+        controller.setup_bundle(
+            instance, POD_RSL.format(pod=pod, index=index))
+    if partitioned:
+        assert controller.partition_index.partition_count == 2
+    bridge = controller.register_app("Bridge")
+    controller.setup_bundle(bridge, BRIDGE_RSL)
+    if partitioned:
+        assert controller.partition_index.partition_count == 1
+    # Post-merge churn: the merged component must stay coherent.
+    controller.handle_node_failure("p1n0")
+    controller.reevaluate()
+    controller.end_app(bridge)
+    controller.reevaluate()
+    return controller
+
+
+def assert_same_decisions(fast: AdaptationController,
+                          slow: AdaptationController) -> None:
+    assert decisions_of(fast) == decisions_of(slow)
+    assert chosen_of(fast) == chosen_of(slow)
+    predictions_fast = fast.predict_all(fast.view)
+    predictions_slow = slow.predict_all(slow.view)
+    assert predictions_fast == predictions_slow
+    assert fast.objective.evaluate(predictions_fast) == \
+        slow.objective.evaluate(predictions_slow)
+    assert fast.describe_system() == slow.describe_system()
+
+
+@pytest.mark.parametrize("app_count", [48, 96, 128])
+def test_partitioned_matches_serial(app_count):
+    part = run_pods(app_count, partitioned=True)
+    serial = run_pods(app_count, partitioned=False)
+    assert_same_decisions(part, serial)
+    # The structure was actually exploited, not just tolerated.
+    assert part.partition_index.partition_count > 1
+    assert part.stats.partition_sweeps > 0
+    assert part.stats.pruned_bundles > 0
+    assert part.stats.candidates_evaluated < serial.stats.candidates_evaluated
+
+
+def test_partition_merge_mid_run():
+    part = run_pod_merge(partitioned=True)
+    serial = run_pod_merge(partitioned=False)
+    assert_same_decisions(part, serial)
+    assert part.stats.pruned_bundles > 0
+
+
+def test_parallel_pool_matches_serial():
+    part = run_pods(32, partitioned=True, parallel_workers=2)
+    try:
+        serial = run_pods(32, partitioned=False)
+        assert_same_decisions(part, serial)
+        # The pool genuinely ran partitions out of process.
+        assert part.stats.parallel_sweeps > 0
+        assert part.parallel_executor.pool_errors == 0
+        assert part.parallel_executor.merge_failures == 0
+    finally:
+        part.parallel_executor.close()

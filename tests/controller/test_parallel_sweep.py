@@ -1,0 +1,203 @@
+"""Unit tests for the parallel sweep executor's mechanics.
+
+Byte-identical decision equivalence through the pool is proven in
+test_optimizer_equivalence.py; these tests cover the machinery around
+it: partition eligibility, worker-failure fallback, the overlay
+objective's ordering contract, and pool lifecycle.
+"""
+
+import pytest
+
+import repro.controller.parallel as parallel_module
+from repro.cluster import Cluster
+from repro.controller import AdaptationController, ModelDrivenPolicy
+from repro.controller.parallel import _OverlayObjective
+from repro.controller.partition import bundle_key
+from repro.prediction import CallableModel
+
+POD_RSL = """
+harmonyBundle Pod{pod}App{index} size {{
+    {{small {{node n {{hostname p{pod}n*}} {{seconds 60}} {{memory 24}}}}}}
+    {{large {{node n {{hostname p{pod}n*}} {{seconds 35}} {{memory 24}}
+             {{replicate 2}}}}
+            {{communication 4}}}}}}
+"""
+
+
+def build_pod_cluster(pods: int, nodes_per_pod: int = 4) -> Cluster:
+    cluster = Cluster()
+    for pod in range(pods):
+        hosts = [f"p{pod}n{i}" for i in range(nodes_per_pod)]
+        for host in hosts:
+            cluster.add_node(host, memory_mb=256.0)
+        for i in range(len(hosts)):
+            for j in range(i + 1, len(hosts)):
+                cluster.add_link(hosts[i], hosts[j], bandwidth_mbps=100.0)
+    return cluster
+
+
+def pod_controller(pods=2, apps_per_pod=2, workers=2):
+    cluster = build_pod_cluster(pods)
+    controller = AdaptationController(
+        cluster, policy=ModelDrivenPolicy(pairwise_exchange=False),
+        parallel_workers=workers)
+    index = 0
+    for pod in range(pods):
+        for _ in range(apps_per_pod):
+            instance = controller.register_app(f"Pod{pod}App{index}")
+            controller.setup_bundle(
+                instance, POD_RSL.format(pod=pod, index=index))
+            index += 1
+    return controller
+
+
+def sweep_inputs(controller):
+    entries = [(instance, state)
+               for instance in controller.registry.instances()
+               for state in instance.bundles.values()]
+    keys = [bundle_key(instance, state) for instance, state in entries]
+    return entries, keys
+
+
+class TestEligibility:
+    def test_requires_parallel_workers_at_least_two(self):
+        cluster = build_pod_cluster(1)
+        controller = AdaptationController(cluster, parallel_workers=0)
+        assert controller.parallel_executor is None
+
+    def test_parallel_workers_require_partitioned(self):
+        from repro.errors import ControllerError
+        with pytest.raises(ControllerError, match="partitioned"):
+            AdaptationController(build_pod_cluster(1), partitioned=False,
+                                 parallel_workers=2)
+
+    def test_single_dirty_partition_stays_inline(self):
+        controller = pod_controller(pods=2)
+        pool = controller.parallel_executor
+        try:
+            controller.reevaluate()  # settle: everything clean
+            controller.handle_node_failure("p0n0")  # dirty pod 0 only
+            before = controller.stats.parallel_sweeps
+            controller.reevaluate()
+            assert controller.stats.parallel_sweeps == before
+            assert pool._pool is None  # never even forked
+        finally:
+            pool.close()
+
+    def test_small_partitions_stay_inline(self):
+        controller = pod_controller(pods=3, apps_per_pod=1)
+        pool = controller.parallel_executor
+        try:
+            controller.partition_index.touch_all()
+            entries, keys = sweep_inputs(controller)
+            result = pool.sweep_partitions(
+                controller.partition_index, entries, keys)
+            assert result.pooled_pids == set()
+        finally:
+            pool.close()
+
+    def test_instances_with_models_stay_inline(self):
+        controller = pod_controller(pods=2, apps_per_pod=2)
+        pool = controller.parallel_executor
+        try:
+            for instance in controller.registry.instances():
+                controller.register_model(
+                    instance, "size",
+                    CallableModel(lambda d, a, v: 42.0))
+            controller.partition_index.touch_all()
+            entries, keys = sweep_inputs(controller)
+            result = pool.sweep_partitions(
+                controller.partition_index, entries, keys)
+            assert result.pooled_pids == set()
+        finally:
+            pool.close()
+
+    def test_two_dirty_partitions_fan_out(self):
+        controller = pod_controller(pods=2, apps_per_pod=2)
+        pool = controller.parallel_executor
+        try:
+            controller.partition_index.touch_all()
+            entries, keys = sweep_inputs(controller)
+            result = pool.sweep_partitions(
+                controller.partition_index, entries, keys)
+            assert len(result.pooled_pids) == 2
+            assert pool.pool_errors == 0
+            assert controller.stats.parallel_sweeps == 1
+        finally:
+            pool.close()
+
+
+def _failing_worker(task):  # module-level: pickled by reference
+    raise RuntimeError("worker crashed")
+
+
+class TestFailureFallback:
+    def test_worker_crash_falls_back_inline(self, monkeypatch):
+        controller = pod_controller(pods=2, apps_per_pod=2)
+        pool = controller.parallel_executor
+        try:
+            monkeypatch.setattr(parallel_module, "run_partition_task",
+                                _failing_worker)
+            controller.partition_index.touch_all()
+            changes = controller.reevaluate()
+            # Every partition's pool attempt failed; the inline sweep
+            # still produced a fully settled, correct system.
+            assert pool.pool_errors == 2
+            assert pool.merge_failures == 0
+            configured = sum(
+                1 for instance in controller.registry.instances()
+                for state in instance.bundles.values()
+                if state.chosen is not None)
+            assert configured == 4
+            assert changes >= 0  # the sweep completed
+        finally:
+            pool.close()
+
+
+class TestOverlayObjective:
+    class _SumObjective:
+        name = "sum"
+        decomposable = True
+
+        def __init__(self):
+            self.seen = []
+
+        def evaluate(self, predictions):
+            self.seen.append(list(predictions))
+            return sum(predictions.values())
+
+    def test_members_substitute_in_place(self):
+        inner = self._SumObjective()
+        overlay = _OverlayObjective(
+            inner, [("a.1", 1.0), ("b.1", 2.0), ("c.1", 3.0)], {"b.1"})
+        assert overlay.evaluate({"b.1": 10.0}) == 14.0
+        # Iteration order is the parent's, not the worker's.
+        assert inner.seen[-1] == ["a.1", "b.1", "c.1"]
+
+    def test_missing_member_is_dropped(self):
+        inner = self._SumObjective()
+        overlay = _OverlayObjective(
+            inner, [("a.1", 1.0), ("b.1", 2.0)], {"b.1"})
+        assert overlay.evaluate({}) == 1.0
+        assert inner.seen[-1] == ["a.1"]
+
+    def test_non_member_keys_are_ignored(self):
+        inner = self._SumObjective()
+        overlay = _OverlayObjective(
+            inner, [("a.1", 1.0), ("b.1", 2.0)], {"b.1"})
+        assert overlay.evaluate({"b.1": 5.0, "zz.9": 100.0}) == 6.0
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        controller = pod_controller(pods=2, apps_per_pod=2)
+        pool = controller.parallel_executor
+        entries, keys = sweep_inputs(controller)
+        pool.sweep_partitions(controller.partition_index, entries, keys)
+        pool.close()
+        pool.close()
+        assert pool._pool is None
+
+    def test_close_without_use_is_a_noop(self):
+        controller = pod_controller(pods=1, apps_per_pod=1)
+        controller.parallel_executor.close()

@@ -1,0 +1,222 @@
+"""Unit tests for the partition index and gain queue.
+
+The serial-equivalence suite (test_optimizer_equivalence.py) proves the
+partitioned sweep *decides* identically; these tests pin down the
+index's own mechanics — component structure, merge, epochs, watermarks,
+rebuilds, opacity, and top-k selection.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.controller import AdaptationController, ModelDrivenPolicy
+from repro.controller.partition import (GainPriorityQueue,
+                                        REBUILD_AFTER_REMOVALS)
+from repro.prediction import CallableModel
+
+POD_RSL = """
+harmonyBundle Pod{pod}App{index} size {{
+    {{small {{node n {{hostname p{pod}n*}} {{seconds 60}} {{memory 24}}}}}}
+    {{large {{node n {{hostname p{pod}n*}} {{seconds 35}} {{memory 24}}
+             {{replicate 2}}}}
+            {{communication 4}}}}}}
+"""
+
+BRIDGE_RSL = """
+harmonyBundle Bridge span {
+    {solo {node n {hostname p*} {seconds 30} {memory 16}}}}
+"""
+
+
+def build_pod_cluster(pods: int, nodes_per_pod: int = 4) -> Cluster:
+    cluster = Cluster()
+    for pod in range(pods):
+        hosts = [f"p{pod}n{i}" for i in range(nodes_per_pod)]
+        for host in hosts:
+            cluster.add_node(host, memory_mb=256.0)
+        for i in range(len(hosts)):
+            for j in range(i + 1, len(hosts)):
+                cluster.add_link(hosts[i], hosts[j], bandwidth_mbps=100.0)
+    return cluster
+
+
+def pod_controller(pods=2, apps_per_pod=2):
+    cluster = build_pod_cluster(pods)
+    controller = AdaptationController(
+        cluster, policy=ModelDrivenPolicy(pairwise_exchange=False))
+    index = 0
+    for pod in range(pods):
+        for _ in range(apps_per_pod):
+            instance = controller.register_app(f"Pod{pod}App{index}")
+            controller.setup_bundle(
+                instance, POD_RSL.format(pod=pod, index=index))
+            index += 1
+    return controller
+
+
+def keys_by_pod(index, pod):
+    return {key for key in
+            (k for part in index.partitions() for k in part.members)
+            if key[0].startswith(f"Pod{pod}")}
+
+
+class TestComponentStructure:
+    def test_disjoint_pods_stay_separate(self):
+        controller = pod_controller(pods=3)
+        index = controller.partition_index
+        assert index.partition_count == 3
+        # Every member of a partition belongs to the same pod.
+        for part in index.partitions():
+            pods = {key[0][:4] for key in part.members}
+            assert len(pods) == 1
+
+    def test_same_pod_bundles_share_a_partition(self):
+        controller = pod_controller(pods=2, apps_per_pod=3)
+        index = controller.partition_index
+        keys = list(index._member_pid)
+        pod0 = [k for k in keys if k[0].startswith("Pod0")]
+        pids = {index.partition_of(k).pid for k in pod0}
+        assert len(pids) == 1
+
+    def test_spanning_bundle_merges_components(self):
+        controller = pod_controller(pods=2)
+        index = controller.partition_index
+        assert index.partition_count == 2
+        bridge = controller.register_app("Bridge")
+        controller.setup_bundle(bridge, BRIDGE_RSL)
+        assert index.partition_count == 1
+        assert index.merges == 1
+
+    def test_merge_invalidates_watermarks(self):
+        controller = pod_controller(pods=2)
+        index = controller.partition_index
+        key = next(iter(index._member_pid))
+        index.mark_clean(key)
+        assert index.is_clean(key)
+        bridge = controller.register_app("Bridge")
+        controller.setup_bundle(bridge, BRIDGE_RSL)
+        # The survivor's epoch was bumped past both sides' watermarks.
+        assert not index.is_clean(key)
+
+
+class TestWatermarks:
+    def test_clean_until_partition_epoch_moves(self):
+        controller = pod_controller(pods=2)
+        index = controller.partition_index
+        pod0_key = sorted(keys_by_pod(index, 0))[0]
+        pod1_key = sorted(keys_by_pod(index, 1))[0]
+        index.mark_clean(pod0_key)
+        index.mark_clean(pod1_key)
+
+        # An event inside pod 1 dirties only pod 1's component.
+        index.touch_host("p1n0")
+        assert index.is_clean(pod0_key)
+        assert not index.is_clean(pod1_key)
+
+    def test_touch_all_dirties_everything(self):
+        controller = pod_controller(pods=2)
+        index = controller.partition_index
+        for key in list(index._member_pid):
+            index.mark_clean(key)
+        index.touch_all()
+        assert not any(index.is_clean(k) for k in index._member_pid)
+
+    def test_unknown_bundle_is_never_clean(self):
+        controller = pod_controller(pods=1)
+        index = controller.partition_index
+        assert not index.is_clean(("ghost.1", "size"))
+
+
+class TestLifecycle:
+    def test_removal_keeps_component_until_rebuild(self):
+        controller = pod_controller(pods=2)
+        index = controller.partition_index
+        bridge = controller.register_app("Bridge")
+        controller.setup_bundle(bridge, BRIDGE_RSL)
+        assert index.partition_count == 1
+        controller.end_app(bridge)
+        # Lazy removal never splits; over-broad components are safe.
+        assert index.partition_count == 1
+        index.rebuild()
+        assert index.partition_count == 2
+
+    def test_enough_removals_trigger_rebuild_on_refresh(self):
+        controller = pod_controller(pods=2, apps_per_pod=1)
+        index = controller.partition_index
+        rebuilds_before = index.rebuilds
+        for round_index in range(REBUILD_AFTER_REMOVALS):
+            app = controller.register_app(f"Churn{round_index}")
+            controller.setup_bundle(
+                app, POD_RSL.format(pod=0, index=100 + round_index))
+            controller.end_app(app)
+        controller.reevaluate()
+        assert index.rebuilds > rebuilds_before
+
+    def test_topology_change_rebuilds_and_dirties(self):
+        controller = pod_controller(pods=2)
+        index = controller.partition_index
+        for key in list(index._member_pid):
+            index.mark_clean(key)
+        controller.cluster.add_node("p0n9", memory_mb=256.0)
+        controller.cluster.add_link("p0n9", "p0n0", bandwidth_mbps=100.0)
+        index.refresh()
+        assert not any(index.is_clean(k) for k in index._member_pid)
+
+
+class TestPrunability:
+    def test_decomposable_objective_is_prunable(self):
+        controller = pod_controller(pods=2)
+        index = controller.partition_index
+        assert index.prunable(controller.objective)
+
+    def test_custom_model_disables_pruning(self):
+        controller = pod_controller(pods=2)
+        index = controller.partition_index
+        instance = controller.registry.instances()[0]
+        controller.register_model(
+            instance, "size",
+            CallableModel(lambda demands, assignment, view: 42.0))
+        controller.reevaluate()  # refresh() performs the opacity rescan
+        assert not index.prunable(controller.objective)
+
+    def test_pruned_sweep_skips_clean_partitions(self):
+        controller = pod_controller(pods=2, apps_per_pod=2)
+        controller.reevaluate()  # settle; everything marked clean
+        pruned_before = controller.stats.pruned_bundles
+        controller.reevaluate()
+        assert controller.stats.pruned_bundles >= pruned_before + 4
+
+
+class TestGainPriorityQueue:
+    def test_unseen_keys_rank_highest(self):
+        queue = GainPriorityQueue()
+        queue.record(("a.1", "size"), 5.0)
+        selected, deferred = queue.select(
+            [("a.1", "size"), ("b.1", "size")], top_k=1)
+        assert selected == [("b.1", "size")]
+        assert deferred == [("a.1", "size")]
+
+    def test_select_preserves_caller_order(self):
+        queue = GainPriorityQueue()
+        keys = [(f"app{i}.1", "size") for i in range(4)]
+        for i, key in enumerate(keys):
+            queue.record(key, float(i))
+        selected, deferred = queue.select(keys, top_k=2)
+        assert selected == [keys[2], keys[3]]
+        assert deferred == [keys[0], keys[1]]
+
+    def test_top_k_none_is_identity(self):
+        queue = GainPriorityQueue()
+        keys = [("a.1", "size"), ("b.1", "size")]
+        assert queue.select(keys, None) == (keys, [])
+
+    def test_negative_gains_clamp_to_zero(self):
+        queue = GainPriorityQueue()
+        queue.record(("a.1", "size"), -3.0)
+        assert queue.gain_of(("a.1", "size")) == 0.0
+
+    def test_forget(self):
+        queue = GainPriorityQueue()
+        queue.record(("a.1", "size"), 1.0)
+        queue.forget(("a.1", "size"))
+        assert queue.gain_of(("a.1", "size")) == float("inf")
