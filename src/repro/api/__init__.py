@@ -6,6 +6,11 @@ transports — in-process for simulated experiments, TCP for the real
 prototype architecture.
 """
 
+from repro.api.aio import (
+    AsyncHarmonyServer,
+    AsyncioTransport,
+    HarmonyWireProtocol,
+)
 from repro.api.client import (
     HarmonyClient,
     harmony_add_variable,
@@ -51,6 +56,7 @@ __all__ = [
     "harmony_startup", "harmony_bundle_setup", "harmony_add_variable",
     "harmony_wait_for_update", "harmony_end",
     "HarmonyServer", "HarmonySession", "DEFAULT_PORT",
+    "AsyncHarmonyServer", "AsyncioTransport", "HarmonyWireProtocol",
     "Transport", "InProcessTransport", "TcpTransport", "connected_pair",
     "HarmonyVariable", "VariableTable", "VariableType",
     "PendingVariableBuffer",

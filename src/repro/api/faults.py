@@ -15,12 +15,20 @@ explicitly, which keeps chaos tests single-threaded and reproducible.
 The wrapper is symmetric: faults apply to outbound sends and, if the
 schedule says so, to inbound deliveries, so either side of a connection
 can be made lossy independently.
+
+The wrapper is also thread-safe: over a real :class:`TcpTransport` (and
+against the asyncio server front end) outbound sends run on the
+application's threads while inbound deliveries arrive on the reader
+thread, so the delay queue, the stats tally, and the sever transition are
+guarded by a lock — a chaos schedule produces the same decisions whether
+the link is in-process or a real socket.
 """
 
 from __future__ import annotations
 
 import enum
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -189,6 +197,11 @@ class FaultyTransport(Transport):
         self._receiver: Callable[[dict[str, Any]], None] | None = None
         self._backlog: list[dict[str, Any]] = []
         self._delayed: list[tuple[str, dict[str, Any]]] = []
+        #: Serializes schedule decisions, the delay queue, the stats
+        #: tally, and sever: sends (app threads) and inbound deliveries
+        #: (a TCP reader thread or the asyncio loop's dispatch workers)
+        #: race on real links.
+        self._mutex = threading.Lock()
         inner.set_receiver(self._on_inbound)
 
     def _publish_stats(self) -> None:
@@ -205,55 +218,67 @@ class FaultyTransport(Transport):
     # -- outbound -----------------------------------------------------------
 
     def send(self, message: dict[str, Any]) -> None:
-        if self.closed:
-            raise TransportError("send on severed transport")
-        action = self.schedule.decide("send", message)
+        with self._mutex:
+            if self.closed:
+                raise TransportError("send on severed transport")
+            action = self.schedule.decide("send", message)
+            if action is FaultAction.SEVER:
+                self._sever_locked()
+            elif action is FaultAction.DROP:
+                self.stats.dropped += 1
+                self.stats.note(message)
+                self._publish_stats()
+                return
+            elif action is FaultAction.DELAY:
+                self.stats.delayed += 1
+                self.stats.note(message)
+                self._delayed.append(("send", message))
+                self._publish_stats()
+                return
+            else:
+                if action is FaultAction.DUPLICATE:
+                    self.stats.duplicated += 1
+                self.stats.delivered += 1
+                self._publish_stats()
+        # Deliveries happen outside the lock: an in-process peer handles
+        # the message inline and its reply re-enters ``_on_inbound``.
         if action is FaultAction.SEVER:
-            self.sever()
+            self.inner.close()
             raise TransportError("link severed by fault schedule")
-        if action is FaultAction.DROP:
-            self.stats.dropped += 1
-            self.stats.note(message)
-            self._publish_stats()
-            return
-        if action is FaultAction.DELAY:
-            self.stats.delayed += 1
-            self.stats.note(message)
-            self._delayed.append(("send", message))
-            self._publish_stats()
-            return
         if action is FaultAction.DUPLICATE:
-            self.stats.duplicated += 1
             self.inner.send(message)
-        self.stats.delivered += 1
-        self._publish_stats()
         self.inner.send(message)
 
     # -- inbound ------------------------------------------------------------
 
     def _on_inbound(self, message: dict[str, Any]) -> None:
-        if self.stats.severed:
-            return
-        action = self.schedule.decide("recv", message)
+        with self._mutex:
+            if self.stats.severed:
+                return
+            action = self.schedule.decide("recv", message)
+            if action is FaultAction.SEVER:
+                self._sever_locked()
+            elif action is FaultAction.DROP:
+                self.stats.dropped += 1
+                self.stats.note(message)
+                self._publish_stats()
+                return
+            elif action is FaultAction.DELAY:
+                self.stats.delayed += 1
+                self.stats.note(message)
+                self._delayed.append(("recv", message))
+                self._publish_stats()
+                return
+            else:
+                if action is FaultAction.DUPLICATE:
+                    self.stats.duplicated += 1
+                self.stats.delivered += 1
+                self._publish_stats()
         if action is FaultAction.SEVER:
-            self.sever()
-            return
-        if action is FaultAction.DROP:
-            self.stats.dropped += 1
-            self.stats.note(message)
-            self._publish_stats()
-            return
-        if action is FaultAction.DELAY:
-            self.stats.delayed += 1
-            self.stats.note(message)
-            self._delayed.append(("recv", message))
-            self._publish_stats()
+            self.inner.close()
             return
         if action is FaultAction.DUPLICATE:
-            self.stats.duplicated += 1
             self._deliver(message)
-        self.stats.delivered += 1
-        self._publish_stats()
         self._deliver(message)
 
     def _deliver(self, message: dict[str, Any]) -> None:
@@ -276,10 +301,11 @@ class FaultyTransport(Transport):
 
         Messages held at sever time stay lost, like any in-flight frame.
         """
-        if self.stats.severed:
-            self._delayed.clear()
-            return 0
-        held, self._delayed = self._delayed, []
+        with self._mutex:
+            if self.stats.severed:
+                self._delayed.clear()
+                return 0
+            held, self._delayed = self._delayed, []
         for direction, message in held:
             if direction == "send":
                 self.inner.send(message)
@@ -288,17 +314,43 @@ class FaultyTransport(Transport):
         return len(held)
 
     def pending_delayed(self) -> int:
-        return len(self._delayed)
+        with self._mutex:
+            return len(self._delayed)
 
-    def sever(self) -> None:
-        """Cut the link for good (simulates a crash mid-session)."""
-        if self.stats.severed:
-            return
+    def _sever_locked(self) -> None:
+        """Mark the link dead (caller holds ``_mutex`` and closes inner)."""
         self.stats.severed = True
         self._delayed.clear()
         self._publish_stats()
+
+    def sever(self) -> None:
+        """Cut the link for good (simulates a crash mid-session)."""
+        with self._mutex:
+            if self.stats.severed:
+                return
+            self._sever_locked()
         self.inner.close()
 
     def close(self) -> None:
         """A *clean* close (not counted as a fault)."""
         self.inner.close()
+
+    # -- reconnecting --------------------------------------------------------
+
+    @property
+    def can_redial(self) -> bool:
+        """Whether the wrapped endpoint knows the address it dialed."""
+        return bool(getattr(self.inner, "can_redial", False))
+
+    def redial(self) -> Transport:
+        """A *clean* replacement connection to the same server.
+
+        Composes with :class:`~repro.api.client.HarmonyClient`'s
+        transparent reconnect: redialing a severed faulty link yields the
+        inner transport's fresh connection, unwrapped — a reconnect heals
+        the link rather than inheriting the old schedule (a schedule with
+        ``sever_after`` would otherwise kill the new link on its first
+        frame).  Wrap the result in a new :class:`FaultyTransport` to
+        keep perturbing the replacement.
+        """
+        return self.inner.redial()

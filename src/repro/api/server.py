@@ -15,8 +15,10 @@ Concurrency model (three locks, strictly ordered)
 -------------------------------------------------
 
 The server runs handler code on whatever thread delivered the message (a
-TCP reader thread, or the caller's thread for in-process transports).
-Instead of one global lock, state is partitioned:
+TCP reader thread, an asyncio dispatch-pool worker for the
+:class:`~repro.api.aio.AsyncHarmonyServer` front end, or the caller's
+thread for in-process transports).  Instead of one global lock, state is
+partitioned:
 
 * ``controller_lock`` — serializes controller mutations (``register``,
   ``bundle_setup``, ``end``, lease evictions, recovery transitions).
@@ -129,6 +131,12 @@ class HarmonySession:
                                              updates=updates))
         except TransportError:
             self.server.mark_disconnected(self)
+            self.server.stage_updates(self.client_id, updates, generation)
+        except ControllerBusyError:
+            # Async-transport backpressure: the connection's bounded write
+            # queue is full (a slow reader).  The session stays bound —
+            # the batch is re-staged and delivered by a later flush, once
+            # the client drains its socket.
             self.server.stage_updates(self.client_id, updates, generation)
 
     # -- message handling ---------------------------------------------------
@@ -336,6 +344,14 @@ class HarmonySession:
             self.transport.send(message)
         except TransportError:
             self.server.detach(self)
+        except ControllerBusyError:
+            # Backpressured write queue (async transport): drop the reply
+            # rather than tear the session down — the client's request
+            # times out and its retry policy takes over.  Error replies
+            # bypass the bound, so a refusal is never itself refused.
+            controller = self.server.controller
+            controller.metrics.increment(
+                "server.replies_dropped_backpressure", controller.now)
 
 
 class HarmonyServer:
@@ -609,7 +625,7 @@ class HarmonyServer:
                 session.transport.send(make_message(
                     LEASE_EXPIRED,
                     message=f"session {session.client_id} lease expired"))
-            except (TransportError, ProtocolError):
+            except (TransportError, ProtocolError, ControllerBusyError):
                 pass
         return evicted
 

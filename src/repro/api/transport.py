@@ -10,6 +10,12 @@ Two implementations with identical semantics:
   paper's prototype architecture: the Harmony process listens on a
   well-known port; inside the application an I/O event handler applies
   variable updates as they arrive.
+
+The framing codec itself (``encode_message`` + :class:`FrameDecoder`)
+lives in :mod:`repro.api.protocol` and is shared with the server's asyncio
+front end (:mod:`repro.api.aio`), so the bytes on the wire are identical
+whichever side is threaded — ``docs/wire-protocol.md`` is the normative
+spec.  A :class:`TcpTransport` client talks to either server unchanged.
 """
 
 from __future__ import annotations

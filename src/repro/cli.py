@@ -92,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=0)
     serve.add_argument("--bandwidth", type=float, default=40.0,
                        help="full-mesh link bandwidth, MB/s")
+    serve.add_argument("--transport", choices=("threaded", "asyncio"),
+                       default="threaded",
+                       help="TCP front end: one reader thread per "
+                            "connection, or one asyncio event loop for "
+                            "every socket (same wire protocol)")
     serve.add_argument("--once", action="store_true",
                        help="bind, print the address, and exit "
                             "(for scripting/tests)")
@@ -326,18 +331,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     controller = AdaptationController(cluster)
     server = HarmonyServer(controller)
-    host, port = server.serve_tcp(args.host, args.port)
-    print(f"Harmony server on {host}:{port} managing "
+    if args.transport == "asyncio":
+        from repro.api import AsyncHarmonyServer
+
+        front = AsyncHarmonyServer(server)
+        host, port = front.serve(args.host, args.port)
+    else:
+        front = server
+        host, port = server.serve_tcp(args.host, args.port)
+    print(f"Harmony server on {host}:{port} ({args.transport}) managing "
           f"{len(hostnames)} node(s): {', '.join(hostnames)}")
     if args.once:
-        server.stop()
+        front.stop()
         return 0
     try:
         import time
         while True:  # pragma: no cover - interactive loop
             time.sleep(1.0)
     except KeyboardInterrupt:  # pragma: no cover
-        server.stop()
+        front.stop()
     return 0
 
 

@@ -50,3 +50,32 @@ def test_docs_are_linked_from_the_readme():
     for doc in sorted((REPO_ROOT / "docs").glob("*.md")):
         assert f"docs/{doc.name}" in readme_targets, \
             f"docs/{doc.name} is not linked from README.md"
+
+
+def test_every_doc_reachable_from_readme_by_links():
+    """BFS over the relative-link graph rooted at README.md.
+
+    The dead-link test above guards the forward direction (no link
+    points at a missing file); this guards the reverse: no Markdown
+    page may exist that a reader starting at the README cannot reach
+    by clicking links.  A page orphaned by a refactor fails here even
+    if every link *in* it still resolves.
+    """
+    root = REPO_ROOT / "README.md"
+    reachable = {root.resolve()}
+    frontier = [root]
+    while frontier:
+        page = frontier.pop()
+        for _text, target in relative_links(page):
+            if not target:
+                continue
+            dest = (page.parent / target).resolve()
+            if dest.suffix != ".md" or not dest.is_file():
+                continue
+            if dest not in reachable:
+                reachable.add(dest)
+                frontier.append(dest)
+    orphans = [doc.name for doc in sorted((REPO_ROOT / "docs").glob("*.md"))
+               if doc.resolve() not in reachable]
+    assert not orphans, \
+        f"docs pages unreachable from README.md via links: {orphans}"
