@@ -50,11 +50,13 @@ from __future__ import annotations
 import asyncio
 import collections
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
 from repro.api.protocol import FrameDecoder, encode_message
 from repro.api.server import _CONTROLLER_LOCKED_TYPES, HarmonyServer
+from repro.metrics.histogram import COUNT_BOUNDS
 from repro.api.transport import Transport
 from repro.errors import (
     ControllerBusyError,
@@ -126,6 +128,8 @@ class AsyncioTransport(Transport):
                     f"({self._front.max_write_queue} frames pending); "
                     f"retry")
             self._queued_writes += 1
+            depth = self._queued_writes
+        self._front.write_depth_hist.observe(float(depth))
         try:
             self._loop.call_soon_threadsafe(self._write, data)
         except RuntimeError as exc:  # loop already closed (shutdown race)
@@ -334,10 +338,22 @@ class AsyncHarmonyServer:
                  max_write_queue: int = 1024,
                  max_inbox: int = 1024,
                  heavy_workers: int = 4,
-                 light_workers: int = 4):
+                 light_workers: int = 4,
+                 loop_lag_period: float = 0.1):
         self.server = server
         self.max_write_queue = max_write_queue
         self.max_inbox = max_inbox
+        #: How often the loop-lag ticker samples scheduling delay; 0
+        #: disables the ticker entirely.
+        self.loop_lag_period = loop_lag_period
+        metrics = server.controller.metrics
+        #: Always-on health distributions for the two loop-side backlogs
+        #: a mean cannot show: how late the loop runs its timers, and how
+        #: deep each connection's unsent-frame queue gets.
+        self.loop_lag_hist = metrics.histogram(
+            "server.async.loop_lag_seconds")
+        self.write_depth_hist = metrics.histogram(
+            "server.async.write_queue_depth", bounds=COUNT_BOUNDS)
         self.loop: asyncio.AbstractEventLoop | None = None
         self.heavy_pool = ThreadPoolExecutor(
             max_workers=heavy_workers,
@@ -349,6 +365,7 @@ class AsyncHarmonyServer:
         self._asyncio_server: asyncio.AbstractServer | None = None
         self._protocols: set[HarmonyWireProtocol] = set()
         self._lease_task: asyncio.Task | None = None
+        self._lag_task: asyncio.Task | None = None
         self._stopped = False
 
     # -- telemetry ----------------------------------------------------------
@@ -407,8 +424,25 @@ class AsyncHarmonyServer:
     async def _start(self, host: str, port: int) -> tuple[str, int]:
         self._asyncio_server = await self.loop.create_server(
             lambda: HarmonyWireProtocol(self), host, port)
+        if self.loop_lag_period > 0:
+            self._lag_task = self.loop.create_task(self._lag_ticker())
         sockname = self._asyncio_server.sockets[0].getsockname()
         return sockname[0], sockname[1]
+
+    async def _lag_ticker(self) -> None:
+        """Sample how late the loop wakes from a fixed-period sleep.
+
+        The excess over the requested period is scheduling delay — the
+        single number that says "the event loop is saturated" before
+        anything user-visible times out.  The sleep itself is the load:
+        one timer per period, nothing else.
+        """
+        period = self.loop_lag_period
+        while True:
+            before = time.perf_counter()
+            await asyncio.sleep(period)
+            lag = time.perf_counter() - before - period
+            self.loop_lag_hist.observe(max(0.0, lag))
 
     def start_lease_ticker(self, period_seconds: float | None = None,
                            ) -> None:
@@ -460,6 +494,9 @@ class AsyncHarmonyServer:
         self.server.stop()
 
     async def _shutdown(self) -> None:
+        if self._lag_task is not None:
+            self._lag_task.cancel()
+            self._lag_task = None
         if self._lease_task is not None:
             self._lease_task.cancel()
             self._lease_task = None

@@ -45,6 +45,7 @@ from repro.api.protocol import (
 from repro.api.retry import RetryPolicy
 from repro.api.transport import Transport
 from repro.api.variables import HarmonyVariable, VariableTable, VariableType
+from repro.obs.trace import NULL_TRACER
 from repro.errors import (
     ControllerBusyError,
     ControllerRecoveringError,
@@ -82,16 +83,36 @@ class HarmonyClient:
     ``client.*`` series, timestamped on the wall clock, so chaos tests
     read client-side retry behaviour through the same telemetry path as
     everything else.
+
+    ``tracer`` (default: the no-op ``NULL_TRACER``) roots a
+    ``client.request`` span around each RPC and stamps its
+    :class:`~repro.obs.trace.TraceContext` onto the wire message as the
+    optional ``trace_ctx`` field, so the server, scheduler, and sweep
+    workers continue the same trace.  ``trace_sample_rate`` keeps the
+    cost bounded: a deterministic 1-in-N stride (rate 1.0 traces every
+    request, 0.1 every 10th, 0 none); unsampled requests allocate no
+    span at all.
     """
 
     def __init__(self, transport: Transport,
                  retry_policy: RetryPolicy | None = None,
                  transport_factory: Callable[[], Transport] | None = None,
-                 metrics: "MetricInterface | None" = None):
+                 metrics: "MetricInterface | None" = None,
+                 tracer=None,
+                 trace_sample_rate: float = 1.0):
         self.transport = transport
         self.retry_policy = retry_policy or RetryPolicy()
         self.transport_factory = transport_factory
         self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if not 0.0 <= trace_sample_rate <= 1.0:
+            raise ValueError(
+                f"trace_sample_rate must be in [0, 1], "
+                f"got {trace_sample_rate}")
+        #: 1-in-N deterministic sampling stride (0 disables sampling).
+        self._trace_stride = (0 if trace_sample_rate <= 0.0
+                              else max(1, round(1.0 / trace_sample_rate)))
+        self._trace_seq = 0
         self.variables = VariableTable()
         self.app_key: str | None = None
         self.instance_id: int | None = None
@@ -195,8 +216,17 @@ class HarmonyClient:
     def report_metric(self, name: str, value: float) -> None:
         """Feed an application metric into the Harmony metric interface."""
         self._require_started()
-        self.transport.send(make_message(
-            "report_metric", name=name, value=float(value)))
+        message = make_message("report_metric", name=name,
+                               value=float(value))
+        if self.tracer.enabled and self._trace_due():
+            # Fire-and-forget, but still the root of the interesting
+            # trace: metric reports are what trigger scheduler batches.
+            with self.tracer.span("client.request", rpc="report_metric",
+                                  metric=name) as span:
+                message["trace_ctx"] = self.tracer.wire_context(span)
+                self.transport.send(message)
+            return
+        self.transport.send(message)
 
     def query_nodes(self) -> dict[str, Any]:
         """Ask Harmony for current resource availability.
@@ -215,10 +245,13 @@ class HarmonyClient:
 
         Works without :meth:`startup` — a pure monitoring client may
         connect just to poll.  Returns ``{"metrics", "decision_traces",
-        "optimizer", "server"}``: the metric snapshot (optionally filtered
-        by dotted ``prefix``), the most recent decision traces (up to
-        ``max_traces``, oldest first), the optimizer work counters, and
-        server-side session counts.
+        "optimizer", "server", "histograms"}``: the metric snapshot
+        (optionally filtered by dotted ``prefix``), the most recent
+        decision traces (up to ``max_traces``, oldest first), the
+        optimizer work counters, server-side session counts, and the
+        runtime health histogram snapshots (feed them to
+        :func:`repro.obs.health.evaluate_health` or
+        :func:`repro.metrics.quantile_from_snapshot`).
         """
         fields: dict[str, Any] = {"max_traces": int(max_traces)}
         if prefix is not None:
@@ -227,7 +260,8 @@ class HarmonyClient:
         return {"metrics": reply.get("metrics", {}),
                 "decision_traces": reply.get("decision_traces", []),
                 "optimizer": reply.get("optimizer", {}),
-                "server": reply.get("server", {})}
+                "server": reply.get("server", {}),
+                "histograms": reply.get("histograms", {})}
 
     def poll_update(self) -> dict[str, Any] | None:
         """Non-blocking check for a new update batch (simulation-friendly).
@@ -346,7 +380,32 @@ class HarmonyClient:
         if self._ended:
             raise ProtocolError("client already ended")
 
+    def _trace_due(self) -> bool:
+        """Advance the deterministic sampling stride; True to trace."""
+        if self._trace_stride == 0:
+            return False
+        seq = self._trace_seq
+        self._trace_seq = seq + 1
+        return seq % self._trace_stride == 0
+
     def _request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Send a request and wait for its response, per the retry policy.
+
+        When tracing is enabled and this request is sampled, the whole
+        retry loop runs under a ``client.request`` span whose context is
+        stamped onto the message as ``trace_ctx`` — unsampled requests
+        allocate no span and send the message untouched.
+        """
+        if self.tracer.enabled and self._trace_due():
+            with self.tracer.span("client.request",
+                                  rpc=str(message.get("type"))) as span:
+                message = dict(message)
+                message["trace_ctx"] = self.tracer.wire_context(span)
+                return self._request_with_retries(message)
+        return self._request_with_retries(message)
+
+    def _request_with_retries(self,
+                              message: dict[str, Any]) -> dict[str, Any]:
         """Send a request and wait for its response, per the retry policy.
 
         Transport failures and per-attempt timeouts are retried with

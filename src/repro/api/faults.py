@@ -34,9 +34,11 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.api.transport import Transport
 from repro.errors import TransportError
+from repro.obs.flightrec import EVENT_FAULT
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.metrics.interface import MetricInterface
+    from repro.obs.flightrec import FlightRecorder
 
 __all__ = ["FaultAction", "FaultSchedule", "SeededFaultSchedule",
            "ScriptedFaultSchedule", "FaultStats", "FaultyTransport"]
@@ -183,16 +185,25 @@ class FaultyTransport(Transport):
 
     def __init__(self, inner: Transport, schedule: FaultSchedule,
                  metrics: "MetricInterface | None" = None,
-                 metric_prefix: str = "faults.transport"):
+                 metric_prefix: str = "faults.transport",
+                 recorder: "FlightRecorder | None" = None,
+                 stats: FaultStats | None = None):
         self.inner = inner
         self.schedule = schedule
-        self.stats = FaultStats()
+        #: ``stats`` may be an adopted tally (see :meth:`redial`): the
+        #: healed replacement keeps counting into the same cumulative
+        #: series instead of silently resetting them.
+        self.stats = stats if stats is not None else FaultStats()
         #: Optional metric interface: the stats tally is republished under
         #: ``metric_prefix`` after every decision, timestamped by a
         #: monotonically increasing decision counter (chaos runs have no
         #: shared clock).
         self.metrics = metrics
         self.metric_prefix = metric_prefix
+        #: Optional flight recorder: every injected fault leaves a
+        #: ``fault_injected`` breadcrumb, so a chaos dump interleaves the
+        #: injections with the server's reactions on one timeline.
+        self.recorder = recorder
         self._decision_count = 0
         self._receiver: Callable[[dict[str, Any]], None] | None = None
         self._backlog: list[dict[str, Any]] = []
@@ -211,6 +222,13 @@ class FaultyTransport(Transport):
         self.stats.publish(self.metrics, time=float(self._decision_count),
                            prefix=self.metric_prefix)
 
+    def _note_fault(self, direction: str, action: FaultAction,
+                    message: dict[str, Any]) -> None:
+        if self.recorder is not None:
+            self.recorder.record(EVENT_FAULT, direction=direction,
+                                 action=action.value,
+                                 rpc=str(message.get("type", "?")))
+
     @property
     def closed(self) -> bool:
         return self.stats.severed or self.inner.closed
@@ -222,6 +240,8 @@ class FaultyTransport(Transport):
             if self.closed:
                 raise TransportError("send on severed transport")
             action = self.schedule.decide("send", message)
+            if action is not FaultAction.DELIVER:
+                self._note_fault("send", action, message)
             if action is FaultAction.SEVER:
                 self._sever_locked()
             elif action is FaultAction.DROP:
@@ -256,6 +276,8 @@ class FaultyTransport(Transport):
             if self.stats.severed:
                 return
             action = self.schedule.decide("recv", message)
+            if action is not FaultAction.DELIVER:
+                self._note_fault("recv", action, message)
             if action is FaultAction.SEVER:
                 self._sever_locked()
             elif action is FaultAction.DROP:
@@ -342,15 +364,31 @@ class FaultyTransport(Transport):
         """Whether the wrapped endpoint knows the address it dialed."""
         return bool(getattr(self.inner, "can_redial", False))
 
-    def redial(self) -> Transport:
-        """A *clean* replacement connection to the same server.
+    def redial(self) -> "FaultyTransport":
+        """A *healed* replacement connection to the same server.
 
         Composes with :class:`~repro.api.client.HarmonyClient`'s
-        transparent reconnect: redialing a severed faulty link yields the
-        inner transport's fresh connection, unwrapped — a reconnect heals
-        the link rather than inheriting the old schedule (a schedule with
-        ``sever_after`` would otherwise kill the new link on its first
-        frame).  Wrap the result in a new :class:`FaultyTransport` to
-        keep perturbing the replacement.
+        transparent reconnect: the fresh connection comes back wrapped in
+        a new :class:`FaultyTransport` whose schedule never faults — a
+        reconnect heals the link rather than inheriting the old schedule
+        (a schedule with ``sever_after`` would otherwise kill the new
+        link on its first frame) — but the wrapper *keeps* this one's
+        stats tally, metric hook, and flight recorder, so the cumulative
+        ``faults.transport.*`` series survive the heal instead of
+        silently freezing at their pre-reconnect values.  Re-assign
+        ``.schedule`` on the result to keep perturbing the replacement.
         """
-        return self.inner.redial()
+        fresh = self.inner.redial()
+        # The replacement link is alive: clear the sever marker before
+        # the healed wrapper adopts the shared tally.
+        self.stats.severed = False
+        healed = FaultyTransport(fresh, ScriptedFaultSchedule({}),
+                                 metrics=self.metrics,
+                                 metric_prefix=self.metric_prefix,
+                                 recorder=self.recorder,
+                                 stats=self.stats)
+        # Metric timestamps are the running decision count; the healed
+        # wrapper continues the timeline (a reset would rewind the
+        # published series, which time-series append rejects).
+        healed._decision_count = self._decision_count
+        return healed

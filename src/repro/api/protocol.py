@@ -57,7 +57,7 @@ __all__ = ["encode_message", "FrameDecoder", "make_message",
            "require_field", "CLIENT_TYPES", "SERVER_TYPES",
            "HEARTBEAT", "HEARTBEAT_ACK", "LEASE_EXPIRED",
            "STATUS", "STATUS_REPORT", "CONTROLLER_RECOVERING",
-           "CONTROLLER_BUSY", "MUTATING_TYPES"]
+           "CONTROLLER_BUSY", "MUTATING_TYPES", "TRACE_CTX_FIELD"]
 
 _HEADER = struct.Struct(">I")
 MAX_FRAME_BYTES = 16 * 1024 * 1024
@@ -96,6 +96,13 @@ CONTROLLER_BUSY = "controller_busy"
 MUTATING_TYPES = frozenset({
     "register", "bundle_setup", "report_metric", "end",
 })
+
+#: Name of the *optional* trace-propagation field a client may stamp on
+#: any request: ``{"trace_id": str, "span_id": int, "sampled": bool}``
+#: (see :class:`repro.obs.trace.TraceContext` and docs/wire-protocol.md).
+#: Strictly additive and backward-compatible — receivers that do not
+#: understand it (or receive garbage in it) ignore it.
+TRACE_CTX_FIELD = "trace_ctx"
 
 
 def make_message(msg_type: str, **fields: Any) -> dict[str, Any]:

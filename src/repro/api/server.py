@@ -81,6 +81,11 @@ from repro.errors import (
     ProtocolError,
     TransportError,
 )
+from repro.obs.flightrec import (EVENT_BACKPRESSURE, EVENT_LEASE_EXPIRED,
+                                 EVENT_PUSH, EVENT_RPC_IN, EVENT_RPC_OUT,
+                                 EVENT_SERVER_ERROR)
+from repro.obs.instrument import InstrumentedRLock
+from repro.obs.trace import TraceContext
 
 __all__ = ["HarmonyServer", "HarmonySession", "DEFAULT_PORT"]
 
@@ -143,23 +148,51 @@ class HarmonySession:
 
     def _on_message(self, message: dict[str, Any]) -> None:
         msg_type = str(message.get("type"))
-        self.server.count_rpc(msg_type)
+        server = self.server
+        server.count_rpc(msg_type)
+        recorder = server.recorder
+        if recorder is not None:
+            recorder.record(EVENT_RPC_IN, rpc=msg_type)
+        tracer = server.controller.tracer
+        ctx = None
+        if tracer.enabled:
+            # Continue a client-stamped trace.  Absent, malformed, or
+            # unsampled trace_ctx parses to None — old clients and
+            # garbage alike degrade to "no trace", never to an error.
+            ctx = TraceContext.from_wire(message.get("trace_ctx"))
         try:
-            if msg_type in _CONTROLLER_LOCKED_TYPES:
-                if msg_type in _ADMISSION_TYPES:
-                    with self.server.admission_slot():
-                        with self.server.controller_lock:
-                            self._dispatch(message)
-                else:
-                    with self.server.controller_lock:
-                        self._dispatch(message)
+            if ctx is not None:
+                with tracer.span_from_context("server.dispatch", ctx,
+                                              rpc=msg_type):
+                    self._locked_dispatch(msg_type, message)
             else:
-                self._dispatch(message)
+                self._locked_dispatch(msg_type, message)
         except ControllerBusyError as exc:
+            if recorder is not None:
+                recorder.record(EVENT_BACKPRESSURE, rpc=msg_type,
+                                message=str(exc))
             self._reply(make_message("error", code=CONTROLLER_BUSY,
                                      message=str(exc)))
         except HarmonyError as exc:
             self._reply(make_message("error", message=str(exc)))
+        except Exception as exc:
+            # Unhandled server error: capture the event timeline before
+            # the exception unwinds whatever thread delivered us.
+            server.note_server_error(exc, rpc=msg_type)
+            raise
+
+    def _locked_dispatch(self, msg_type: str,
+                         message: dict[str, Any]) -> None:
+        if msg_type in _CONTROLLER_LOCKED_TYPES:
+            if msg_type in _ADMISSION_TYPES:
+                with self.server.admission_slot():
+                    with self.server.controller_lock:
+                        self._dispatch(message)
+            else:
+                with self.server.controller_lock:
+                    self._dispatch(message)
+        else:
+            self._dispatch(message)
 
     def _dispatch(self, message: dict[str, Any]) -> None:
         msg_type = message.get("type")
@@ -298,7 +331,8 @@ class HarmonySession:
             # Metric reports never re-optimize inline (that would put an
             # optimization sweep on every telemetry packet); with a
             # scheduler attached they feed the coalesced batch instead.
-            scheduler.request(f"metric:{instance.key}.{name}")
+            scheduler.request(f"metric:{instance.key}.{name}",
+                              trace_ctx=controller.tracer.current_context())
 
     def _handle_query_nodes(self) -> None:
         """Answer with current resource availability.
@@ -340,6 +374,9 @@ class HarmonySession:
         return self.instance
 
     def _reply(self, message: dict[str, Any]) -> None:
+        recorder = self.server.recorder
+        if recorder is not None:
+            recorder.record(EVENT_RPC_OUT, rpc=str(message.get("type")))
         try:
             self.transport.send(message)
         except TransportError:
@@ -352,6 +389,10 @@ class HarmonySession:
             controller = self.server.controller
             controller.metrics.increment(
                 "server.replies_dropped_backpressure", controller.now)
+            if recorder is not None:
+                recorder.record(EVENT_BACKPRESSURE,
+                                rpc=str(message.get("type")),
+                                message="reply dropped: write queue full")
 
 
 class HarmonyServer:
@@ -380,7 +421,8 @@ class HarmonyServer:
                  lease_seconds: float | None = None,
                  clock: Callable[[], float] | None = None,
                  recovering: bool = False,
-                 max_pending_admissions: int | None = None):
+                 max_pending_admissions: int | None = None,
+                 flight_dump_path: str | None = None):
         self.controller = controller
         self.auto_flush = auto_flush
         self.lease_seconds = lease_seconds
@@ -389,13 +431,22 @@ class HarmonyServer:
         #: requests get ``error.code=controller_recovering`` until
         #: :meth:`complete_recovery`.
         self.recovering = recovering
+        #: Where to dump the flight recorder on an unhandled server
+        #: error (``None`` records the event but writes nothing).
+        self.flight_dump_path = flight_dump_path
         self.buffer = PendingVariableBuffer()
+        # The three pipeline locks publish always-on wait/hold
+        # histograms (lock.<name>.{wait,hold}_seconds): contention is
+        # the invisible cost of an admission burst, and a gauge or
+        # counter cannot show its tail.
         #: Serializes controller mutations (the expensive lock).
-        self.controller_lock = threading.RLock()
+        self.controller_lock = InstrumentedRLock("controller",
+                                                 controller.metrics)
         #: Guards the session registry, leases, and push generations.
-        self.sessions_lock = threading.RLock()
+        self.sessions_lock = InstrumentedRLock("sessions",
+                                               controller.metrics)
         #: Serializes pending-variable staging and flushing.
-        self._flush_lock = threading.RLock()
+        self._flush_lock = InstrumentedRLock("flush", controller.metrics)
         self.max_pending_admissions = max_pending_admissions
         self._admission_gate = threading.Lock()
         self._pending_admissions = 0
@@ -416,6 +467,31 @@ class HarmonyServer:
         controller.add_listener(self._on_reconfiguration)
 
     # -- telemetry ----------------------------------------------------------
+
+    @property
+    def recorder(self):
+        """The controller's flight recorder (``None`` when disabled)."""
+        return getattr(self.controller, "flight_recorder", None)
+
+    def note_server_error(self, exc: BaseException, **fields: Any) -> None:
+        """Record an unhandled error; dump the flight ring if configured.
+
+        The dump is best-effort — a failing disk must not mask the
+        original exception unwinding through the caller.
+        """
+        controller = self.controller
+        controller.metrics.increment("server.unhandled_errors",
+                                     controller.now)
+        recorder = self.recorder
+        if recorder is None:
+            return
+        recorder.record(EVENT_SERVER_ERROR, error=type(exc).__name__,
+                        message=str(exc), **fields)
+        if self.flight_dump_path is not None:
+            try:
+                recorder.dump(self.flight_dump_path)
+            except OSError:
+                pass
 
     def count_rpc(self, msg_type: str) -> None:
         """Count one received RPC as ``server.rpc.<type>`` (cumulative).
@@ -447,6 +523,7 @@ class HarmonyServer:
             active = len(self._sessions_by_key)
         return {
             "metrics": snapshot["metrics"],
+            "histograms": snapshot["histograms"],
             "decision_traces": [trace.to_dict() for trace in
                                 controller.trace_log.latest(max_traces)],
             "optimizer": controller.stats.snapshot(),
@@ -617,6 +694,9 @@ class HarmonyServer:
                                               reason="lease expired")
                 self.controller.metrics.increment("server.lease_expiries",
                                                   self.controller.now)
+                recorder = self.recorder
+                if recorder is not None:
+                    recorder.record(EVENT_LEASE_EXPIRED, client=key)
                 evicted.append(key)
                 if session is not None and not session.transport.closed:
                     notify.append(session)
@@ -794,7 +874,15 @@ class HarmonyServer:
                 controller.metrics.increment("server.stale_pushes_dropped",
                                              controller.now)
                 return
-            session.push_updates(updates, generation=generation)
+            tracer = self.controller.tracer
+            with tracer.span("server.push", generation=generation,
+                             client=client_id, variables=len(updates)):
+                session.push_updates(updates, generation=generation)
+            recorder = self.recorder
+            if recorder is not None:
+                recorder.record(EVENT_PUSH, client=client_id,
+                                generation=generation,
+                                variables=len(updates))
             if generation > delivered:
                 with self.sessions_lock:
                     if generation > self._push_generations.get(client_id, 0):

@@ -20,7 +20,11 @@ Installed as ``harmony-repro`` (or run as ``python -m repro.cli``):
   durability directory (optionally crashing mid-write to leave a torn
   tail for ``restore`` to repair);
 * ``harmony-repro restore [...]``   — rebuild a controller from a
-  durability directory and print the recovery report.
+  durability directory and print the recovery report;
+* ``harmony-repro health [...]``    — score the runtime health histograms
+  against SLO thresholds (local demo workload or a running server);
+* ``harmony-repro flightrec [...]`` — run a seeded chaos scenario and
+  dump the server's flight-recorder timeline as JSON lines.
 """
 
 from __future__ import annotations
@@ -121,6 +125,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "directory and print the recovery report")
     restore.add_argument("--dir", required=True,
                          help="durability directory written by checkpoint")
+
+    health = subparsers.add_parser(
+        "health", help="evaluate runtime health histograms against the "
+                       "SLO thresholds")
+    health.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="score a running server's STATUS payload "
+                             "instead of running the local demo workload")
+    health.add_argument("--strict", action="store_true",
+                        help="exit non-zero if any SLO is breached")
+
+    flightrec = subparsers.add_parser(
+        "flightrec", help="run a seeded chaos scenario and dump the "
+                          "server's flight recorder")
+    flightrec.add_argument("--seed", type=int, default=7,
+                           help="fault-schedule seed (same seed, same "
+                                "fault sequence)")
+    flightrec.add_argument("--out", default=None, metavar="PATH",
+                           help="write the flight-recorder ring as JSON "
+                                "lines")
     return parser
 
 
@@ -144,6 +167,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "checkpoint": _cmd_checkpoint,
         "restore": _cmd_restore,
+        "health": _cmd_health,
+        "flightrec": _cmd_flightrec,
     }[args.command]
     try:
         return handler(args)
@@ -437,6 +462,125 @@ def _cmd_restore(args: argparse.Namespace) -> int:
                 print(f"  {instance.key} {bundle_name}: "
                       f"{state.chosen.option_name} on {hosts}")
     controller.journal.close()
+    return 0
+
+
+_CHAOS_RSL = """
+harmonyBundle DBclient where {{
+    {{QS {{node server {{hostname server0}} {{seconds 9}} {{memory 20}}}}
+        {{node client {{hostname {host}}} {{seconds 1}} {{memory 2}}}}
+        {{link client server 2}}}}
+    {{DS {{node server {{hostname server0}} {{seconds 1}} {{memory 20}}}}
+        {{node client {{hostname {host}}} {{memory >=32}} {{seconds 18}}}}
+        {{link client server 51}}}}}}
+"""
+
+
+def _run_chaos_demo(seed: int | None):
+    """Drive a small seeded-chaos cohort against a local TCP server.
+
+    Three database clients join over real sockets; one link is wrapped
+    in a seeded fault schedule (drops on the send side, healed by the
+    client's retry loop), metric reports feed the coalescing scheduler,
+    and the whole run is observed by the always-on samplers: lock
+    wait/hold, scheduler batch latency and backlog, and the flight
+    recorder.  Returns the controller (server stopped) — its metric
+    interface holds the histograms, its ``flight_recorder`` the event
+    ring.  Deterministic for a given seed (``None`` injects no faults).
+    """
+    from repro.api import (
+        FaultyTransport,
+        HarmonyClient,
+        HarmonyServer,
+        RetryPolicy,
+        SeededFaultSchedule,
+        VariableType,
+    )
+    from repro.api.transport import TcpTransport
+    from repro.cluster import Cluster
+    from repro.controller import AdaptationController, ClientCountRulePolicy
+
+    policy = ClientCountRulePolicy(
+        app_name="DBclient", bundle_name="where", threshold=3,
+        below_option="QS", at_or_above_option="DS")
+    cluster = Cluster.star("server0", ["c1", "c2", "c3"], memory_mb=128)
+    controller = AdaptationController(cluster, policy=policy)
+    server = HarmonyServer(controller)
+    host, port = server.serve_tcp("127.0.0.1", 0)
+    server.start_scheduler(coalesce_window=0.02, max_delay=0.2)
+    retry = RetryPolicy(request_timeout_seconds=2.0, max_attempts=6,
+                        backoff_initial_seconds=0.05)
+    clients = []
+    try:
+        for client_host in ("c1", "c2", "c3"):
+            transport = TcpTransport.connect(host, port)
+            if seed is not None and client_host == "c2":
+                # Perturb exactly one link: outbound drops only, so a
+                # timed-out request never has a late reply in flight.
+                transport = FaultyTransport(
+                    transport,
+                    SeededFaultSchedule(seed=seed, drop_rate=0.3,
+                                        directions=frozenset({"send"})),
+                    metrics=controller.metrics,
+                    recorder=controller.flight_recorder)
+            client = HarmonyClient(transport, retry_policy=retry)
+            client.startup("DBclient")
+            client.bundle_setup(_CHAOS_RSL.format(host=client_host))
+            client.add_variable("where.option", "??", VariableType.STRING)
+            clients.append(client)
+        # A burst of metric reports: coalesces into scheduler batches.
+        for round_index in range(3):
+            for index, client in enumerate(clients):
+                client.report_metric("latency_ms",
+                                     10.0 + index + round_index)
+        generation = server.scheduler.request("cli:flush")
+        server.scheduler.wait_for_generation(generation, timeout=10.0)
+        for client in clients:
+            client.end()
+    finally:
+        server.stop()
+    return controller
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from repro.obs.health import evaluate_health, format_health
+
+    if args.connect:
+        from repro.api import HarmonyClient
+        from repro.api.transport import TcpTransport
+
+        host, _, port = args.connect.rpartition(":")
+        client = HarmonyClient(TcpTransport.connect(host or "127.0.0.1",
+                                                    int(port)))
+        histograms = client.query_status()["histograms"]
+        client.transport.close()
+        print(f"{args.connect}: {len(histograms)} histogram(s)")
+    else:
+        controller = _run_chaos_demo(seed=None)
+        histograms = {name: hist.snapshot()
+                      for name, hist in controller.metrics.histograms()}
+        print(f"local demo workload: {len(histograms)} histogram(s)")
+    results = evaluate_health(histograms)
+    print(format_health(results))
+    breaches = [r for r in results if r.breached]
+    if breaches:
+        print(f"{len(breaches)} SLO breach(es)")
+        return 2 if args.strict else 0
+    print("all SLOs within thresholds")
+    return 0
+
+
+def _cmd_flightrec(args: argparse.Namespace) -> int:
+    controller = _run_chaos_demo(seed=args.seed)
+    recorder = controller.flight_recorder
+    counts = recorder.counts()
+    print(f"seed {args.seed}: {len(recorder)} event(s) in the ring "
+          f"({recorder.events_recorded} recorded)")
+    for kind in sorted(counts):
+        print(f"  {kind:>20}: {counts[kind]}")
+    if args.out:
+        recorder.dump(args.out)
+        print(f"wrote {len(recorder)} event(s) to {args.out}")
     return 0
 
 

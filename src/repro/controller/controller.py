@@ -55,6 +55,7 @@ from repro.controller.trial import OptimizerStats, TrialEngine
 from repro.errors import AllocationError, ControllerError
 from repro.metrics import MetricInterface
 from repro.namespace import Namespace
+from repro.obs.flightrec import EVENT_EVICTION, FlightRecorder
 from repro.obs.instrument import Telemetry
 from repro.obs.trace import (
     NULL_TRACER,
@@ -465,7 +466,8 @@ class AdaptationController:
                  partitioned: bool | None = None,
                  parallel_workers: int = 0,
                  tracer=None,
-                 trace_log: DecisionTraceLog | None = None):
+                 trace_log: DecisionTraceLog | None = None,
+                 flight_recorder: FlightRecorder | None = None):
         self.cluster = cluster
         self.metrics = metrics or MetricInterface()
         #: Span recorder (pass a Tracer to profile; the no-op default
@@ -474,6 +476,12 @@ class AdaptationController:
         #: Always-on bounded log of per-reconfiguration decision traces.
         self.trace_log = trace_log if trace_log is not None \
             else DecisionTraceLog()
+        #: Always-on bounded ring of recent runtime events (RPCs,
+        #: faults, evictions, batches, WAL appends); dumped to JSONL on
+        #: demand, on unhandled server errors, and from failing chaos
+        #: suites.  The capacity bound keeps it safe to leave on.
+        self.flight_recorder = flight_recorder if flight_recorder \
+            is not None else FlightRecorder()
         #: Counter/gauge/timer verbs timestamped on the simulation clock.
         self.telemetry = Telemetry(self.metrics, lambda: self.now)
         self.namespace = namespace or Namespace()
@@ -663,6 +671,8 @@ class AdaptationController:
                               reason=reason):
             self._release_app(instance, kind="evicted", detail=reason)
         self.metrics.report("controller.evictions", self.now, 1.0)
+        self.flight_recorder.record(EVENT_EVICTION, client=instance.key,
+                                    reason=reason)
 
     def _release_app(self, instance: AppInstance, kind: str,
                      detail: str) -> None:
@@ -692,7 +702,11 @@ class AdaptationController:
         ``None`` when the sweep already ran inline.
         """
         if self.scheduler is not None:
-            return self.scheduler.request(reason)
+            # Hand the scheduler the current trace context so the batch
+            # span can link every coalesced trigger back to its request
+            # (None when tracing is off or no span is open here).
+            return self.scheduler.request(
+                reason, trace_ctx=self.tracer.current_context())
         self.policy.reevaluate(self)
         return None
 

@@ -97,6 +97,10 @@ class PartitionTask:
     default_model: object
     match_strategy: object
     allow_colocation: bool
+    #: When True the worker runs a local tracer and ships its span
+    #: subtree back in the outcome (stitched by the parent into the
+    #: propagated trace).
+    trace: bool = False
 
 
 @dataclass
@@ -155,8 +159,13 @@ def run_partition_task(task: PartitionTask) -> dict:
         ModelDrivenPolicy,
     )
     from repro.controller.registry import AppInstance, ChosenConfiguration
+    from repro.obs.trace import Tracer
 
     started = _time.perf_counter()
+    # A worker-local tracer: its finished spans travel back with the
+    # result and the parent stitches them under the sweep's worker span,
+    # so one trace id covers work done in another process.
+    tracer = Tracer() if task.trace else None
     cluster = Cluster()
     for hostname, speed, memory_mb, os_name, attributes, available in \
             task.hosts:
@@ -180,6 +189,8 @@ def run_partition_task(task: PartitionTask) -> dict:
         match_strategy=task.match_strategy,
         incremental=True, partitioned=False)
     controller.matcher.allow_colocation = task.allow_colocation
+    if tracer is not None:
+        controller.tracer = tracer
 
     by_key: dict[str, tuple] = {}
     for member in task.members:
@@ -218,19 +229,30 @@ def run_partition_task(task: PartitionTask) -> dict:
     proposals: list[tuple[BundleKey, Candidate, float]] = []
     stable: list[BundleKey] = []
     gains: dict[BundleKey, float] = {}
-    for member in task.members:
-        if member.clean:
-            continue
-        instance, state, _ = by_key[member.key]
-        bkey = (member.key, member.bundle.bundle_name)
-        changed, is_stable, gain, applied = \
-            policy._reevaluate_bundle_outcome(controller, instance, state)
-        if gain is not None:
-            gains[bkey] = gain
-        if changed:
-            proposals.append((bkey, applied, gain))
-        elif is_stable:
-            stable.append(bkey)
+    sweep_span = (tracer.span("sweep.partition", partition=task.pid,
+                              members=len(task.members))
+                  if tracer is not None else None)
+    try:
+        if sweep_span is not None:
+            sweep_span.__enter__()
+        for member in task.members:
+            if member.clean:
+                continue
+            instance, state, _ = by_key[member.key]
+            bkey = (member.key, member.bundle.bundle_name)
+            changed, is_stable, gain, applied = \
+                policy._reevaluate_bundle_outcome(controller, instance,
+                                                  state)
+            if gain is not None:
+                gains[bkey] = gain
+            if changed:
+                proposals.append((bkey, applied, gain))
+            elif is_stable:
+                stable.append(bkey)
+    finally:
+        if sweep_span is not None:
+            sweep_span.set("proposals", len(proposals))
+            sweep_span.__exit__(None, None, None)
     return {
         "pid": task.pid,
         "proposals": proposals,
@@ -238,6 +260,7 @@ def run_partition_task(task: PartitionTask) -> dict:
         "gains": gains,
         "stats": controller.stats.snapshot(),
         "elapsed": _time.perf_counter() - started,
+        "spans": tracer.to_dicts() if tracer is not None else [],
     }
 
 
@@ -340,11 +363,16 @@ class ParallelSweepExecutor:
                 worker_stats["full_view_recomputes"]
             stats.match_calls += worker_stats["match_calls"]
             if tracer.enabled:
-                tracer.record_span(
+                worker_span = tracer.record_span(
                     "optimizer.partition_worker",
                     max(0.0, tracer.elapsed() - outcome["elapsed"]),
                     outcome["elapsed"], partition=pid,
                     proposals=len(outcome["proposals"]))
+                # Stitch the worker's own span subtree (shipped back as
+                # plain dicts) under the worker span, so the propagated
+                # trace id spans the process-pool boundary.
+                tracer.adopt_subtree(outcome.get("spans") or (),
+                                     worker_span)
         return result
 
     def _build_task(self, index: "PartitionIndex", pid: int,
@@ -414,7 +442,8 @@ class ParallelSweepExecutor:
             friction_policy=controller.friction_policy,
             default_model=controller.default_model,
             match_strategy=controller.matcher.strategy,
-            allow_colocation=controller.matcher.allow_colocation)
+            allow_colocation=controller.matcher.allow_colocation,
+            trace=controller.tracer.enabled)
 
     # -- the merge ---------------------------------------------------------
 

@@ -42,6 +42,10 @@ import time
 from contextlib import nullcontext
 from typing import TYPE_CHECKING, Callable, ContextManager
 
+from repro.metrics.histogram import COUNT_BOUNDS
+from repro.obs.flightrec import EVENT_BATCH
+from repro.obs.trace import TraceContext
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.controller.controller import AdaptationController
 
@@ -51,6 +55,10 @@ __all__ = ["CoalescingScheduler"]
 #: remainder is summarized as a count so a metric storm cannot bloat the
 #: durability log.
 MAX_JOURNALED_REASONS = 32
+
+#: How many coalesced trace contexts one batch span links back to; a
+#: metric storm must not grow the span's link list without bound.
+MAX_BATCH_TRACE_LINKS = 32
 
 
 class CoalescingScheduler:
@@ -90,6 +98,15 @@ class CoalescingScheduler:
         self.requests_coalesced = 0
         self.last_batch_changes = 0
         self._pending: list[str] = []
+        #: Trace contexts of the coalesced triggers (bounded): the batch
+        #: span links back to every request it covered.
+        self._pending_ctxs: list[TraceContext] = []
+        metrics = controller.metrics
+        # Always-on health distributions: how long batches take, and how
+        # deep the backlog was when each trigger arrived.
+        self._batch_hist = metrics.histogram("scheduler.batch_seconds")
+        self._backlog_hist = metrics.histogram("scheduler.batch_backlog",
+                                               bounds=COUNT_BOUNDS)
         #: Generation of the last batch *popped* for execution (it may
         #: still be running); requests arriving mid-batch are covered by
         #: the batch after it, not the one in flight.
@@ -103,21 +120,28 @@ class CoalescingScheduler:
 
     # -- requesting -----------------------------------------------------------
 
-    def request(self, reason: str) -> int:
+    def request(self, reason: str,
+                trace_ctx: TraceContext | None = None) -> int:
         """Note one reevaluation trigger; returns the covering generation.
 
         The returned generation is the batch that will include this
         request — pass it to :meth:`wait_for_generation` to block until
-        the sweep has actually run.
+        the sweep has actually run.  ``trace_ctx`` (optional) links the
+        batch span back to the request that triggered it.
         """
         with self._cond:
             now = self.clock()
             if not self._pending:
                 self._first_request_at = now
             self._pending.append(reason)
+            if trace_ctx is not None \
+                    and len(self._pending_ctxs) < MAX_BATCH_TRACE_LINKS:
+                self._pending_ctxs.append(trace_ctx)
+            backlog = len(self._pending)
             self._last_request_at = now
             covering = self._dispatched + 1
             self._cond.notify_all()
+        self._backlog_hist.observe(float(backlog))
         return covering
 
     @property
@@ -156,12 +180,14 @@ class CoalescingScheduler:
                 if due is None or now < due:
                     return False
             reasons = self._pending
+            ctxs = self._pending_ctxs
             self._pending = []
+            self._pending_ctxs = []
             self._first_request_at = None
             self._last_request_at = None
             generation = self._dispatched + 1
             self._dispatched = generation
-        self._run_batch(generation, reasons)
+        self._run_batch(generation, reasons, ctxs)
         return True
 
     def flush(self) -> bool:
@@ -169,13 +195,24 @@ class CoalescingScheduler:
         one ran."""
         return self.run_pending(force=True)
 
-    def _run_batch(self, generation: int, reasons: list[str]) -> None:
+    def _run_batch(self, generation: int, reasons: list[str],
+                   ctxs: list[TraceContext] | None = None) -> None:
         controller = self.controller
+        started = time.perf_counter()
         with self.reevaluation_lock:
             pruned_before = controller.stats.pruned_candidates
             with controller.tracer.span("scheduler.batch",
                                         generation=generation,
                                         size=len(reasons)) as span:
+                if ctxs and controller.tracer.enabled:
+                    # One batch covers many coalesced requests: adopt the
+                    # first linked trace as this span's trace and record
+                    # every parent as an explicit link.
+                    span.trace_id = ctxs[0].trace_id
+                    if span.parent_id is None:
+                        span.parent_id = ctxs[0].span_id
+                    span.set("links", [f"{ctx.trace_id}:{ctx.span_id}"
+                                       for ctx in ctxs])
                 changes = controller.reevaluate()
                 span.set("changes", changes)
                 index = controller.partition_index
@@ -192,6 +229,11 @@ class CoalescingScheduler:
                 controller.journal.record_reevaluation_batch(
                     generation, reasons, changes,
                     partitions=partitions, pruned_candidates=pruned)
+        elapsed = time.perf_counter() - started
+        self._batch_hist.observe(elapsed)
+        controller.flight_recorder.record(
+            EVENT_BATCH, generation=generation, size=len(reasons),
+            changes=changes, seconds=round(elapsed, 6))
         with self._cond:
             self.generation = generation
             self.batches_run += 1

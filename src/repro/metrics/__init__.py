@@ -5,10 +5,14 @@ from repro.metrics.collectors import (
     link_metric_name,
     node_metric_name,
 )
+from repro.metrics.histogram import (COUNT_BOUNDS, SECONDS_BOUNDS, Histogram,
+                                     quantile_from_snapshot)
 from repro.metrics.history import Observation, TimeSeries
 from repro.metrics.interface import MetricInterface
 
 __all__ = [
     "MetricInterface", "TimeSeries", "Observation",
+    "Histogram", "SECONDS_BOUNDS", "COUNT_BOUNDS",
+    "quantile_from_snapshot",
     "ClusterCollector", "node_metric_name", "link_metric_name",
 ]

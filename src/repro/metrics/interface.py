@@ -15,8 +15,9 @@ names are dotted, conventionally ``<scope>.<entity>.<quantity>`` — e.g.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Iterator
+from typing import Callable, Iterable, Iterator
 
+from repro.metrics.histogram import Histogram
 from repro.metrics.history import (DEFAULT_MAX_OBSERVATIONS, Observation,
                                    TimeSeries)
 
@@ -37,6 +38,7 @@ class MetricInterface:
                  = DEFAULT_MAX_OBSERVATIONS) -> None:
         self.default_max_observations = default_max_observations
         self._series: dict[str, TimeSeries] = {}
+        self._histograms: dict[str, Histogram] = {}
         self._subscribers: list[tuple[str, Subscriber]] = []
         # Concurrent sessions report through one interface once the API
         # server stops serializing every RPC behind a global lock; the
@@ -78,6 +80,32 @@ class MetricInterface:
             total = (0.0 if latest is None else latest) + amount
             self.report(name, time, total)
         return total
+
+    def histogram(self, name: str,
+                  bounds: Iterable[float] | None = None) -> Histogram:
+        """The distribution registered under ``name`` (created on first use).
+
+        Histograms live beside the time series under the same dotted
+        namespace but hold bucketed distributions instead of sample
+        histories — the always-on health samplers (lock wait/hold,
+        scheduler batch latency, WAL fsync, event-loop lag) feed these.
+        ``bounds`` only applies on creation; callers cache the returned
+        object, so the per-observation path never re-enters this lock.
+        """
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(name, bounds)
+            return hist
+
+    def histograms(self, prefix: str | None = None,
+                   ) -> list[tuple[str, Histogram]]:
+        """Registered histograms, optionally filtered by dotted prefix."""
+        with self._lock:
+            names = sorted(name for name in self._histograms
+                           if prefix is None or name == prefix
+                           or name.startswith(prefix + "."))
+            return [(name, self._histograms[name]) for name in names]
 
     # -- consuming ----------------------------------------------------------
 

@@ -65,9 +65,23 @@ def _format_value(value: float) -> str:
 
 def prometheus_text(metrics: "MetricInterface",
                     prefix: str | None = None) -> str:
-    """Latest sample of every series, in Prometheus text format."""
+    """Latest sample of every series, plus full histogram exposition.
+
+    Histograms render as the standard Prometheus triplet —
+    ``<name>_bucket{le="..."}`` (cumulative, ending in ``le="+Inf"``),
+    ``<name>_sum``, ``<name>_count`` — so rate and quantile queries
+    work out of the box.  When a dotted name carries *both* a gauge
+    series and a histogram (``Telemetry.timer`` writes both), the
+    histogram wins the exposition: emitting the same base name with two
+    TYPEs would be invalid, and ``_sum``/``_count`` carry strictly more
+    information than the last point-in-time value.
+    """
+    histograms = list(metrics.histograms(prefix))
+    histogram_names = {name for name, _ in histograms}
     groups: dict[str, list[str]] = {}
     for name in metrics.names(prefix):
+        if name in histogram_names:
+            continue
         groups.setdefault(sanitize_metric_name(name), []).append(name)
 
     lines: list[str] = []
@@ -86,6 +100,24 @@ def prometheus_text(metrics: "MetricInterface",
                 label = ""
             lines.append(f"{sanitized}{label} "
                          f"{_format_value(latest.value)}")
+
+    for name, histogram in histograms:
+        base = sanitize_metric_name(name)
+        while base in groups:
+            # A *different* dotted gauge name sanitized onto this base;
+            # dodge the TYPE collision rather than emit invalid text.
+            base += "_hist"
+        snapshot = histogram.snapshot()
+        lines.append(f"# HELP {base} Harmony histogram "
+                     f"{_escape_label_value(name)}")
+        lines.append(f"# TYPE {base} histogram")
+        for bound, cumulative in zip(snapshot["bounds"],
+                                     snapshot["counts"]):
+            lines.append(f'{base}_bucket{{le="{_format_value(bound)}"}} '
+                         f"{cumulative}")
+        lines.append(f'{base}_bucket{{le="+Inf"}} {snapshot["count"]}')
+        lines.append(f"{base}_sum {_format_value(snapshot['sum'])}")
+        lines.append(f"{base}_count {snapshot['count']}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -106,7 +138,9 @@ def json_snapshot(metrics: "MetricInterface",
             "count": len(series),
             "mean": _json_number(mean) if mean is not None else None,
         }
-    return {"metrics": summary}
+    histograms = {name: histogram.snapshot()
+                  for name, histogram in metrics.histograms(prefix)}
+    return {"metrics": summary, "histograms": histograms}
 
 
 def _json_number(value: float) -> float | None:

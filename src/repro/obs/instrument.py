@@ -12,6 +12,7 @@ a simulated run).
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Callable, Iterator
@@ -20,7 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.faults import FaultStats
     from repro.metrics.interface import MetricInterface
 
-__all__ = ["Telemetry", "publish_fault_stats"]
+__all__ = ["Telemetry", "InstrumentedRLock", "publish_fault_stats"]
 
 
 class Telemetry:
@@ -41,12 +42,85 @@ class Telemetry:
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
-        """Report the block's wall-clock duration (seconds) as a gauge."""
+        """Time the block: gauge of the last duration + a histogram.
+
+        The gauge alone made rates incomputable — a scraper saw only
+        the most recent duration.  The histogram under the same dotted
+        name adds cumulative ``_sum``/``_count`` (and buckets) to the
+        Prometheus exposition, so ``rate(x_sum)/rate(x_count)`` and
+        quantiles work; the exporter prefers the histogram when a name
+        carries both.
+        """
         start = time.perf_counter()
         try:
             yield
         finally:
-            self.gauge(name, time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            self.gauge(name, elapsed)
+            self.metrics.histogram(name).observe(elapsed)
+
+
+class InstrumentedRLock:
+    """A re-entrant lock publishing wait/hold histograms per named lock.
+
+    Lock contention is the invisible hot path of the three-lock server
+    pipeline: an admission burst shows up nowhere except as time spent
+    in ``acquire``.  This wrapper records, for the *outermost*
+    acquisition only (re-entrant hops are free), how long each thread
+    waited for the lock and how long it then held it, into
+    ``lock.<name>.wait_seconds`` / ``lock.<name>.hold_seconds``.
+
+    Cost per outermost acquire/release: two ``perf_counter`` calls and
+    two histogram observes on top of the RLock itself.
+    """
+
+    def __init__(self, name: str, metrics: "MetricInterface",
+                 clock: Callable[[], float] = time.perf_counter):
+        self.name = name
+        self._lock = threading.RLock()
+        self._clock = clock
+        self._local = threading.local()
+        self.wait_histogram = metrics.histogram(
+            f"lock.{name}.wait_seconds")
+        self.hold_histogram = metrics.histogram(
+            f"lock.{name}.hold_seconds")
+
+    def acquire(self, blocking: bool = True,
+                timeout: float = -1) -> bool:
+        depth = getattr(self._local, "depth", 0)
+        if depth:
+            acquired = self._lock.acquire(blocking, timeout)
+            if acquired:
+                self._local.depth = depth + 1
+            return acquired
+        start = self._clock()
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            now = self._clock()
+            self.wait_histogram.observe(now - start)
+            self._local.depth = 1
+            self._local.acquired_at = now
+        return acquired
+
+    def release(self) -> None:
+        depth = getattr(self._local, "depth", 0)
+        if depth == 1:
+            held = self._clock() - self._local.acquired_at
+            self._local.depth = 0
+            self._lock.release()
+            self.hold_histogram.observe(held)
+        else:
+            self._local.depth = depth - 1
+            self._lock.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InstrumentedRLock({self.name!r})"
 
 
 def publish_fault_stats(stats: "FaultStats", metrics: "MetricInterface",

@@ -29,12 +29,14 @@ from __future__ import annotations
 import itertools
 import json
 import math
+import threading
 import time
+import uuid
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER",
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "TraceContext",
            "CandidateTrace", "DecisionTrace", "DecisionTraceLog",
            "REJECT_WORSE_OBJECTIVE", "REJECT_RULE_NOT_SELECTED",
            "REJECT_INFEASIBLE"]
@@ -44,11 +46,64 @@ REJECT_WORSE_OBJECTIVE = "worse-objective"
 REJECT_RULE_NOT_SELECTED = "rule-not-selected"
 REJECT_INFEASIBLE = "infeasible"
 
+#: Longest ``trace_id`` the wire decoder accepts (defensive bound).
+MAX_TRACE_ID_CHARS = 64
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A trace's wire-portable coordinates: who the next span's parent is.
+
+    Clients stamp this onto protocol messages as the optional
+    ``trace_ctx`` field (see docs/wire-protocol.md); the server,
+    scheduler, and pool workers continue the trace from it.  The field
+    is strictly additive — peers that do not understand it ignore it.
+    """
+
+    trace_id: str
+    span_id: int
+    sampled: bool = True
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id,
+                "sampled": self.sampled}
+
+    @classmethod
+    def from_wire(cls, raw: Any) -> "TraceContext | None":
+        """Parse a ``trace_ctx`` payload; ``None`` for anything unusable.
+
+        Old clients omit the field, broken ones may send garbage; both
+        must degrade to "no trace" rather than an error (the wire spec
+        keeps unknown/optional fields non-fatal).  An explicitly
+        unsampled context is also ``None``: it carries no tracing
+        obligation, so the receive path allocates nothing for it.
+        """
+        if not isinstance(raw, Mapping):
+            return None
+        trace_id = raw.get("trace_id")
+        span_id = raw.get("span_id")
+        sampled = raw.get("sampled", True)
+        if not isinstance(trace_id, str) or not trace_id \
+                or len(trace_id) > MAX_TRACE_ID_CHARS:
+            return None
+        if isinstance(span_id, bool) or not isinstance(span_id, int) \
+                or span_id < 0:
+            return None
+        if sampled is not True:
+            return None
+        return cls(trace_id=trace_id, span_id=span_id, sampled=True)
+
 
 class Span:
-    """One timed operation; a context manager recording into its tracer."""
+    """One timed operation; a context manager recording into its tracer.
 
-    __slots__ = ("tracer", "name", "span_id", "parent_id",
+    ``trace_id`` groups spans into one end-to-end trace across
+    processes and hosts; it is inherited from the enclosing span (or a
+    wire :class:`TraceContext`) and stays ``None`` for purely local
+    timing spans that never joined a propagated trace.
+    """
+
+    __slots__ = ("tracer", "name", "span_id", "parent_id", "trace_id",
                  "start_seconds", "duration_seconds", "attributes")
 
     def __init__(self, tracer: "Tracer", name: str,
@@ -57,6 +112,7 @@ class Span:
         self.name = name
         self.span_id = next(tracer._ids)
         self.parent_id: int | None = None
+        self.trace_id: str | None = None
         self.start_seconds: float = 0.0
         self.duration_seconds: float = 0.0
         self.attributes = attributes
@@ -67,23 +123,30 @@ class Span:
 
     def __enter__(self) -> "Span":
         tracer = self.tracer
-        if tracer._stack:
-            self.parent_id = tracer._stack[-1].span_id
+        stack = tracer._stack
+        if stack:
+            parent = stack[-1]
+            if self.parent_id is None:
+                self.parent_id = parent.span_id
+            if self.trace_id is None:
+                self.trace_id = parent.trace_id
         self.start_seconds = tracer._clock() - tracer._epoch
-        tracer._stack.append(self)
+        stack.append(self)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         tracer = self.tracer
         self.duration_seconds = \
             tracer._clock() - tracer._epoch - self.start_seconds
-        if tracer._stack and tracer._stack[-1] is self:
-            tracer._stack.pop()
+        stack = tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
         tracer._finish(self)
 
     def to_dict(self) -> dict[str, Any]:
         return {"span_id": self.span_id,
                 "parent_id": self.parent_id,
+                "trace_id": self.trace_id,
                 "name": self.name,
                 "start_seconds": self.start_seconds,
                 "duration_seconds": self.duration_seconds,
@@ -99,8 +162,13 @@ class Tracer:
     dropped first); ``spans_started`` counts every span ever opened, so
     overhead projections survive the retention bound.
 
-    Not thread-safe by design: the controller serializes all decision
-    work behind the server lock, and the benchmarks are single-threaded.
+    The span *stack* — how nested spans find their parent — is
+    per-thread: the request path now crosses connection reader threads,
+    the scheduler thread, and executor pools, and each thread nests its
+    own spans.  Cross-thread and cross-process edges are expressed
+    explicitly through :class:`TraceContext` (see
+    :meth:`current_context` / :meth:`span_from_context`).  Finished-span
+    storage is a deque append under the GIL, safe from any thread.
     """
 
     enabled = True
@@ -112,8 +180,16 @@ class Tracer:
         self.max_spans = max_spans
         self.spans: deque[Span] = deque(maxlen=max_spans)
         self.spans_started = 0
-        self._stack: list[Span] = []
+        self._local = threading.local()
         self._ids = itertools.count(1)
+
+    @property
+    def _stack(self) -> list[Span]:
+        """This thread's stack of open spans (created lazily)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, **attributes: Any) -> Span:
         """Open a span; use as ``with tracer.span("controller.x"): ...``."""
@@ -122,6 +198,85 @@ class Tracer:
 
     def _finish(self, span: Span) -> None:
         self.spans.append(span)
+
+    # -- cross-thread / cross-process propagation ---------------------------
+
+    def new_trace_id(self) -> str:
+        """A fresh 16-hex-char trace id (unique across processes)."""
+        return uuid.uuid4().hex[:16]
+
+    def wire_context(self, span: Span) -> dict[str, Any]:
+        """The ``trace_ctx`` wire payload rooting a trace at ``span``.
+
+        Assigns the span a fresh trace id if it has none yet (the span
+        becomes the trace root).
+        """
+        if span.trace_id is None:
+            span.trace_id = self.new_trace_id()
+        return {"trace_id": span.trace_id, "span_id": span.span_id,
+                "sampled": True}
+
+    def span_from_context(self, name: str, ctx: TraceContext,
+                          **attributes: Any) -> Span:
+        """Open a span continuing a propagated trace (remote parent).
+
+        The remote parent's ``span_id`` comes from the *sender's* id
+        space; ids only need to be unique within one trace to link the
+        tree back together.
+        """
+        self.spans_started += 1
+        span = Span(self, name, attributes)
+        span.parent_id = ctx.span_id
+        span.trace_id = ctx.trace_id
+        return span
+
+    def current_context(self) -> TraceContext | None:
+        """The innermost open span on *this thread* as a TraceContext.
+
+        ``None`` when no span is open.  Lazily roots a trace at the
+        current span so the context is always linkable.
+        """
+        stack = self._stack
+        if not stack:
+            return None
+        span = stack[-1]
+        if span.trace_id is None:
+            span.trace_id = self.new_trace_id()
+        return TraceContext(trace_id=span.trace_id, span_id=span.span_id,
+                            sampled=True)
+
+    def adopt_subtree(self, records: Iterable[Mapping[str, Any]],
+                      parent_span: Span) -> int:
+        """Stitch serialized spans from another tracer under a local span.
+
+        Pool workers run their own :class:`Tracer` and ship
+        ``to_dicts()`` output back with their results; this re-bases
+        those records into this tracer — fresh span ids, start times
+        shifted onto ``parent_span``'s start (worker epochs begin at
+        task start), orphans re-parented onto ``parent_span``, and the
+        parent's trace id applied throughout.  Returns the number of
+        spans adopted.
+        """
+        records = list(records)
+        if not records:
+            return 0
+        id_map = {record["span_id"]: next(self._ids)
+                  for record in records if "span_id" in record}
+        for record in records:
+            span = Span(self, str(record.get("name", "span")),
+                        dict(record.get("attributes") or {}))
+            if "span_id" in record:
+                span.span_id = id_map[record["span_id"]]
+            span.parent_id = id_map.get(record.get("parent_id"),
+                                        parent_span.span_id)
+            span.trace_id = parent_span.trace_id
+            span.start_seconds = parent_span.start_seconds + float(
+                record.get("start_seconds", 0.0))
+            span.duration_seconds = float(
+                record.get("duration_seconds", 0.0))
+            self.spans_started += 1
+            self._finish(span)
+        return len(records)
 
     def record_span(self, name: str, start_seconds: float,
                     duration_seconds: float, **attributes: Any) -> Span:
@@ -137,8 +292,10 @@ class Tracer:
         span = Span(self, name, attributes)
         span.start_seconds = start_seconds
         span.duration_seconds = duration_seconds
-        if self._stack:
-            span.parent_id = self._stack[-1].span_id
+        stack = self._stack
+        if stack:
+            span.parent_id = stack[-1].span_id
+            span.trace_id = stack[-1].trace_id
         self._finish(span)
         return span
 
@@ -191,6 +348,17 @@ class NullTracer:
                     duration_seconds: float,
                     **attributes: Any) -> _NullSpan:
         return _NULL_SPAN
+
+    def span_from_context(self, name: str, ctx: "TraceContext",
+                          **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current_context(self) -> None:
+        return None
+
+    def adopt_subtree(self, records: Iterable[Mapping[str, Any]],
+                      parent_span: Any) -> int:
+        return 0
 
     def elapsed(self) -> float:
         return 0.0

@@ -24,9 +24,11 @@ Telemetry: every append bumps ``controller.wal.appends`` and
 from __future__ import annotations
 
 import os
+from time import perf_counter as _perf_counter
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.controller.optimizer import Candidate
+from repro.obs.flightrec import EVENT_WAL_APPEND
 from repro.controller.registry import AppInstance, BundleState
 from repro.errors import ControllerError
 from repro.persistence import codec
@@ -72,6 +74,7 @@ class DurabilityJournal:
                                  crash_schedule=crash_schedule)
         self.controller: "AdaptationController | None" = None
         self.snapshots_written = 0
+        self._append_hist = None   # cached controller.wal.append_seconds
         self._appends_since_snapshot = 0
         self._bundle_rsl: dict[tuple[str, str], str] = {}
         self._model_names: dict[str, dict[str, str]] = {}
@@ -149,13 +152,28 @@ class DurabilityJournal:
         if controller is None:
             raise ControllerError("journal is not attached")
         before = self.wal.bytes_written
+        started = _perf_counter()
         self.wal.append(kind, controller.now, data)
+        elapsed = _perf_counter() - started
         self._appends_since_snapshot += 1
         now = controller.now
         controller.metrics.increment("controller.wal.appends", now)
         controller.metrics.increment("controller.wal.bytes", now,
                                      amount=float(self.wal.bytes_written
                                                   - before))
+        appended = self.wal.bytes_written - before
+        # The append+fsync distribution is the single most load-bearing
+        # latency in the durable configuration — every admission waits on
+        # it — so it stays always-on, alongside a flight-ring breadcrumb.
+        hist = self._append_hist
+        if hist is None:
+            hist = self._append_hist = controller.metrics.histogram(
+                "controller.wal.append_seconds")
+        hist.observe(elapsed)
+        recorder = getattr(controller, "flight_recorder", None)
+        if recorder is not None:
+            recorder.record(EVENT_WAL_APPEND, record=kind,
+                            bytes=appended, seconds=round(elapsed, 6))
 
     # -- event records (called from the controller/server) --------------------
 

@@ -230,13 +230,16 @@ class TestSeverEvictionRejoin:
                    and options["c3"].value == "QS",
                    message="survivors flip back to QS")
 
-        # The evicted client rejoins through a *clean* redial (the fault
-        # wrapper hands back the inner transport's fresh connection) and
-        # is admitted as a fresh instance — tipping the count back over
-        # the threshold.
+        # The evicted client rejoins through a *healed* redial: the fault
+        # wrapper hands back a fresh connection wrapped in a never-fault
+        # schedule that keeps the old cumulative stats tally, and the new
+        # instance tips the count back over the threshold.
         assert faulty["c2"].can_redial
+        severed_tally = faulty["c2"].stats.snapshot()
         replacement = faulty["c2"].redial()
-        assert not isinstance(replacement, FaultyTransport)
+        assert isinstance(replacement, FaultyTransport)
+        assert replacement.stats is faulty["c2"].stats  # shared tally
+        assert not replacement.closed
         rejoined = HarmonyClient(replacement, retry_policy=FAST)
         fresh_key = rejoined.startup("DBclient")
         assert fresh_key != clients["c2"].app_key
@@ -244,6 +247,12 @@ class TestSeverEvictionRejoin:
         wait_until(lambda: options["c1"].value == "DS"
                    and options["c3"].value == "DS",
                    message="cohort flip to DS after rejoin")
+        # The healed link delivers cleanly (no new faults) while the
+        # cumulative tally keeps growing past its severed-time values.
+        healed = replacement.stats.snapshot()
+        assert healed["severed"] == 0.0
+        assert healed["delivered"] > severed_tally["delivered"]
+        assert healed["dropped"] == severed_tally["dropped"]
         rejoined.end()
 
 

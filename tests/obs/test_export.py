@@ -126,6 +126,67 @@ class TestJsonSnapshot:
         assert list(snapshot["metrics"]) == ["optimizer.cache.hits"]
 
 
+class TestHistogramExposition:
+    def test_bucket_sum_count_triplet(self):
+        metrics = MetricInterface()
+        hist = metrics.histogram("scheduler.batch_seconds",
+                                 bounds=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.5):
+            hist.observe(value)
+        text = prometheus_text(metrics)
+        samples = check_prometheus_exposition(text)
+        base = "scheduler_batch_seconds"
+        for bound in ("0.001", "0.01", "0.1", "+Inf"):
+            assert (f"{base}_bucket", f'{{le="{bound}"}}') in samples
+        assert (f"{base}_sum", None) in samples
+        assert (f"{base}_count", None) in samples
+        assert f"# TYPE {base} histogram" in text
+        assert f"{base}_count 3" in text
+        # Buckets are cumulative and end at the total count.
+        assert f'{base}_bucket{{le="+Inf"}} 3' in text
+
+    def test_timer_histogram_wins_over_its_gauge(self):
+        from repro.obs.instrument import Telemetry
+
+        metrics = MetricInterface()
+        telemetry = Telemetry(metrics, clock=lambda: 0.0)
+        with telemetry.timer("controller.flush_seconds"):
+            pass
+        text = prometheus_text(metrics)
+        check_prometheus_exposition(text)
+        # One TYPE line, histogram: the gauge series under the same
+        # dotted name is suppressed rather than emitted twice.
+        assert text.count("# TYPE controller_flush_seconds ") == 1
+        assert "# TYPE controller_flush_seconds histogram" in text
+        assert "controller_flush_seconds_count 1" in text
+
+    def test_gauge_name_collision_dodged_with_hist_suffix(self):
+        metrics = MetricInterface()
+        # A *different* dotted gauge sanitizes onto the histogram's base.
+        metrics.report("lock.a/wait", 0.0, 1.0)
+        metrics.histogram("lock.a.wait").observe(0.5)
+        text = prometheus_text(metrics)
+        samples = check_prometheus_exposition(text)
+        assert ("lock_a_wait", None) in samples            # the gauge
+        assert ("lock_a_wait_hist_count", None) in samples  # the histogram
+
+    def test_prefix_filter_applies_to_histograms(self):
+        metrics = MetricInterface()
+        metrics.histogram("lock.a.wait_seconds").observe(0.01)
+        metrics.histogram("server.rpc_seconds").observe(0.2)
+        text = prometheus_text(metrics, prefix="lock")
+        assert "lock_a_wait_seconds_count" in text
+        assert "server_rpc_seconds" not in text
+
+    def test_json_snapshot_carries_histograms(self):
+        metrics = MetricInterface()
+        metrics.histogram("wal.append_seconds").observe(0.002)
+        snapshot = json.loads(json.dumps(json_snapshot(metrics)))
+        snap = snapshot["histograms"]["wal.append_seconds"]
+        assert snap["count"] == 1
+        assert snap["sum"] == 0.002
+
+
 class TestSpansJsonl:
     def test_each_line_is_json(self):
         tracer = Tracer()

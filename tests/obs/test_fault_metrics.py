@@ -76,6 +76,76 @@ class TestFaultyTransportMetrics:
         assert lossy.stats.delivered == 1
 
 
+class _RedialableTransport:
+    """Minimal inner transport that knows how to dial itself again."""
+
+    def __init__(self):
+        self.closed = False
+        self.sent = []
+
+    def set_receiver(self, receiver):
+        pass
+
+    def send(self, message):
+        self.sent.append(message)
+
+    def close(self):
+        self.closed = True
+
+    can_redial = True
+
+    def redial(self):
+        return _RedialableTransport()
+
+
+class TestRedialContinuity:
+    """A healed replacement keeps publishing the same telemetry series."""
+
+    def drop_then_sever(self):
+        return ScriptedFaultSchedule({
+            ("send", 0): FaultAction.DROP,
+            ("send", 1): FaultAction.SEVER,
+        })
+
+    def test_metrics_series_survives_redial(self):
+        metrics = MetricInterface()
+        faulty = FaultyTransport(_RedialableTransport(),
+                                 self.drop_then_sever(), metrics=metrics)
+        faulty.send({"type": "a"})   # dropped
+        try:
+            faulty.send({"type": "b"})   # severed
+        except Exception:
+            pass
+        assert metrics.latest("faults.transport.severed") == 1.0
+
+        healed = faulty.redial()
+        assert healed.metrics is metrics
+        assert healed.stats is faulty.stats
+        assert not healed.closed
+        healed.send({"type": "c"})   # delivered, republishes the tally
+        assert metrics.latest("faults.transport.delivered") == 1.0
+        assert metrics.latest("faults.transport.severed") == 0.0
+        assert metrics.latest("faults.transport.dropped") == 1.0
+
+    def test_recorder_and_prefix_survive_redial(self):
+        from repro.obs.flightrec import EVENT_FAULT, FlightRecorder
+
+        metrics = MetricInterface()
+        recorder = FlightRecorder()
+        faulty = FaultyTransport(_RedialableTransport(),
+                                 self.drop_then_sever(),
+                                 metrics=metrics, metric_prefix="faults.c2",
+                                 recorder=recorder)
+        faulty.send({"type": "a"})
+        assert len(recorder.events(kind=EVENT_FAULT)) == 1
+        healed = faulty.redial()
+        assert healed.recorder is recorder
+        assert healed.metric_prefix == "faults.c2"
+        healed.send({"type": "b"})   # healed link never injects
+        assert len(recorder.events(kind=EVENT_FAULT)) == 1
+        assert metrics.latest("faults.c2.delivered") == 1.0
+
+
 class TestClientRetryMetrics:
     def test_retries_counted(self):
         from repro.api import HarmonyClient, HarmonyServer

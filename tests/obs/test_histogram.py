@@ -1,0 +1,127 @@
+"""The log-bucketed Histogram metric type and its quantile estimates."""
+
+import json
+import threading
+
+import pytest
+
+from repro.metrics import (
+    COUNT_BOUNDS,
+    MetricInterface,
+    SECONDS_BOUNDS,
+    quantile_from_snapshot,
+)
+from repro.metrics.histogram import Histogram
+
+
+class TestObserve:
+    def test_le_semantics_bucket_on_exact_bound(self):
+        hist = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        hist.observe(2.0)  # le: first bound >= value -> the 2.0 bucket
+        snap = hist.snapshot()
+        assert snap["counts"] == [0, 1, 1, 1]
+
+    def test_overflow_bucket_catches_everything_above(self):
+        hist = Histogram("h", bounds=(1.0,))
+        hist.observe(100.0)
+        snap = hist.snapshot()
+        assert snap["counts"] == [0, 1]
+        assert snap["counts"][-1] == snap["count"]
+
+    def test_sum_count_min_max(self):
+        hist = Histogram("h", bounds=(1.0, 10.0))
+        for value in (0.5, 2.0, 20.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(22.5)
+        snap = hist.snapshot()
+        assert snap["min"] == 0.5
+        assert snap["max"] == 20.0
+
+    def test_empty_snapshot_is_json_safe(self):
+        snap = Histogram("h", bounds=(1.0,)).snapshot()
+        assert snap["min"] is None and snap["max"] is None
+        json.dumps(snap, allow_nan=False)
+
+    def test_default_bounds_span_microseconds_to_seconds(self):
+        assert SECONDS_BOUNDS[0] == 1e-6
+        assert SECONDS_BOUNDS[-1] > 16.0
+        assert COUNT_BOUNDS[0] == 1.0
+        assert COUNT_BOUNDS[-1] == 65536.0
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, float("inf")))
+
+    def test_thread_safety_of_totals(self):
+        hist = Histogram("h", bounds=tuple(float(2 ** k)
+                                           for k in range(8)))
+
+        def pound():
+            for i in range(1000):
+                hist.observe(float(i % 100))
+
+        threads = [threading.Thread(target=pound) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = hist.snapshot()
+        assert snap["count"] == 4000
+        assert snap["counts"][-1] == 4000
+
+
+class TestQuantiles:
+    def test_median_interpolates_within_bucket(self):
+        hist = Histogram("h", bounds=(10.0, 20.0))
+        for value in (12.0, 14.0, 16.0, 18.0):
+            hist.observe(value)
+        # All four land in (10, 20]; rank 2 of 4 -> halfway up.
+        assert hist.quantile(0.5) == pytest.approx(15.0)
+
+    def test_quantile_survives_json_round_trip(self):
+        hist = Histogram("h")
+        for value in (0.001, 0.002, 0.004, 2.0):
+            hist.observe(value)
+        wire = json.loads(json.dumps(hist.snapshot()))
+        assert quantile_from_snapshot(wire, 0.25) is not None
+
+    def test_overflow_quantile_reports_recorded_max(self):
+        hist = Histogram("h", bounds=(1.0,))
+        hist.observe(50.0)
+        assert hist.quantile(0.99) == 50.0
+
+    def test_empty_quantile_is_none(self):
+        assert Histogram("h").quantile(0.5) is None
+
+    def test_out_of_range_quantile_rejected(self):
+        hist = Histogram("h")
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+
+class TestRegistry:
+    def test_histogram_created_on_first_use_and_cached(self):
+        metrics = MetricInterface()
+        first = metrics.histogram("lock.demo.wait_seconds")
+        again = metrics.histogram("lock.demo.wait_seconds")
+        assert first is again
+
+    def test_bounds_only_apply_on_creation(self):
+        metrics = MetricInterface()
+        hist = metrics.histogram("depth", bounds=(1.0, 2.0))
+        assert metrics.histogram("depth").bounds == (1.0, 2.0)
+        assert hist.bounds == (1.0, 2.0)
+
+    def test_histograms_listing_filters_by_dotted_prefix(self):
+        metrics = MetricInterface()
+        metrics.histogram("lock.a.wait_seconds").observe(0.01)
+        metrics.histogram("scheduler.batch_seconds").observe(0.5)
+        names = [name for name, _ in metrics.histograms(prefix="lock")]
+        assert names == ["lock.a.wait_seconds"]
+        assert len(metrics.histograms()) == 2

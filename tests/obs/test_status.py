@@ -35,8 +35,8 @@ class TestStatusMessage:
     def test_report_shape(self, controller):
         server = HarmonyServer(controller)
         status = monitoring_client(server).query_status()
-        assert sorted(status) == ["decision_traces", "metrics",
-                                  "optimizer", "server"]
+        assert sorted(status) == ["decision_traces", "histograms",
+                                  "metrics", "optimizer", "server"]
         assert status["server"]["active_sessions"] == 0
         assert status["optimizer"]["candidates_evaluated"] == 4
 
