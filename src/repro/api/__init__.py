@@ -29,9 +29,14 @@ from repro.api.faults import (
     SeededFaultSchedule,
 )
 from repro.api.protocol import (
+    CONTROLLER_MOVED,
     HEARTBEAT,
     HEARTBEAT_ACK,
     LEASE_EXPIRED,
+    REPL_ACK,
+    REPL_HELLO,
+    REPL_RECORDS,
+    REPL_SNAPSHOT,
     FrameDecoder,
     encode_message,
     make_message,
@@ -65,4 +70,6 @@ __all__ = [
     "ScriptedFaultSchedule", "FaultStats", "FaultyTransport",
     "encode_message", "FrameDecoder", "make_message",
     "HEARTBEAT", "HEARTBEAT_ACK", "LEASE_EXPIRED",
+    "CONTROLLER_MOVED", "REPL_HELLO", "REPL_ACK", "REPL_RECORDS",
+    "REPL_SNAPSHOT",
 ]

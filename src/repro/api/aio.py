@@ -139,8 +139,18 @@ class AsyncioTransport(Transport):
             raise TransportError(f"event loop is gone: {exc}") from exc
 
     def _write(self, data: bytes) -> None:
-        """Loop thread: write (or hold, while flow control is paused)."""
-        if self._closed or self._transport.is_closing():
+        """Loop thread: write (or hold, while flow control is paused).
+
+        Only an actually-closing socket drops the frame.  ``_closed``
+        alone does not: it flips the moment ``close()`` is *requested*,
+        possibly from another thread, while this callback may carry a
+        frame that was accepted (and perhaps already acknowledged to a
+        caller) before that request — loop callback ordering guarantees
+        such frames run before ``_close_on_loop``, so honoring them
+        preserves the accepted-implies-delivered contract of an orderly
+        close.
+        """
+        if self._transport.is_closing():
             with self._mutex:
                 self._queued_writes -= 1
             return
@@ -186,9 +196,17 @@ class AsyncioTransport(Transport):
             pass  # loop already gone; the socket dies with it
 
     def _close_on_loop(self) -> None:
-        self._held.clear()
+        # An orderly goodbye: flush frames accepted before the close was
+        # requested (asyncio's transport.close() then drains its own
+        # buffer before FIN), so a crash-stop never swallows bytes the
+        # server already took responsibility for.
         if not self._transport.is_closing():
+            while self._held:
+                with self._mutex:
+                    self._queued_writes -= 1
+                self._transport.write(self._held.popleft())
             self._transport.close()
+        self._held.clear()
 
     def _mark_lost(self) -> None:
         """Loop thread: the peer vanished (connection_lost)."""

@@ -28,12 +28,14 @@ etc.) operate on a process-wide default client for API fidelity.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.api.protocol import (
     CONTROLLER_BUSY,
+    CONTROLLER_MOVED,
     CONTROLLER_RECOVERING,
     HEARTBEAT,
     HEARTBEAT_ACK,
@@ -43,11 +45,12 @@ from repro.api.protocol import (
     require_field,
 )
 from repro.api.retry import RetryPolicy
-from repro.api.transport import Transport
+from repro.api.transport import TcpTransport, Transport
 from repro.api.variables import HarmonyVariable, VariableTable, VariableType
 from repro.obs.trace import NULL_TRACER
 from repro.errors import (
     ControllerBusyError,
+    ControllerMovedError,
     ControllerRecoveringError,
     HarmonyError,
     LeaseExpiredError,
@@ -92,6 +95,15 @@ class HarmonyClient:
     cost bounded: a deterministic 1-in-N stride (rate 1.0 traces every
     request, 0.1 every 10th, 0 none); unsampled requests allocate no
     span at all.
+
+    ``failover`` is the static failover list: where to look for the
+    controller when the current connection is dead or answers with a
+    ``controller_moved`` redirect.  Each entry is either a ``host:port``
+    string or a zero-argument transport factory.  A redirect's explicit
+    ``leader`` hint always wins over list rotation; a dead or still-
+    standby target advances the rotation.  :attr:`term` tracks the
+    highest controller term seen on any reply, so a client that has
+    talked to the new primary can never be fooled by a deposed one.
     """
 
     def __init__(self, transport: Transport,
@@ -99,10 +111,17 @@ class HarmonyClient:
                  transport_factory: Callable[[], Transport] | None = None,
                  metrics: "MetricInterface | None" = None,
                  tracer=None,
-                 trace_sample_rate: float = 1.0):
+                 trace_sample_rate: float = 1.0,
+                 failover: list[Any] | None = None):
         self.transport = transport
         self.retry_policy = retry_policy or RetryPolicy()
         self.transport_factory = transport_factory
+        self.failover = list(failover or [])
+        #: Highest controller term observed on any reply (0 = none yet).
+        self.term = 0
+        self._moved_leader: str | None = None
+        self._force_reconnect = False
+        self._target_index = 0
         self.metrics = metrics
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if not 0.0 <= trace_sample_rate <= 1.0:
@@ -261,7 +280,8 @@ class HarmonyClient:
                 "decision_traces": reply.get("decision_traces", []),
                 "optimizer": reply.get("optimizer", {}),
                 "server": reply.get("server", {}),
-                "histograms": reply.get("histograms", {})}
+                "histograms": reply.get("histograms", {}),
+                "replication": reply.get("replication", {})}
 
     def poll_update(self) -> dict[str, Any] | None:
         """Non-blocking check for a new update batch (simulation-friendly).
@@ -419,18 +439,32 @@ class HarmonyClient:
             if attempt > 1:
                 self._retries += 1
                 self._count("client.retries")
-                delay = policy.backoff_delay(attempt - 1)
+                delay = policy.jittered_delay(attempt - 1)
                 if delay > 0:
                     time.sleep(delay)
                 self._recover_connection()
+                if self._force_reconnect:
+                    # Recovery did not produce a bound session (the
+                    # replay was redirected or refused mid-flight).
+                    # Sending the real request now would reach an
+                    # unregistered session and draw a misleading,
+                    # non-retryable refusal — spend the attempt on
+                    # another recovery round instead.
+                    continue
             try:
                 return self._request_once(message)
             except (RequestTimeoutError, TransportError,
-                    ControllerBusyError) as exc:
+                    ControllerBusyError, ControllerMovedError) as exc:
                 # ControllerBusyError is the server's admission
                 # backpressure — transient by contract, so it rides the
                 # same backoff loop as connection failures.
+                # ControllerMovedError is the failover redirect: also
+                # retryable, but the next attempt must reconnect (to
+                # the redirect's leader hint) even though the current
+                # transport is still perfectly healthy.
                 last_error = exc
+                if isinstance(exc, ControllerMovedError):
+                    self._force_reconnect = True
         raise RetryExhaustedError(str(message.get("type")),
                                   policy.max_attempts) from last_error
 
@@ -440,10 +474,33 @@ class HarmonyClient:
         self._response = None
         self.transport.send(message)
         timeout = self.retry_policy.request_timeout_seconds
-        if not self._response_ready.wait(timeout=timeout):
-            raise RequestTimeoutError(str(message.get("type")), timeout)
+        deadline = time.monotonic() + timeout
+        while not self._response_ready.is_set():
+            # Fail fast when the connection dies under the request (the
+            # peer crashed): waiting out the full request timeout for a
+            # reply that can never arrive just slows failover down.
+            if self.transport.closed:
+                raise TransportError(
+                    f"connection closed awaiting "
+                    f"{message.get('type')!r} reply")
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RequestTimeoutError(str(message.get("type")),
+                                          timeout)
+            self._response_ready.wait(timeout=min(0.05, remaining))
         response = self._response
         assert response is not None
+        term = response.get("term")
+        if isinstance(term, (int, float)) and int(term) > self.term:
+            self.term = int(term)
+        if response.get("type") == CONTROLLER_MOVED:
+            leader = response.get("leader")
+            self._moved_leader = str(leader) if leader else None
+            raise ControllerMovedError(
+                f"controller moved: "
+                f"{response.get('message', 'not the primary')}",
+                leader=self._moved_leader,
+                term=int(response.get("term", 0) or 0))
         if response.get("type") == "error":
             if response.get("code") == CONTROLLER_RECOVERING:
                 # Typed and retryable-by-the-caller: the server is
@@ -463,28 +520,90 @@ class HarmonyClient:
 
     def _recover_connection(self) -> None:
         """Best-effort reconnect + replay between retry attempts."""
-        if not self.transport.closed:
+        if not self.transport.closed and not self._force_reconnect:
             return
+        self._force_reconnect = False
         try:
             self._reconnect_transport()
             if self._app_name is not None:
                 self._replay_session()
-        except (TransportError, HarmonyError):
-            pass  # the retry loop will surface the next attempt's failure
+        except ControllerMovedError:
+            # We reconnected to a standby: its redirect recorded a
+            # fresher leader hint; force the next attempt to hop again.
+            self._force_reconnect = True
+        except TransportError:
+            # Dead target (dial refused, or it died mid-replay): rotate
+            # to the next failover candidate for the following attempt —
+            # and redial even if this dial left an open socket, because
+            # its session was never (fully) replayed.
+            self._advance_target()
+            self._force_reconnect = True
+        except HarmonyError:
+            # Replay stopped early (busy, recovering, evicted): the new
+            # session is not fully bound, so a request sent on it now
+            # would be refused with a misleading "register first".
+            # Redial and replay from scratch on the next attempt.
+            self._force_reconnect = True
 
     def _reconnect_transport(self) -> None:
-        """Swap in a fresh transport from the factory (or TCP redial)."""
-        factory = self.transport_factory
-        if factory is None and getattr(self.transport, "can_redial", False):
-            factory = self.transport.redial
+        """Swap in a fresh transport aimed at the best-known controller.
+
+        Target choice, in order: an explicit ``controller_moved``
+        ``leader`` hint (consumed once), then the rotation over the
+        base reconnect path (``transport_factory`` or TCP redial) and
+        the static :attr:`failover` list.
+        """
+        factory = self._next_target_factory()
         if factory is None:
             raise TransportError(
                 "transport closed and no reconnect path configured")
+        old = self.transport
+        if not old.closed:
+            with contextlib.suppress(Exception):
+                old.close()
         transport = factory()
         transport.set_receiver(self._on_message)
         self.transport = transport
         self._reconnects += 1
         self._count("client.reconnects")
+
+    def _next_target_factory(self) -> Callable[[], Transport] | None:
+        leader = self._moved_leader
+        if leader:
+            # A redirect hint is consumed once: if the hinted leader
+            # turns out dead too, rotation takes over.
+            self._moved_leader = None
+            self._count("client.redirects_followed")
+            return self._as_factory(leader)
+        targets = self._reconnect_targets()
+        if not targets:
+            return None
+        return targets[self._target_index % len(targets)]
+
+    def _reconnect_targets(self) -> list[Callable[[], Transport]]:
+        base = self.transport_factory
+        if base is None and getattr(self.transport, "can_redial", False):
+            base = self.transport.redial
+        targets: list[Callable[[], Transport]] = []
+        if base is not None:
+            targets.append(base)
+        targets.extend(self._as_factory(entry) for entry in self.failover)
+        return targets
+
+    def _advance_target(self) -> None:
+        self._target_index += 1
+        self._count("client.failover_rotations")
+
+    @staticmethod
+    def _as_factory(entry: Any) -> Callable[[], Transport]:
+        """A failover entry: a transport factory or a host:port string."""
+        if callable(entry):
+            return entry
+        host, _, port = str(entry).rpartition(":")
+        if not host or not port.isdigit():
+            raise ProtocolError(
+                f"failover entry {entry!r} is not host:port or callable")
+        return lambda: TcpTransport.connect(host, int(port))
 
     def _replay_session(self) -> None:
         """Re-register (resuming the old key) and replay bundles/variables.

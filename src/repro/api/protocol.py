@@ -16,6 +16,8 @@ Client -> server message types (mirroring the Figure 5 API):
 * ``status``         {prefix?, max_traces?}
 * ``heartbeat``      {key?}
 * ``end``            {}
+* ``repl_hello``     {standby_id, last_seq}     (standby -> primary)
+* ``repl_ack``       {standby_id, seq}          (standby -> primary)
 
 Server -> client:
 
@@ -29,6 +31,9 @@ Server -> client:
 * ``lease_expired``    {message}
 * ``ended``            {}
 * ``error``            {message, code?}
+* ``controller_moved`` {message, term, leader?}
+* ``repl_records``     {term, frames: [str]}       (primary -> standby)
+* ``repl_snapshot``    {term, last_seq, crc, state} (primary -> standby)
 
 ``register`` with a ``resume_key`` is a *rejoin*: if the named instance is
 still registered (its lease has not expired), the server re-binds the new
@@ -43,6 +48,22 @@ replaying its durability log in read-only mode, and the client library
 maps it to :class:`~repro.errors.ControllerRecoveringError` instead of a
 generic failure.  :data:`MUTATING_TYPES` is the message set the read-only
 mode refuses (queries, status, and heartbeats still flow).
+
+The replication vocabulary rides the same codec.  A standby dials the
+primary like any client and sends ``repl_hello`` with the last WAL
+sequence number it holds; the primary answers with ``repl_records``
+(each element of ``frames`` is one CRC-framed WAL line, exactly the
+bytes the primary wrote to disk, so the standby re-verifies the checksum
+end-to-end) and streams further appends as they happen, interleaving
+``repl_snapshot`` offers when the standby is behind the compaction
+horizon.  ``repl_ack`` reports the standby's durable high-water mark.
+
+``controller_moved`` is the failover redirect: a standby (or a deposed
+primary fenced by a higher term) refuses every :data:`MUTATING_TYPES`
+request with it, carrying the refuser's ``term`` and, when the fencing
+record knows it, a ``leader`` ``host:port`` hint.  Once a server has a
+nonzero term it stamps ``term`` on *every* reply, so clients can spot a
+stale primary.  See docs/replication.md.
 """
 
 from __future__ import annotations
@@ -57,7 +78,9 @@ __all__ = ["encode_message", "FrameDecoder", "make_message",
            "require_field", "CLIENT_TYPES", "SERVER_TYPES",
            "HEARTBEAT", "HEARTBEAT_ACK", "LEASE_EXPIRED",
            "STATUS", "STATUS_REPORT", "CONTROLLER_RECOVERING",
-           "CONTROLLER_BUSY", "MUTATING_TYPES", "TRACE_CTX_FIELD"]
+           "CONTROLLER_BUSY", "CONTROLLER_MOVED", "MUTATING_TYPES",
+           "TRACE_CTX_FIELD", "REPL_HELLO", "REPL_ACK", "REPL_RECORDS",
+           "REPL_SNAPSHOT"]
 
 _HEADER = struct.Struct(">I")
 MAX_FRAME_BYTES = 16 * 1024 * 1024
@@ -71,14 +94,25 @@ LEASE_EXPIRED = "lease_expired"
 STATUS = "status"
 STATUS_REPORT = "status_report"
 
+#: The replication vocabulary (standby -> primary rides the client
+#: direction; the stream back rides the server direction).
+REPL_HELLO = "repl_hello"
+REPL_ACK = "repl_ack"
+REPL_RECORDS = "repl_records"
+REPL_SNAPSHOT = "repl_snapshot"
+
+#: The failover redirect: "I am not the primary; go there."
+CONTROLLER_MOVED = "controller_moved"
+
 CLIENT_TYPES = frozenset({
     "register", "bundle_setup", "add_variable", "wait_for_update",
     "report_metric", "query_nodes", STATUS, HEARTBEAT, "end",
+    REPL_HELLO, REPL_ACK,
 })
 SERVER_TYPES = frozenset({
     "registered", "bundle_ok", "variable_added", "variable_update",
     "node_list", STATUS_REPORT, HEARTBEAT_ACK, LEASE_EXPIRED, "ended",
-    "error",
+    "error", CONTROLLER_MOVED, REPL_RECORDS, REPL_SNAPSHOT,
 })
 
 #: Error code on ``error`` replies sent while recovery is in flight.

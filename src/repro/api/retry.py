@@ -12,6 +12,7 @@ existing callers see no change unless they opt into retries.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro.errors import ProtocolError
@@ -30,6 +31,11 @@ class RetryPolicy:
     * ``backoff_initial_seconds`` / ``backoff_multiplier`` /
       ``backoff_max_seconds`` — the delay before retry *n* is
       ``initial * multiplier**(n-1)``, capped at the maximum.
+    * ``backoff_jitter`` — fraction of each delay that is randomized
+      (full jitter).  ``0`` keeps the schedule deterministic; ``1``
+      draws uniformly from ``[0, delay]``.  Jitter is what stops a
+      failed-over client herd from retrying in lockstep against the
+      new primary.
     * ``heartbeat_interval_seconds`` — cadence of
       :meth:`~repro.api.client.HarmonyClient.start_heartbeats`; keep it
       well under the server's lease so several beats can be lost before
@@ -41,6 +47,7 @@ class RetryPolicy:
     backoff_initial_seconds: float = 0.1
     backoff_multiplier: float = 2.0
     backoff_max_seconds: float = 5.0
+    backoff_jitter: float = 0.0
     heartbeat_interval_seconds: float = 5.0
 
     def __post_init__(self) -> None:
@@ -52,16 +59,40 @@ class RetryPolicy:
             raise ProtocolError("backoff_initial_seconds must be >= 0")
         if self.backoff_multiplier < 1:
             raise ProtocolError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ProtocolError("backoff_jitter must be in [0, 1]")
         if self.heartbeat_interval_seconds <= 0:
             raise ProtocolError("heartbeat_interval_seconds must be positive")
 
     def backoff_delay(self, retry_number: int) -> float:
-        """Seconds to wait before retry ``retry_number`` (1-based)."""
+        """Seconds to wait before retry ``retry_number`` (1-based).
+
+        This is the *deterministic* schedule — the upper bound the
+        jittered delay is drawn against.
+        """
         if retry_number < 1:
             raise ProtocolError("retry_number is 1-based")
         delay = (self.backoff_initial_seconds
                  * self.backoff_multiplier ** (retry_number - 1))
         return min(delay, self.backoff_max_seconds)
+
+    def jittered_delay(self, retry_number: int,
+                       rng: random.Random | None = None) -> float:
+        """The actual sleep before retry ``retry_number``: full jitter.
+
+        The jittered fraction of the deterministic delay is replaced by
+        a uniform draw over itself (AWS "full jitter"):
+        ``delay*(1-jitter) + uniform(0, delay*jitter)``.  With
+        ``backoff_jitter=0`` this is exactly :meth:`backoff_delay`; with
+        ``1`` it is ``uniform(0, delay)`` — the spread that de-correlates
+        a thundering herd of retrying clients.  Pass ``rng`` (a seeded
+        :class:`random.Random`) for deterministic tests.
+        """
+        delay = self.backoff_delay(retry_number)
+        if self.backoff_jitter == 0.0 or delay == 0.0:
+            return delay
+        draw = (rng or random).uniform(0.0, delay * self.backoff_jitter)
+        return delay * (1.0 - self.backoff_jitter) + draw
 
     def delays(self) -> list[float]:
         """The full backoff schedule: one delay per allowed retry."""

@@ -57,11 +57,14 @@ from typing import Any, Callable, Iterator
 from repro.api.protocol import (
     CLIENT_TYPES,
     CONTROLLER_BUSY,
+    CONTROLLER_MOVED,
     CONTROLLER_RECOVERING,
     HEARTBEAT,
     HEARTBEAT_ACK,
     LEASE_EXPIRED,
     MUTATING_TYPES,
+    REPL_ACK,
+    REPL_HELLO,
     STATUS,
     STATUS_REPORT,
     make_message,
@@ -79,10 +82,12 @@ from repro.errors import (
     ControllerError,
     HarmonyError,
     ProtocolError,
+    ReplicationError,
     TransportError,
 )
-from repro.obs.flightrec import (EVENT_BACKPRESSURE, EVENT_LEASE_EXPIRED,
-                                 EVENT_PUSH, EVENT_RPC_IN, EVENT_RPC_OUT,
+from repro.obs.flightrec import (EVENT_BACKPRESSURE, EVENT_DEMOTION,
+                                 EVENT_LEASE_EXPIRED, EVENT_PUSH,
+                                 EVENT_RPC_IN, EVENT_RPC_OUT,
                                  EVENT_SERVER_ERROR)
 from repro.obs.instrument import InstrumentedRLock
 from repro.obs.trace import TraceContext
@@ -94,7 +99,11 @@ DEFAULT_PORT = 52766
 
 #: Requests that mutate controller state and therefore take
 #: ``controller_lock``.  Everything else runs without it.
-_CONTROLLER_LOCKED_TYPES = frozenset({"register", "bundle_setup", "end"})
+#: ``repl_hello`` is here for a different reason: a standby's catch-up
+#: snapshot must not race a concurrent append, and appends run under
+#: ``controller_lock``.
+_CONTROLLER_LOCKED_TYPES = frozenset({"register", "bundle_setup", "end",
+                                      REPL_HELLO})
 
 #: The admission pipeline: the subset of controller-locked requests the
 #: bounded pending queue applies to.  ``end`` is exempt — releasing
@@ -149,6 +158,12 @@ class HarmonySession:
     def _on_message(self, message: dict[str, Any]) -> None:
         msg_type = str(message.get("type"))
         server = self.server
+        if server.failed:
+            # Crash-only semantics: a fail-stopped server behaves like a
+            # dead process — it never answers, it just drops the line.
+            with contextlib.suppress(Exception):
+                self.transport.close()
+            return
         server.count_rpc(msg_type)
         recorder = server.recorder
         if recorder is not None:
@@ -179,6 +194,12 @@ class HarmonySession:
             # Unhandled server error: capture the event timeline before
             # the exception unwinds whatever thread delivered us.
             server.note_server_error(exc, rpc=msg_type)
+            if server.fail_stop_on_error:
+                # Crash-only discipline (chaos suites): an unhandled
+                # error kills the whole server, not just this
+                # connection — otherwise an asyncio front end would
+                # keep the listener alive as a half-dead zombie.
+                server.fail_stop()
             raise
 
     def _locked_dispatch(self, msg_type: str,
@@ -196,6 +217,12 @@ class HarmonySession:
 
     def _dispatch(self, message: dict[str, Any]) -> None:
         msg_type = message.get("type")
+        if self.server.standby and msg_type in MUTATING_TYPES:
+            # A standby serves reads (status, heartbeats) but refuses
+            # every mutation with a redirect carrying its best guess at
+            # the current primary — the fencing record's address.
+            self._reply(self.server.moved_reply())
+            return
         if self.server.recovering and msg_type in MUTATING_TYPES:
             # Degraded read-only mode while crash recovery replays the
             # durability log: queries and status still flow, anything
@@ -231,6 +258,10 @@ class HarmonySession:
             self._handle_heartbeat()
         elif msg_type == "end":
             self._handle_end()
+        elif msg_type == REPL_HELLO:
+            self._handle_repl_hello(message)
+        elif msg_type == REPL_ACK:
+            self._handle_repl_ack(message)
         else:
             raise ProtocolError(f"unknown message type {msg_type!r}")
         if self.instance is not None and not self.instance.ended:
@@ -368,12 +399,35 @@ class HarmonySession:
         self._reply(make_message("ended"))
         self.server.detach(self)
 
+    def _handle_repl_hello(self, message: dict[str, Any]) -> None:
+        """A standby subscribing to the WAL stream (under controller_lock).
+
+        Runs with ``controller_lock`` held (see
+        ``_CONTROLLER_LOCKED_TYPES``): the catch-up snapshot/tail the
+        primary ships here cannot race a concurrent append, so the
+        standby never observes a torn view of the log.
+        """
+        replication = self.server.replication
+        if replication is None:
+            raise ProtocolError(
+                "replication is not enabled on this server")
+        replication.handle_hello(self.transport, message)
+
+    def _handle_repl_ack(self, message: dict[str, Any]) -> None:
+        if self.server.replication is not None:
+            self.server.replication.handle_ack(message)
+
     def _require_instance(self) -> AppInstance:
         if self.instance is None:
             raise ProtocolError("register first")
         return self.instance
 
     def _reply(self, message: dict[str, Any]) -> None:
+        term = self.server.controller.term
+        if term > 0 and "term" not in message:
+            # Once elected into a term, stamp it on every reply so
+            # clients can spot (and report) a deposed, stale primary.
+            message["term"] = term
         recorder = self.server.recorder
         if recorder is not None:
             recorder.record(EVENT_RPC_OUT, rpc=str(message.get("type")))
@@ -422,7 +476,11 @@ class HarmonyServer:
                  clock: Callable[[], float] | None = None,
                  recovering: bool = False,
                  max_pending_admissions: int | None = None,
-                 flight_dump_path: str | None = None):
+                 flight_dump_path: str | None = None,
+                 standby: bool = False,
+                 fail_stop_on_error: bool = False,
+                 pending_vars_cap: int | None = None,
+                 failover_targets: list[str] | None = None):
         self.controller = controller
         self.auto_flush = auto_flush
         self.lease_seconds = lease_seconds
@@ -431,10 +489,34 @@ class HarmonyServer:
         #: requests get ``error.code=controller_recovering`` until
         #: :meth:`complete_recovery`.
         self.recovering = recovering
+        #: Standby role: reads are served, mutations are refused with a
+        #: ``controller_moved`` redirect.  Flipped by :meth:`set_primary`
+        #: (promotion) and :meth:`demote`.
+        self.standby = standby
+        #: Crash-only failure discipline for chaos suites: an unhandled
+        #: dispatch error fail-stops the whole server (listener closed,
+        #: every connection dropped) instead of killing one connection.
+        self.fail_stop_on_error = fail_stop_on_error
+        #: Set by :meth:`fail_stop`; a failed server drops everything.
+        self.failed = False
+        #: The WAL-shipping side (``None`` until
+        #: :meth:`enable_replication`).
+        self.replication = None
+        #: The shared fencing record this server's term lives in
+        #: (``None`` when replication runs unfenced).
+        self.fencing = None
+        self._fencing_holder: str | None = None
+        self._fencing_lease_seconds = 30.0
+        #: Where clients should look for the primary (advertised in
+        #: ``controller_moved`` redirects when no fencing record is
+        #: available to consult).
+        self.failover_targets = list(failover_targets or [])
         #: Where to dump the flight recorder on an unhandled server
         #: error (``None`` records the event but writes nothing).
         self.flight_dump_path = flight_dump_path
-        self.buffer = PendingVariableBuffer()
+        self.buffer = PendingVariableBuffer(
+            max_per_client=pending_vars_cap,
+            on_evict=self._on_pending_evicted)
         # The three pipeline locks publish always-on wait/hold
         # histograms (lock.<name>.{wait,hold}_seconds): contention is
         # the invisible cost of an admission burst, and a gauge or
@@ -493,6 +575,12 @@ class HarmonyServer:
             except OSError:
                 pass
 
+    def _on_pending_evicted(self, client_id: str, dropped: int) -> None:
+        """A bounded pending-variable buffer evicted stale batches."""
+        controller = self.controller
+        controller.metrics.increment("server.pending_vars_dropped",
+                                     controller.now, amount=float(dropped))
+
     def count_rpc(self, msg_type: str) -> None:
         """Count one received RPC as ``server.rpc.<type>`` (cumulative).
 
@@ -533,6 +621,7 @@ class HarmonyServer:
                 "lease_seconds": self.lease_seconds,
                 "recovering": self.recovering,
             },
+            "replication": self.replication_status(),
         }
 
     # -- admission backpressure ----------------------------------------------
@@ -574,6 +663,202 @@ class HarmonyServer:
         """Recovery finished: accept mutations (and rejoins) again."""
         with self.controller_lock:
             self.recovering = False
+
+    # -- replication & failover ----------------------------------------------
+
+    def enable_replication(self, fencing=None, lease_seconds: float = 30.0,
+                           address: str | None = None) -> str:
+        """Become a replicating primary; returns the role taken.
+
+        With a :class:`~repro.persistence.replication.FencingStore`, the
+        server first tries to acquire the fencing lease (bumping the
+        term).  If another holder's lease is live — a newer primary was
+        elected while this one was down — the server *demotes itself to
+        standby* instead of split-braining, and returns ``"standby"``.
+        On success the new term is journaled (durable before anything is
+        served under it), stamped on every reply from here on, and a
+        :class:`~repro.persistence.replication.ReplicationPrimary` is
+        installed to ship WAL records to subscribing standbys.
+
+        Without fencing the term is simply ``controller.term + 1`` —
+        single-machine tests and demos that want replication without a
+        shared fencing file.
+        """
+        from repro.persistence.replication import ReplicationPrimary
+
+        controller = self.controller
+        journal = controller.journal
+        if journal is None:
+            raise ControllerError(
+                "enable_replication requires an attached durability "
+                "journal (the WAL is the replication stream)")
+        holder = address or f"server-{id(self):x}"
+        with self.controller_lock:
+            self.fencing = fencing
+            self._fencing_holder = holder
+            self._fencing_lease_seconds = lease_seconds
+            if fencing is not None:
+                try:
+                    term = fencing.acquire(holder,
+                                           lease_seconds=lease_seconds,
+                                           address=address)
+                except ReplicationError:
+                    # Fenced out: a live, higher-term primary exists.
+                    self.demote()
+                    return "standby"
+            else:
+                term = controller.term + 1
+            journal.record_term(term, holder)
+            controller.note_term(term)
+            self.replication = ReplicationPrimary(journal,
+                                                  controller).install()
+            self.standby = False
+            self.failed = False
+        return "primary"
+
+    def renew_fencing(self, now: float | None = None) -> bool:
+        """Renew the primary lease; demote when the term moved on.
+
+        Returns ``True`` while this server is (still) the fenced
+        primary.  A deposed primary — one whose fencing record now
+        carries a higher term, or whose renew is refused — demotes to
+        standby here instead of continuing to serve a dead term.
+        """
+        if self.standby:
+            return False
+        if self.fencing is None:
+            return True
+        record = self.fencing.read()
+        if record.term > self.controller.term:
+            self.demote(observed_term=record.term)
+            return False
+        try:
+            self.fencing.renew(self._fencing_holder,
+                               self.controller.term, now=now)
+        except ReplicationError:
+            self.demote(observed_term=self.fencing.read().term)
+            return False
+        return True
+
+    def demote(self, observed_term: int | None = None) -> None:
+        """Step down to standby: mutations now answer with redirects."""
+        with self.controller_lock:
+            if self.standby:
+                return
+            self.standby = True
+            self.replication = None
+        controller = self.controller
+        controller.metrics.increment("server.demotions", controller.now)
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.record(EVENT_DEMOTION, term=controller.term,
+                            observed_term=observed_term)
+
+    def set_primary(self) -> None:
+        """Flip a standby server to primary (after a replica promoted).
+
+        The caller is responsible for having won the term first —
+        typically via
+        :meth:`~repro.persistence.replication.ReplicationStandby.promote`,
+        which acquires the fencing lease, journals the term, and hands
+        back a live controller; :meth:`adopt_controller` wires it in.
+        """
+        with self.controller_lock:
+            self.standby = False
+
+    def adopt_controller(self, controller: AdaptationController) -> None:
+        """Swap in a replica's rebuilt controller (standby servers).
+
+        A standby server is constructed before its replica has finished
+        catching up; once the replica (re)builds its controller — and
+        again at promotion — the server adopts it so status queries and,
+        post-promotion, mutations run against the replicated state.
+        """
+        with self.controller_lock:
+            if controller is self.controller:
+                return
+            self.controller = controller
+            controller.add_listener(self._on_reconfiguration)
+
+    def moved_reply(self) -> dict[str, Any]:
+        """The ``controller_moved`` redirect a standby answers with."""
+        leader = self.leader_hint()
+        message = "this server is a standby, not the primary controller"
+        if leader:
+            message += f"; try {leader}"
+        fields: dict[str, Any] = {"message": message,
+                                  "term": self.controller.term}
+        if leader:
+            fields["leader"] = leader
+        return make_message(CONTROLLER_MOVED, **fields)
+
+    def leader_hint(self) -> str | None:
+        """Best guess at the current primary's address, if any.
+
+        The fencing record is authoritative (whoever holds the lease is
+        the primary); without one, the first configured failover target
+        is offered.
+        """
+        if self.fencing is not None:
+            record = self.fencing.read()
+            if record.address and record.holder != self._fencing_holder:
+                return str(record.address)
+        if self.failover_targets:
+            return self.failover_targets[0]
+        return None
+
+    def fail_stop(self) -> None:
+        """Simulate crash-only failure: stop answering, drop every line.
+
+        Closes the listener and every bound session transport and marks
+        the server failed so racing reader threads drop their messages.
+        Unlike :meth:`stop` this never joins threads (it may be running
+        *on* a reader thread) and never drains the scheduler — a crash
+        doesn't say goodbye.
+        """
+        self.failed = True
+        self._stopping = True
+        listener = self._listener_socket
+        self._listener_socket = None
+        if listener is not None:
+            with contextlib.suppress(OSError):
+                listener.close()
+        with self.sessions_lock:
+            sessions = list(self._sessions_by_key.values())
+        for session in sessions:
+            with contextlib.suppress(Exception):
+                session.transport.close()
+        # Replication links are not registered sessions (a standby never
+        # sends ``register``), so the loop above misses them — and a
+        # standby is purely reactive, so without an explicit close here
+        # it would sit on the silent socket forever, never learning the
+        # primary died.  Closed strictly *after* the client lines: a
+        # mutation racing this teardown may fail its ship once a link is
+        # gone, and its success reply must then be undeliverable too —
+        # otherwise a client would hold an ack for a record no surviving
+        # replica has.
+        if self.replication is not None:
+            for link in self.replication.link_transports():
+                with contextlib.suppress(Exception):
+                    link.close()
+
+    def replication_status(self) -> dict[str, Any]:
+        """This server's view of the replicated cluster (for ``status``)."""
+        controller = self.controller
+        journal = controller.journal
+        last_seq = 0
+        if journal is not None:
+            records = journal.wal.records()
+            last_seq = (records[-1].seq if records
+                        else journal.wal.next_seq - 1)
+        standbys = (self.replication.status()
+                    if self.replication is not None else [])
+        return {
+            "role": "standby" if self.standby else "primary",
+            "term": controller.term,
+            "last_seq": last_seq,
+            "standbys": standbys,
+        }
 
     # -- the coalescing scheduler --------------------------------------------
 

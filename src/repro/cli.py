@@ -15,7 +15,12 @@ Installed as ``harmony-repro`` (or run as ``python -m repro.cli``):
 * ``harmony-repro trace [...]``     — run the Figure 7 experiment and
   explain each reconfiguration (decision traces, optional JSONL dumps);
 * ``harmony-repro serve [...]``     — start a real TCP Harmony server over
-  a cluster described by ``harmonyNode`` declarations;
+  a cluster described by ``harmonyNode`` declarations (``--dir`` makes it
+  a durable, replicating primary; ``--standby-of`` a hot standby);
+* ``harmony-repro promote [...]``   — promote a standby's durability
+  directory to primary (term-fenced);
+* ``harmony-repro replication [...]`` — query a running server's
+  replication role, term, and standby lag;
 * ``harmony-repro checkpoint [...]`` — journal a demo workload into a
   durability directory (optionally crashing mid-write to leave a torn
   tail for ``restore`` to repair);
@@ -104,6 +109,40 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--once", action="store_true",
                        help="bind, print the address, and exit "
                             "(for scripting/tests)")
+    serve.add_argument("--dir", default=None, metavar="PATH",
+                       help="durability directory: journal every state "
+                            "change (required for replication roles)")
+    serve.add_argument("--standby-of", default=None, metavar="HOST:PORT",
+                       help="run as a hot standby following the primary "
+                            "at HOST:PORT (serves reads, redirects "
+                            "mutations; requires --dir)")
+    serve.add_argument("--standby-id", default="standby",
+                       help="this standby's stable identity in the "
+                            "replication stream and fencing record")
+    serve.add_argument("--fencing", default=None, metavar="PATH",
+                       help="shared fencing-record file deciding which "
+                            "server may serve as primary")
+    serve.add_argument("--lease-seconds", type=float, default=30.0,
+                       help="primary lease duration on the fencing "
+                            "record")
+
+    promote = subparsers.add_parser(
+        "promote", help="promote a standby's durability directory to "
+                        "primary (term-fenced)")
+    promote.add_argument("--dir", required=True,
+                         help="the standby's durability directory")
+    promote.add_argument("--fencing", default=None, metavar="PATH",
+                         help="shared fencing-record file (promotion is "
+                              "refused while the primary's lease is "
+                              "live)")
+    promote.add_argument("--standby-id", default="standby",
+                         help="identity to acquire the fencing lease as")
+    promote.add_argument("--lease-seconds", type=float, default=30.0)
+
+    repl = subparsers.add_parser(
+        "replication", help="query a running server's replication role, "
+                            "term, and standby lag")
+    repl.add_argument("--connect", required=True, metavar="HOST:PORT")
 
     checkpoint = subparsers.add_parser(
         "checkpoint", help="journal a demo workload (WAL + snapshots) "
@@ -165,6 +204,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,
         "serve": _cmd_serve,
+        "promote": _cmd_promote,
+        "replication": _cmd_replication,
         "checkpoint": _cmd_checkpoint,
         "restore": _cmd_restore,
         "health": _cmd_health,
@@ -354,8 +395,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for host_b in hostnames[index + 1:]:
             cluster.add_link(host_a, host_b, args.bandwidth)
 
-    controller = AdaptationController(cluster)
-    server = HarmonyServer(controller)
+    if args.standby_of and not args.dir:
+        print("error: --standby-of requires --dir", file=sys.stderr)
+        return 1
+    fencing = None
+    if args.fencing:
+        from repro.persistence import FencingStore
+
+        fencing = FencingStore(args.fencing)
+
+    standby = None
+    if args.standby_of:
+        from repro.api.transport import TcpTransport
+        from repro.persistence import ReplicationStandby
+
+        server_box: dict[str, HarmonyServer] = {}
+
+        def adopt(controller: AdaptationController) -> None:
+            bound = server_box.get("server")
+            if bound is not None:
+                bound.adopt_controller(controller)
+
+        standby = ReplicationStandby(
+            args.dir, args.standby_id, fencing=fencing,
+            lease_seconds=args.lease_seconds, on_controller=adopt)
+        # Serve read-only status from a placeholder controller until the
+        # replica has caught up enough to build the real one.
+        controller = standby.controller or AdaptationController(cluster)
+        server = HarmonyServer(controller, standby=True,
+                               failover_targets=[args.standby_of])
+        server_box["server"] = server
+        primary_host, _, primary_port = args.standby_of.rpartition(":")
+        standby.follow(TcpTransport.connect(primary_host or "127.0.0.1",
+                                            int(primary_port)))
+    else:
+        controller = AdaptationController(cluster)
+        if args.dir:
+            from repro.persistence import DurabilityJournal
+
+            DurabilityJournal(args.dir).attach(controller)
+        server = HarmonyServer(controller)
+
     if args.transport == "asyncio":
         from repro.api import AsyncHarmonyServer
 
@@ -364,9 +444,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         front = server
         host, port = server.serve_tcp(args.host, args.port)
-    print(f"Harmony server on {host}:{port} ({args.transport}) managing "
+    role = "standby" if args.standby_of else "server"
+    if args.dir and not args.standby_of:
+        role = server.enable_replication(
+            fencing=fencing, lease_seconds=args.lease_seconds,
+            address=f"{host}:{port}")
+    print(f"Harmony {role} on {host}:{port} ({args.transport}) managing "
           f"{len(hostnames)} node(s): {', '.join(hostnames)}")
+    if args.standby_of:
+        print(f"following primary at {args.standby_of} "
+              f"as {args.standby_id!r}")
     if args.once:
+        if standby is not None:
+            standby.close()
         front.stop()
         return 0
     try:
@@ -374,7 +464,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         while True:  # pragma: no cover - interactive loop
             time.sleep(1.0)
     except KeyboardInterrupt:  # pragma: no cover
+        if standby is not None:
+            standby.close()
         front.stop()
+    return 0
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    from repro.persistence import ReplicationStandby
+
+    fencing = None
+    if args.fencing:
+        from repro.persistence import FencingStore
+
+        fencing = FencingStore(args.fencing)
+    standby = ReplicationStandby(args.dir, args.standby_id,
+                                 fencing=fencing,
+                                 lease_seconds=args.lease_seconds)
+    controller = standby.promote()
+    status = standby.status()
+    print(f"{args.dir}: promoted {args.standby_id!r} to primary at "
+          f"term {status['term']} (last_seq {status['last_seq']})")
+    print(f"{len(controller.registry)} application(s); "
+          f"objective {controller.current_objective():.6g}s")
+    controller.journal.close()
+    return 0
+
+
+def _cmd_replication(args: argparse.Namespace) -> int:
+    from repro.api import HarmonyClient
+    from repro.api.transport import TcpTransport
+
+    host, _, port = args.connect.rpartition(":")
+    client = HarmonyClient(TcpTransport.connect(host or "127.0.0.1",
+                                                int(port)))
+    replication = client.query_status()["replication"]
+    client.transport.close()
+    print(f"{args.connect}: role={replication.get('role', '?')} "
+          f"term={replication.get('term', 0)} "
+          f"last_seq={replication.get('last_seq', 0)}")
+    standbys = replication.get("standbys", [])
+    if not standbys:
+        print("  no connected standbys")
+    for entry in standbys:
+        print(f"  standby {entry.get('standby_id', '?')}: "
+              f"acked_seq={entry.get('acked_seq', 0)} "
+              f"lag={entry.get('lag_records', 0)} record(s)")
     return 0
 
 

@@ -539,6 +539,13 @@ class AdaptationController:
         #: The :class:`~repro.persistence.recovery.RecoveryReport` of the
         #: :meth:`restore` call that built this controller, if any.
         self.last_recovery = None
+        #: Replication fencing term: 0 for an unreplicated controller;
+        #: otherwise the monotonically increasing election counter from
+        #: the shared fencing record (journaled as ``term`` WAL records,
+        #: stamped on every wire reply).  Set by
+        #: :meth:`~repro.persistence.replication.FencingStore.acquire`
+        #: holders via :meth:`note_term` and restored by replay.
+        self.term = 0
         #: Coalescing reevaluation scheduler
         #: (:class:`~repro.controller.scheduler.CoalescingScheduler`):
         #: ``None`` keeps every trigger synchronous (the serial oracle);
@@ -1056,6 +1063,18 @@ class AdaptationController:
                 except AllocationError:
                     continue
         return recovered
+
+    def note_term(self, term: int) -> None:
+        """Adopt a fencing term and mirror it into the metric surface.
+
+        ``controller.term`` is exported as a gauge so operators (and the
+        failover chaos suite) can watch elections happen; the journal
+        entry itself is written by the caller
+        (:meth:`~repro.persistence.journal.DurabilityJournal.record_term`)
+        because terms must be durable before they are served.
+        """
+        self.term = int(term)
+        self.metrics.report("controller.term", self.now, float(term))
 
     # -- external (measured) load -------------------------------------------
 

@@ -160,6 +160,35 @@ class ControllerRecoveringError(HarmonyError):
     """
 
 
+class ControllerMovedError(HarmonyError):
+    """This server is not the primary; the request belongs elsewhere.
+
+    Raised client-side when a mutation is answered with the
+    ``controller_moved`` redirect: the server is a standby (or a deposed
+    primary fenced off by a higher term).  ``leader`` carries the
+    ``host:port`` hint from the fencing record when one is known, and
+    ``term`` the refusing server's term.  Typed and retryable — the
+    client's retry loop reconnects to the hinted leader (or walks its
+    static failover list) and replays the session there.
+    """
+
+    def __init__(self, message: str, leader: str | None = None,
+                 term: int = 0):
+        super().__init__(message)
+        self.leader = leader
+        self.term = term
+
+
+class ReplicationError(HarmonyError):
+    """The primary/standby replication stream is inconsistent.
+
+    Raised for fencing violations (acquiring a lease someone else still
+    holds, renewing with a stale term) and for replication-stream damage
+    a standby cannot repair locally (it re-requests from its last
+    acknowledged sequence number instead of applying a gap).
+    """
+
+
 class SimulationError(HarmonyError):
     """The discrete-event kernel detected an inconsistency."""
 

@@ -28,7 +28,8 @@ __all__ = ["FlightRecorder",
            "EVENT_RPC_IN", "EVENT_RPC_OUT", "EVENT_FAULT",
            "EVENT_LEASE_EXPIRED", "EVENT_EVICTION", "EVENT_BATCH",
            "EVENT_WAL_APPEND", "EVENT_BACKPRESSURE", "EVENT_PUSH",
-           "EVENT_SERVER_ERROR"]
+           "EVENT_SERVER_ERROR", "EVENT_PROMOTION", "EVENT_DEMOTION",
+           "EVENT_REPLICATION"]
 
 #: Structured event kinds.  Free-form kinds are allowed; these are the
 #: ones the built-in instrumentation emits.
@@ -42,6 +43,9 @@ EVENT_WAL_APPEND = "wal_append"
 EVENT_BACKPRESSURE = "backpressure_reject"
 EVENT_PUSH = "push"
 EVENT_SERVER_ERROR = "server_error"
+EVENT_PROMOTION = "promotion"
+EVENT_DEMOTION = "demotion"
+EVENT_REPLICATION = "replication"
 
 
 class FlightRecorder:

@@ -75,6 +75,12 @@ DEFAULT_SLOS: tuple[SloCheck, ...] = (
              0.99, 512.0, unit=""),
     SloCheck("WAL append latency p99", "controller.wal.append_seconds",
              0.99, 0.5),
+    # Replication lag is measured in *records* the slowest standby is
+    # behind at ship time (see docs/replication.md): a standby that is
+    # persistently hundreds of records back cannot be promoted without
+    # losing acknowledged work to the catch-up window.
+    SloCheck("replication lag p99", "replication.lag_records",
+             0.99, 256.0, unit=""),
 )
 
 

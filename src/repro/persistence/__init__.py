@@ -12,6 +12,11 @@ disk, verified against the log's own recorded objectives.
 Crash injection for tests lives in :mod:`repro.persistence.crash`: the
 process-level analogue of :mod:`repro.api.faults`, killing the controller
 at seeded WAL-append boundaries.
+
+Replication (:mod:`repro.persistence.replication`) extends durability
+across machines: a primary ships its WAL records — the exact CRC-framed
+bytes — to hot standbys, and a term-fenced :class:`FencingStore` decides
+who may serve.  See docs/replication.md.
 """
 
 from repro.persistence.crash import (
@@ -22,6 +27,12 @@ from repro.persistence.crash import (
 )
 from repro.persistence.journal import DurabilityJournal
 from repro.persistence.recovery import RecoveryReport, restore_controller
+from repro.persistence.replication import (
+    FencingRecord,
+    FencingStore,
+    ReplicationPrimary,
+    ReplicationStandby,
+)
 from repro.persistence.snapshot import (
     latest_snapshot,
     read_snapshot,
@@ -33,7 +44,11 @@ from repro.persistence.wal import WalRecord, WriteAheadLog, scan_wal
 __all__ = [
     "CrashPoint",
     "DurabilityJournal",
+    "FencingRecord",
+    "FencingStore",
     "RecoveryReport",
+    "ReplicationPrimary",
+    "ReplicationStandby",
     "ScriptedCrashSchedule",
     "SeededCrashSchedule",
     "SimulatedCrash",

@@ -78,6 +78,8 @@ class DurabilityJournal:
         self._appends_since_snapshot = 0
         self._bundle_rsl: dict[tuple[str, str], str] = {}
         self._model_names: dict[str, dict[str, str]] = {}
+        self._append_observers: list[Any] = []
+        self._snapshot_observers: list[Any] = []
 
     # -- wiring ---------------------------------------------------------------
 
@@ -111,6 +113,24 @@ class DurabilityJournal:
             self.controller.journal = None
             self.controller = None
         self.wal.close()
+
+    # -- replication hooks ----------------------------------------------------
+
+    def add_append_observer(self, observer: Any) -> None:
+        """Call ``observer(record)`` after every durable append.
+
+        This is the WAL-shipping tap: the record is already on this
+        journal's disk when the observer runs, so shipping it cannot get
+        ahead of local durability.  Observers run on the appending thread
+        (under the controller lock for server-driven mutations) and must
+        not raise — :class:`~repro.persistence.replication.ReplicationPrimary`
+        converts ship failures into dropped standby links.
+        """
+        self._append_observers.append(observer)
+
+    def add_snapshot_observer(self, observer: Any) -> None:
+        """Call ``observer(last_seq, state)`` after every snapshot."""
+        self._snapshot_observers.append(observer)
 
     # -- source-text bookkeeping ----------------------------------------------
 
@@ -153,8 +173,10 @@ class DurabilityJournal:
             raise ControllerError("journal is not attached")
         before = self.wal.bytes_written
         started = _perf_counter()
-        self.wal.append(kind, controller.now, data)
+        record = self.wal.append(kind, controller.now, data)
         elapsed = _perf_counter() - started
+        for observer in self._append_observers:
+            observer(record)
         self._appends_since_snapshot += 1
         now = controller.now
         controller.metrics.increment("controller.wal.appends", now)
@@ -258,6 +280,15 @@ class DurabilityJournal:
     def record_recovered(self, report: dict[str, Any]) -> None:
         self.append("recovered", report)
 
+    def record_term(self, term: int, holder: str) -> None:
+        """Journal a fencing-term transition (election or first lease).
+
+        Replay restores ``controller.term`` from these, so a restarted
+        server knows the highest term it ever served under and can spot
+        that the fencing record moved on without it.
+        """
+        self.append("term", {"term": int(term), "holder": holder})
+
     # -- snapshots ------------------------------------------------------------
 
     def checkpoint_if_due(self) -> bool:
@@ -299,6 +330,8 @@ class DurabilityJournal:
         # remaining tail can always rebuild, even if newer files rot.
         oldest_seq = min(_snapshot_seq(p) for p in retained)
         self.wal.compact(oldest_seq + 1)
+        for observer in self._snapshot_observers:
+            observer(last_seq, state)
         return path
 
 

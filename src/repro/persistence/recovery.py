@@ -277,6 +277,11 @@ def _apply_record(controller: AdaptationController,
         controller.cluster.node(str(data["hostname"])).restore()
         controller.metrics.report("controller.node_restorations",
                                   controller.now, 1.0)
+    elif kind == "term":
+        # A fencing-term transition: restore the highest term this
+        # controller ever served under so a restarted (possibly deposed)
+        # primary can compare itself against the shared fencing record.
+        controller.term = max(controller.term, int(data["term"]))
     elif kind in ("genesis", "lease_expired", "recovered",
                   "reevaluation_batch"):
         pass  # audit-only records: no state to re-apply

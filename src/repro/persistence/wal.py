@@ -35,7 +35,8 @@ from typing import Any, Iterable
 from repro.errors import WalCorruptionError
 from repro.persistence.crash import CrashPoint, CrashSchedule, SimulatedCrash
 
-__all__ = ["WalRecord", "WriteAheadLog", "scan_wal", "encode_record"]
+__all__ = ["WalRecord", "WriteAheadLog", "scan_wal", "encode_record",
+           "decode_frame"]
 
 #: ``fsync`` policies: "always" syncs every append (durable against power
 #: loss), "never" leaves flushing to the OS (tests, benchmarks).
@@ -89,6 +90,17 @@ def _decode_line(line: bytes) -> WalRecord | None:
                          kind=str(body["kind"]), data=body["data"])
     except (KeyError, TypeError, ValueError):
         return None
+
+
+def decode_frame(line: bytes) -> WalRecord | None:
+    """Decode one framed line (sans newline); ``None`` if it fails to verify.
+
+    This is the replication receive path: a standby re-runs the same
+    length/CRC verification over the exact bytes the primary wrote, so a
+    frame damaged anywhere between the primary's disk and the standby's
+    is rejected rather than applied.
+    """
+    return _decode_line(line)
 
 
 def scan_wal(path: str) -> tuple[list[WalRecord], int]:
@@ -155,6 +167,7 @@ class WriteAheadLog:
         self.path = path
         self.fsync = fsync
         self.crash_schedule = crash_schedule
+        self._crashed: SimulatedCrash | None = None
         self.append_count = 0
         self.bytes_written = 0
         existing, valid_bytes = scan_wal(path)
@@ -187,8 +200,17 @@ class WriteAheadLog:
         """Durably append one record (the only mutation path).
 
         The crash schedule, when armed, fires here: before the write, as
-        a torn partial write, or after the record is durable.
+        a torn partial write, or after the record is durable.  A crash is
+        the death of the whole process, not of one thread: once a point
+        has fired, every later append on this handle dies too.  Without
+        the latch a concurrent writer could slip a record past the crash
+        instant — and, because the fatal append never ran its observers,
+        ship the successor of a record that was never shipped, handing
+        replicas an unfixable sequence gap.
         """
+        if self._crashed is not None:
+            raise SimulatedCrash(self._crashed.point,
+                                 self._crashed.append_index)
         record = WalRecord(seq=self.next_seq, time=time, kind=kind,
                            data=dict(data))
         frame = encode_record(record)
@@ -197,13 +219,15 @@ class WriteAheadLog:
         point = self.crash_schedule.decide(index) \
             if self.crash_schedule is not None else None
         if point is CrashPoint.BEFORE_APPEND:
-            raise SimulatedCrash(point, index)
+            self._crashed = SimulatedCrash(point, index)
+            raise self._crashed
         if point is CrashPoint.TORN_APPEND:
             torn = frame[:max(1, len(frame) // 2)]
             self._handle.write(torn)
             self._handle.flush()
             os.fsync(self._handle.fileno())
-            raise SimulatedCrash(point, index)
+            self._crashed = SimulatedCrash(point, index)
+            raise self._crashed
         self._handle.write(frame)
         self._handle.flush()
         if self.fsync == "always":
@@ -212,7 +236,36 @@ class WriteAheadLog:
         self._last_seq = record.seq
         self.bytes_written += len(frame)
         if point is CrashPoint.AFTER_APPEND:
-            raise SimulatedCrash(point, index)
+            self._crashed = SimulatedCrash(point, index)
+            raise self._crashed
+        return record
+
+    def append_record(self, record: WalRecord) -> WalRecord:
+        """Durably append an already-sequenced record verbatim.
+
+        The replication apply path: a standby persists the primary's
+        records under the primary's sequence numbers instead of minting
+        its own.  Contiguity is enforced — a gap means records were lost
+        in flight, which truncation cannot fix, so it raises
+        :class:`~repro.errors.WalCorruptionError` (the standby reacts by
+        re-requesting from its last acknowledged seq).  Any starting seq
+        is accepted on an empty log (the standby may have been seeded
+        from a snapshot past genesis).  Crash schedules do not apply —
+        this is not the decision path.
+        """
+        if self._records and record.seq != self._records[-1].seq + 1:
+            raise WalCorruptionError(
+                f"{self.path}: replicated record seq {record.seq} does "
+                f"not follow {self._records[-1].seq}")
+        frame = encode_record(record)
+        self._handle.write(frame)
+        self._handle.flush()
+        if self.fsync == "always":
+            os.fsync(self._handle.fileno())
+        self._records.append(record)
+        self._last_seq = max(self._last_seq, record.seq)
+        self.append_count += 1
+        self.bytes_written += len(frame)
         return record
 
     def compact(self, keep_from_seq: int) -> int:

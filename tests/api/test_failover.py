@@ -1,0 +1,282 @@
+"""Client-visible failover: redirects, term stamping, jitter, caps.
+
+The server side of failover (WAL shipping, fencing, promotion) lives in
+``tests/persistence/test_replication.py``; this suite covers the client
+and wire layer — ``controller_moved`` redirects from a standby, the
+leader hint and static failover rotation in :class:`HarmonyClient`,
+term stamping on replies, retry jitter, and the bounded per-client
+pending-variable buffer.
+"""
+
+import random
+
+import pytest
+
+from repro.api import (
+    HarmonyClient,
+    HarmonyServer,
+    PendingVariableBuffer,
+    RetryPolicy,
+    TcpTransport,
+    connected_pair,
+    make_message,
+)
+from repro.cluster import Cluster
+from repro.controller import AdaptationController
+from repro.errors import (
+    ControllerMovedError,
+    ProtocolError,
+    RetryExhaustedError,
+    TransportError,
+)
+from repro.persistence import DurabilityJournal
+
+RSL = """
+harmonyBundle demo where {
+    {small {node worker {os linux} {seconds 5} {memory 16}}}
+    {big {node worker {os linux} {seconds 3} {memory 64}}}}
+"""
+
+FAST = RetryPolicy(request_timeout_seconds=0.5, max_attempts=4,
+                   backoff_initial_seconds=0.0)
+
+
+def make_server(**kwargs):
+    cluster = Cluster.full_mesh(["n0", "n1", "n2"], memory_mb=256)
+    controller = AdaptationController(cluster)
+    return controller, HarmonyServer(controller, **kwargs)
+
+
+def attached_client(server, **kwargs):
+    client_end, server_end = connected_pair()
+    server.attach(server_end)
+    return HarmonyClient(client_end, **kwargs)
+
+
+def session_factory(server):
+    """A failover entry: each call opens a fresh in-process session."""
+    def connect():
+        client_end, server_end = connected_pair()
+        server.attach(server_end)
+        return client_end
+    return connect
+
+
+class TestStandbyRedirect:
+    def test_mutation_answered_with_typed_redirect(self):
+        _controller, server = make_server(
+            standby=True, failover_targets=["primary:9"])
+        client = attached_client(server)
+        with pytest.raises(ControllerMovedError) as excinfo:
+            client._request_once(make_message(
+                "register", app_name="demo", use_interrupts=False))
+        assert excinfo.value.leader == "primary:9"
+        assert isinstance(excinfo.value.term, int)
+
+    def test_redirect_is_retryable_then_exhausts(self):
+        _controller, server = make_server(standby=True)
+        client = attached_client(server)  # default policy: one attempt
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            client.startup("demo")
+        assert isinstance(excinfo.value.__cause__, ControllerMovedError)
+
+    def test_read_only_status_served_by_standby(self):
+        _controller, server = make_server(standby=True)
+        client = attached_client(server)
+        status = client.query_status()
+        assert status["replication"]["role"] == "standby"
+        assert status["metrics"] is not None
+
+    def test_every_mutating_type_is_refused(self):
+        from repro.api.protocol import MUTATING_TYPES
+        assert MUTATING_TYPES == {"register", "bundle_setup",
+                                  "report_metric", "end"}
+
+
+class TestClientFailover:
+    def test_redirected_session_moves_to_failover_target(self):
+        _controller_a, server_a = make_server()
+        controller_b, server_b = make_server()
+        client = attached_client(
+            server_a, retry_policy=FAST,
+            failover=[session_factory(server_b)])
+        key = client.startup("demo")
+        server_a.demote()  # the primary steps down mid-session
+        result = client.bundle_setup(RSL)
+        assert result["option"] in {"small", "big"}
+        # The session replayed onto the failover target: same key, the
+        # bundle landed exactly once, and we dialed exactly one new link.
+        assert client.app_key == key
+        assert client.reconnects == 1
+        assert len(controller_b.registry) == 1
+        assert len(controller_b.registry.instance(key).bundles) == 1
+
+    def test_rotation_advances_past_dead_target(self):
+        _controller_a, server_a = make_server()
+        controller_b, server_b = make_server()
+
+        def dead():
+            raise TransportError("connection refused")
+
+        client = attached_client(
+            server_a, retry_policy=FAST,
+            failover=[dead, session_factory(server_b)])
+        client.startup("demo")
+        server_a.demote()
+        client.bundle_setup(RSL)
+        assert len(controller_b.registry) == 1
+        assert client._target_index == 1  # rotated off the dead entry
+
+    def test_leader_hint_followed_over_tcp(self):
+        controller_a, server_a = make_server()
+        controller_b, server_b = make_server()
+        host_b, port_b = server_b.serve_tcp(port=0)
+        server_a.failover_targets = [f"{host_b}:{port_b}"]
+        host_a, port_a = server_a.serve_tcp(port=0)
+        try:
+            client = HarmonyClient(TcpTransport.connect(host_a, port_a),
+                                   retry_policy=FAST)
+            key = client.startup("demo")
+            assert len(controller_a.registry) == 1
+            server_a.demote()
+            client.bundle_setup(RSL)  # redirect carries the b address
+            assert client.app_key == key
+            assert client.reconnects == 1
+            assert client._moved_leader is None  # hint consumed once
+            assert len(controller_b.registry) == 1
+            client.end()
+        finally:
+            server_a.stop()
+            server_b.stop()
+
+    def test_failover_entry_validation(self):
+        factory = HarmonyClient._as_factory
+        assert callable(factory("10.0.0.1:4600"))
+        assert factory(lambda: None) is not None
+        with pytest.raises(ProtocolError, match="host:port"):
+            factory("not-an-address")
+        with pytest.raises(ProtocolError, match="host:port"):
+            factory("missing-port:")
+
+
+class TestTermStamping:
+    def make_replicated_server(self, tmp_path):
+        controller, server = make_server()
+        journal = DurabilityJournal(str(tmp_path), fsync="never",
+                                    snapshot_every=0)
+        journal.attach(controller)
+        assert server.enable_replication() == "primary"
+        return controller, server
+
+    def test_replies_carry_the_current_term(self, tmp_path):
+        controller, server = self.make_replicated_server(tmp_path)
+        assert controller.term == 1
+        client = attached_client(server)
+        client.startup("demo")
+        assert client.term == 1
+
+    def test_client_tracks_highest_term_seen(self, tmp_path):
+        _controller, server = self.make_replicated_server(tmp_path)
+        client = attached_client(server)
+        client.term = 7  # already spoke to a newer primary
+        client.startup("demo")
+        assert client.term == 7  # a stale term never lowers it
+
+    def test_deposed_server_redirect_carries_its_term(self, tmp_path):
+        _controller, server = self.make_replicated_server(tmp_path)
+        client = attached_client(server)
+        client.startup("demo")
+        server.demote()
+        with pytest.raises(ControllerMovedError) as excinfo:
+            client._request_once(make_message("bundle_setup", rsl=RSL))
+        assert excinfo.value.term == 1
+
+
+class TestRetryJitter:
+    def test_zero_jitter_is_the_deterministic_schedule(self):
+        policy = RetryPolicy(max_attempts=4, backoff_initial_seconds=0.1)
+        for retry in (1, 2, 3):
+            assert policy.jittered_delay(retry) == \
+                policy.backoff_delay(retry)
+
+    def test_full_jitter_spreads_over_the_whole_delay(self):
+        policy = RetryPolicy(max_attempts=8, backoff_initial_seconds=0.2,
+                             backoff_jitter=1.0)
+        rng = random.Random(7)
+        draws = [policy.jittered_delay(3, rng=rng) for _ in range(200)]
+        ceiling = policy.backoff_delay(3)
+        assert all(0.0 <= draw <= ceiling for draw in draws)
+        assert max(draws) - min(draws) > ceiling * 0.5  # actually spread
+
+    def test_partial_jitter_keeps_the_deterministic_floor(self):
+        policy = RetryPolicy(max_attempts=4, backoff_initial_seconds=0.4,
+                             backoff_jitter=0.25)
+        rng = random.Random(11)
+        ceiling = policy.backoff_delay(2)
+        for _ in range(50):
+            draw = policy.jittered_delay(2, rng=rng)
+            assert ceiling * 0.75 <= draw <= ceiling
+
+    def test_seeded_rng_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=4, backoff_initial_seconds=0.1,
+                             backoff_jitter=1.0)
+        first = [policy.jittered_delay(n, rng=random.Random(3))
+                 for n in (1, 2, 3)]
+        second = [policy.jittered_delay(n, rng=random.Random(3))
+                  for n in (1, 2, 3)]
+        assert first == second
+
+    def test_jitter_validation(self):
+        with pytest.raises(ProtocolError, match="backoff_jitter"):
+            RetryPolicy(backoff_jitter=1.5)
+        with pytest.raises(ProtocolError, match="backoff_jitter"):
+            RetryPolicy(backoff_jitter=-0.1)
+
+
+class TestPendingVariableCap:
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ProtocolError, match="max_per_client"):
+            PendingVariableBuffer(max_per_client=0)
+
+    def test_evicts_oldest_and_counts(self):
+        drops = []
+        buffer = PendingVariableBuffer(
+            max_per_client=2,
+            on_evict=lambda client, n: drops.append((client, n)))
+        buffer.stage("app", "a", 1)
+        buffer.stage("app", "b", 2)
+        buffer.stage("app", "a", 3)  # refresh: "b" is now the oldest
+        buffer.stage("app", "c", 4)
+        assert buffer.pending_for("app") == {"a": 3, "c": 4}
+        assert drops == [("app", 1)]
+        assert buffer.evicted_total == 1
+
+    def test_cap_is_per_client(self):
+        buffer = PendingVariableBuffer(max_per_client=1)
+        buffer.stage("alpha", "a", 1)
+        buffer.stage("beta", "b", 2)
+        assert buffer.evicted_total == 0  # separate clients, no pressure
+
+    def test_not_ready_restage_still_enforces_cap(self):
+        buffer = PendingVariableBuffer(max_per_client=1)
+        buffer.stage("app", "a", 1)
+        sent = buffer.flush(lambda c, u: None, ready=lambda c: False)
+        assert sent == 0  # held for the disconnected client
+        buffer.stage("app", "b", 2)  # arrives while still unreachable
+        assert buffer.pending_for("app") == {"b": 2}
+        assert buffer.evicted_total == 1
+
+    def test_uncapped_buffer_never_evicts(self):
+        buffer = PendingVariableBuffer()
+        for index in range(500):
+            buffer.stage("app", f"v{index}", index)
+        assert len(buffer.pending_for("app")) == 500
+        assert buffer.evicted_total == 0
+
+    def test_server_counts_drops_in_metrics(self):
+        controller, server = make_server(pending_vars_cap=1)
+        server.buffer.stage("app.1", "a", 1)
+        server.buffer.stage("app.1", "b", 2)
+        assert server.buffer.evicted_total == 1
+        assert controller.metrics.latest(
+            "server.pending_vars_dropped") == 1.0

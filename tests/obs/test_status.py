@@ -36,9 +36,12 @@ class TestStatusMessage:
         server = HarmonyServer(controller)
         status = monitoring_client(server).query_status()
         assert sorted(status) == ["decision_traces", "histograms",
-                                  "metrics", "optimizer", "server"]
+                                  "metrics", "optimizer", "replication",
+                                  "server"]
         assert status["server"]["active_sessions"] == 0
         assert status["optimizer"]["candidates_evaluated"] == 4
+        assert status["replication"]["role"] == "primary"
+        assert status["replication"]["term"] == 0
 
     def test_no_registration_required(self, controller):
         # A monitoring process queries without ever registering.

@@ -12,9 +12,14 @@ import pytest
 
 from repro.cluster import Cluster
 from repro.controller import AdaptationController
-from repro.errors import ControllerError, SnapshotCorruptionError
+from repro.errors import (
+    ControllerError,
+    SnapshotCorruptionError,
+    WalCorruptionError,
+)
 from repro.persistence import DurabilityJournal, snapshot_files
 from repro.persistence.journal import WAL_FILENAME
+from repro.persistence.snapshot import write_snapshot
 from repro.prediction.models import CallableModel
 
 RSL = """
@@ -203,6 +208,54 @@ class TestRestore:
     def test_restore_empty_directory_raises(self, tmp_path):
         from repro.errors import RecoveryError
         with pytest.raises(RecoveryError, match="nothing to restore"):
+            AdaptationController.restore(str(tmp_path), fsync="never")
+
+    def _rot_two_snapshot_generations(self, tmp_path, journal):
+        """Write two snapshot generations by hand, then rot both.
+
+        The journal's own cadence compacts the WAL to the oldest retained
+        snapshot, which would destroy the genesis fallback this scenario
+        is about — so the snapshots are written directly instead, leaving
+        the WAL intact from genesis.
+        """
+        seqs = [record.seq for record in journal.wal.records()]
+        write_snapshot(str(tmp_path), seqs[len(seqs) // 2], {"bogus": 1})
+        write_snapshot(str(tmp_path), seqs[-1], {"bogus": 2})
+        journal.close()
+        paths = snapshot_files(str(tmp_path))
+        assert len(paths) == 2
+        for path in paths:
+            with open(path, "w") as handle:
+                handle.write("rotted")
+        return paths
+
+    def test_all_snapshots_corrupt_falls_through_to_wal_replay(
+            self, tmp_path):
+        # Unlike the compacted-WAL case above, the full log still starts
+        # at genesis: losing every snapshot costs a longer replay, never
+        # the state.
+        controller, journal = journaled_controller(tmp_path)
+        run_scenario(controller)
+        paths = self._rot_two_snapshot_generations(tmp_path, journal)
+        restored = AdaptationController.restore(str(tmp_path),
+                                                fsync="never")
+        assert_equivalent(restored, controller)
+        report = restored.last_recovery
+        assert sorted(report.skipped_snapshots) == sorted(paths)
+        assert report.snapshot_path is None  # clean genesis replay
+
+    def test_wal_damage_behind_corrupt_snapshots_is_typed(self, tmp_path):
+        controller, journal = journaled_controller(tmp_path)
+        run_scenario(controller)
+        self._rot_two_snapshot_generations(tmp_path, journal)
+        # Rot a mid-WAL record too: now no trustworthy base state exists
+        # anywhere, and recovery must refuse rather than guess.
+        wal_path = tmp_path / WAL_FILENAME
+        lines = wal_path.read_bytes().split(b"\n")
+        lines[3] = b"rotted"
+        wal_path.write_bytes(b"\n".join(lines))
+        with pytest.raises(WalCorruptionError,
+                           match="valid records after"):
             AdaptationController.restore(str(tmp_path), fsync="never")
 
 

@@ -1,0 +1,377 @@
+"""WAL shipping, fencing, and promotion at unit scale.
+
+A primary (journaled controller behind a ``HarmonyServer``) ships its
+WAL to an in-process standby; the suite checks the stream invariants —
+ship-after-durable, CRC re-verification, duplicate suppression, gap
+resync, catch-up-from-snapshot — and the term-fenced promotion handoff.
+"""
+
+import json
+import zlib
+
+import pytest
+
+from repro.api import HarmonyServer, make_message
+from repro.api.protocol import REPL_RECORDS, REPL_SNAPSHOT
+from repro.api.transport import connected_pair
+from repro.cluster import Cluster
+from repro.controller import AdaptationController
+from repro.errors import ReplicationError
+from repro.persistence import (
+    DurabilityJournal,
+    FencingStore,
+    ReplicationStandby,
+)
+from repro.persistence.replication import _frame_text
+from repro.persistence.wal import WalRecord
+
+RSL = """
+harmonyBundle {name} where {{
+    {{small {{node worker {{os linux}} {{seconds 5}} {{memory 16}}}}}}
+    {{big {{node worker {{os linux}} {{seconds 3}} {{memory 64}}}}}}}}
+"""
+
+
+def make_cluster():
+    return Cluster.full_mesh(["n0", "n1", "n2", "n3"], memory_mb=256)
+
+
+def make_primary(directory, fencing=None, snapshot_every=0):
+    controller = AdaptationController(make_cluster())
+    journal = DurabilityJournal(str(directory), fsync="never",
+                                snapshot_every=snapshot_every)
+    journal.attach(controller)
+    server = HarmonyServer(controller)
+    role = server.enable_replication(fencing=fencing, lease_seconds=30.0,
+                                     address="primary:1")
+    assert role == "primary"
+    return controller, journal, server
+
+
+def join_standby(server, standby):
+    client_end, server_end = connected_pair()
+    server.attach(server_end)
+    standby.follow(client_end)
+    return client_end
+
+
+def run_workload(controller, count=3, prefix="app"):
+    for index in range(count):
+        instance = controller.register_app(f"{prefix}{index}")
+        controller.setup_bundle(instance,
+                                RSL.format(name=f"{prefix}{index}"))
+
+
+def digest(controller):
+    return {
+        "system": controller.describe_system(),
+        "objective": controller.current_objective(),
+        "predictions": controller.predict_all(controller.view),
+    }
+
+
+def assert_converged(standby, controller):
+    assert standby.controller is not None
+    left, right = digest(standby.controller), digest(controller)
+    assert left["system"] == right["system"]
+    assert sorted(left["predictions"]) == sorted(right["predictions"])
+    for key, value in right["predictions"].items():
+        assert left["predictions"][key] == pytest.approx(value, abs=1e-9)
+    assert left["objective"] == pytest.approx(right["objective"],
+                                              abs=1e-9)
+
+
+class TestFencingStore:
+    def test_first_acquire_takes_term_one(self, tmp_path):
+        clock = [100.0]
+        store = FencingStore(str(tmp_path / "fence"),
+                             clock=lambda: clock[0])
+        assert store.read().term == 0
+        assert store.expired()
+        assert store.acquire("a", lease_seconds=10.0,
+                             address="a:1") == 1
+        record = store.read()
+        assert (record.holder, record.address) == ("a", "a:1")
+        assert record.lease_expires_at == pytest.approx(110.0)
+
+    def test_live_lease_refuses_other_holders(self, tmp_path):
+        clock = [0.0]
+        store = FencingStore(str(tmp_path / "fence"),
+                             clock=lambda: clock[0])
+        store.acquire("a", lease_seconds=10.0)
+        with pytest.raises(ReplicationError, match="held by 'a'"):
+            store.acquire("b")
+        clock[0] = 10.0  # lease lapsed exactly
+        assert store.acquire("b", lease_seconds=10.0) == 2
+
+    def test_reacquiring_own_live_lease_bumps_term(self, tmp_path):
+        store = FencingStore(str(tmp_path / "fence"), clock=lambda: 0.0)
+        assert store.acquire("a", lease_seconds=10.0) == 1
+        assert store.acquire("a", lease_seconds=10.0) == 2
+
+    def test_renew_extends_and_deposed_renew_refuses(self, tmp_path):
+        clock = [0.0]
+        store = FencingStore(str(tmp_path / "fence"),
+                             clock=lambda: clock[0])
+        store.acquire("a", lease_seconds=10.0)
+        clock[0] = 5.0
+        store.renew("a", 1)
+        assert store.read().lease_expires_at == pytest.approx(15.0)
+        clock[0] = 20.0
+        store.acquire("b", lease_seconds=10.0)  # term 2
+        with pytest.raises(ReplicationError, match="term 2"):
+            store.renew("a", 1)  # the deposed primary's signal
+
+    def test_corrupt_record_reads_as_empty(self, tmp_path):
+        path = tmp_path / "fence"
+        path.write_text("not json")
+        store = FencingStore(str(path))
+        assert store.read().term == 0
+        assert store.expired()
+
+
+class TestWalShipping:
+    def test_live_tail_converges_byte_identically(self, tmp_path):
+        controller, journal, server = make_primary(tmp_path / "p")
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fsync="never")
+        join_standby(server, standby)
+        run_workload(controller)
+        assert standby.last_seq == journal.wal.records()[-1].seq
+        assert_converged(standby, controller)
+        # The standby's WAL holds the primary's exact bytes.
+        primary_lines = [_frame_text(r) for r in journal.wal.records()]
+        standby_lines = [_frame_text(r) for r in
+                         standby.journal.wal.records()]
+        assert standby_lines == primary_lines
+
+    def test_acks_flow_back_and_lag_is_zero(self, tmp_path):
+        controller, _journal, server = make_primary(tmp_path / "p")
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fsync="never")
+        join_standby(server, standby)
+        run_workload(controller)
+        (status,) = server.replication.status()
+        assert status["standby_id"] == "sb"
+        assert status["lag_records"] == 0
+        assert status["acked_seq"] == standby.last_seq
+        assert controller.metrics.latest("replication.acks") > 0
+
+    def test_late_joiner_catches_up_from_wal_tail(self, tmp_path):
+        controller, journal, server = make_primary(tmp_path / "p")
+        run_workload(controller)  # history before the standby exists
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fsync="never")
+        join_standby(server, standby)
+        assert standby.last_seq == journal.wal.records()[-1].seq
+        assert_converged(standby, controller)
+
+    def test_late_joiner_behind_horizon_adopts_snapshot(self, tmp_path):
+        controller, journal, server = make_primary(tmp_path / "p",
+                                                   snapshot_every=4)
+        run_workload(controller, count=4)
+        assert journal.wal.first_seq > 1  # compacted: genesis is gone
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fsync="never")
+        join_standby(server, standby)
+        assert standby.last_seq == journal.wal.records()[-1].seq
+        # It adopted a snapshot and replayed only the tail after it —
+        # never the full history (whose head is compacted away anyway).
+        assert standby.records_applied <= len(journal.wal.records())
+        sb_events = standby.controller.flight_recorder.events("replication")
+        assert any(e["detail"] == "snapshot_adopted" for e in sb_events)
+        assert_converged(standby, controller)
+        events = controller.flight_recorder.events("replication")
+        assert any(e["detail"] == "standby_joined" for e in events)
+
+    def test_duplicate_frames_are_skipped(self, tmp_path):
+        controller, journal, server = make_primary(tmp_path / "p")
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fsync="never")
+        join_standby(server, standby)
+        run_workload(controller, count=1)
+        applied = standby.records_applied
+        replay = make_message(
+            REPL_RECORDS, term=1,
+            frames=[_frame_text(r) for r in journal.wal.records()])
+        standby.on_message(replay)
+        assert standby.records_applied == applied
+        assert standby.resyncs == 0
+
+    def test_gap_triggers_resync_and_recovers(self, tmp_path):
+        controller, journal, server = make_primary(tmp_path / "p")
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fsync="never")
+        join_standby(server, standby)
+        run_workload(controller, count=1)
+        future = WalRecord(seq=standby.last_seq + 5, time=999.0,
+                           kind="register",
+                           data={"app_name": "ghost", "key": "ghost.9",
+                                 "instance_id": 9})
+        standby.on_message(make_message(REPL_RECORDS, term=1,
+                                        frames=[_frame_text(future)]))
+        # The gap was never applied around: the standby re-helloed and
+        # the primary re-shipped the (unchanged) tail.
+        assert standby.resyncs == 1
+        assert standby.last_seq == journal.wal.records()[-1].seq
+        assert_converged(standby, controller)
+
+    def test_corrupt_frame_triggers_resync(self, tmp_path):
+        controller, _journal, server = make_primary(tmp_path / "p")
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fsync="never")
+        join_standby(server, standby)
+        run_workload(controller, count=1)
+        good = _frame_text(WalRecord(seq=standby.last_seq + 1, time=1.0,
+                                     kind="register",
+                                     data={"app_name": "x", "key": "x.1",
+                                           "instance_id": 1}))
+        rotted = good[:-4] + "zzzz"  # CRC no longer matches
+        standby.on_message(make_message(REPL_RECORDS, term=1,
+                                        frames=[rotted]))
+        assert standby.resyncs == 1
+        assert_converged(standby, controller)
+
+    def test_snapshot_checksum_mismatch_resyncs(self, tmp_path):
+        controller, _journal, server = make_primary(tmp_path / "p")
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fsync="never")
+        join_standby(server, standby)
+        run_workload(controller, count=1)
+        text = json.dumps({"not": "the state"})
+        standby.on_message(make_message(
+            REPL_SNAPSHOT, term=1, last_seq=standby.last_seq + 10,
+            crc=f"{zlib.crc32(b'something else'):08x}", state=text))
+        assert standby.resyncs == 1
+
+    def test_snapshot_offer_behind_current_seq_is_ignored(self, tmp_path):
+        controller, _journal, server = make_primary(tmp_path / "p")
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fsync="never")
+        join_standby(server, standby)
+        run_workload(controller)
+        before = standby.last_seq
+        text = json.dumps({"stale": True})
+        standby.on_message(make_message(
+            REPL_SNAPSHOT, term=1, last_seq=1,
+            crc=f"{zlib.crc32(text.encode('utf-8')):08x}", state=text))
+        assert standby.last_seq == before
+        assert standby.resyncs == 0
+
+
+class TestStandbyRestart:
+    def test_restart_restores_from_own_directory(self, tmp_path):
+        controller, journal, server = make_primary(tmp_path / "p")
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fsync="never")
+        join_standby(server, standby)
+        run_workload(controller)
+        last = standby.last_seq
+        standby.close()
+        reborn = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                    fsync="never")
+        assert reborn.last_seq == last
+        assert_converged(reborn, controller)
+
+    def test_restart_then_refollow_ships_only_the_tail(self, tmp_path):
+        controller, journal, server = make_primary(tmp_path / "p")
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fsync="never")
+        join_standby(server, standby)
+        run_workload(controller, count=2)
+        standby.close()
+        run_workload(controller, count=2, prefix="late")  # missed traffic
+        reborn = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                    fsync="never")
+        restored_at = reborn.last_seq
+        restored_applied = reborn.records_applied
+        join_standby(server, reborn)
+        assert reborn.last_seq == journal.wal.records()[-1].seq
+        shipped = reborn.records_applied - restored_applied
+        assert shipped == reborn.last_seq - restored_at
+        assert_converged(reborn, controller)
+
+
+class TestPromotion:
+    def test_promote_refused_while_lease_live(self, tmp_path):
+        clock = [0.0]
+        fencing = FencingStore(str(tmp_path / "fence"),
+                               clock=lambda: clock[0])
+        controller, _journal, server = make_primary(tmp_path / "p",
+                                                    fencing=fencing)
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fencing=fencing, fsync="never")
+        join_standby(server, standby)
+        run_workload(controller, count=1)
+        assert not standby.can_promote()
+        with pytest.raises(ReplicationError, match="lease held"):
+            standby.promote()
+        assert not standby.promoted
+
+    def test_promotion_after_lease_expiry(self, tmp_path):
+        clock = [0.0]
+        fencing = FencingStore(str(tmp_path / "fence"),
+                               clock=lambda: clock[0])
+        controller, _journal, server = make_primary(tmp_path / "p",
+                                                    fencing=fencing)
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fencing=fencing, fsync="never")
+        join_standby(server, standby)
+        run_workload(controller)
+        clock[0] = 60.0  # the primary's lease lapses un-renewed
+        assert standby.can_promote()
+        promoted = standby.promote()
+        assert standby.promoted
+        assert promoted.term == 2
+        # The new term is durable in the replicated WAL, not just RAM.
+        assert standby.journal.wal.records()[-1].kind == "term"
+        # The promoted controller serves: a new app lands and journals.
+        instance = promoted.register_app("after")
+        promoted.setup_bundle(instance, RSL.format(name="after"))
+        assert promoted.journal is standby.journal
+
+    def test_promote_is_idempotent(self, tmp_path):
+        controller, _journal, server = make_primary(tmp_path / "p")
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fsync="never")
+        join_standby(server, standby)
+        run_workload(controller, count=1)
+        first = standby.promote()
+        assert standby.promote() is first
+
+    def test_promote_without_state_is_refused(self, tmp_path):
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fsync="never")
+        with pytest.raises(ReplicationError, match="no replicated"):
+            standby.promote()
+
+    def test_deposed_primary_demotes_on_renew(self, tmp_path):
+        clock = [0.0]
+        fencing = FencingStore(str(tmp_path / "fence"),
+                               clock=lambda: clock[0])
+        controller, _journal, server = make_primary(tmp_path / "p",
+                                                    fencing=fencing)
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fencing=fencing, fsync="never",
+                                     address="standby:2")
+        join_standby(server, standby)
+        run_workload(controller, count=1)
+        clock[0] = 60.0
+        standby.promote()
+        assert server.renew_fencing() is False
+        assert server.standby
+        reply = server.moved_reply()
+        assert reply["type"] == "controller_moved"
+        assert reply["leader"] == "standby:2"
+        assert controller.metrics.latest("server.demotions") == 1
+
+    def test_promoted_standby_refuses_to_follow(self, tmp_path):
+        controller, _journal, server = make_primary(tmp_path / "p")
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fsync="never")
+        join_standby(server, standby)
+        run_workload(controller, count=1)
+        standby.promote()
+        client_end, _server_end = connected_pair()
+        with pytest.raises(ReplicationError, match="promoted"):
+            standby.follow(client_end)

@@ -199,6 +199,23 @@ class TestCrashInjection:
         records, _ = scan_wal(path)
         assert [r.kind for r in records] == ["a", "b"]
 
+    def test_crash_kills_the_process_not_one_thread(self, tmp_path):
+        path = wal_path(tmp_path)
+        schedule = ScriptedCrashSchedule({1: CrashPoint.AFTER_APPEND})
+        log = WriteAheadLog(path, fsync="never", crash_schedule=schedule)
+        log.append("a", 0.0, {})
+        with pytest.raises(SimulatedCrash):
+            log.append("b", 1.0, {})
+        # A writer racing past the crash instant dies too — the crash
+        # models process death, so no later append may land (it would
+        # ship the successor of a record that was never shipped).
+        with pytest.raises(SimulatedCrash) as excinfo:
+            log.append("c", 2.0, {})
+        assert excinfo.value.append_index == 1
+        log.close()
+        records, _ = scan_wal(path)
+        assert [r.kind for r in records] == ["a", "b"]
+
     def test_simulated_crash_is_not_a_harmony_error(self):
         from repro.errors import HarmonyError
         crash = SimulatedCrash(CrashPoint.BEFORE_APPEND, 0)
