@@ -235,6 +235,9 @@ class FaultyTransport(Transport):
 
     # -- outbound -----------------------------------------------------------
 
+    def set_send_timeout(self, timeout: float | None) -> None:
+        self.inner.set_send_timeout(timeout)
+
     def send(self, message: dict[str, Any]) -> None:
         with self._mutex:
             if self.closed:

@@ -16,7 +16,8 @@ Client -> server message types (mirroring the Figure 5 API):
 * ``status``         {prefix?, max_traces?}
 * ``heartbeat``      {key?}
 * ``end``            {}
-* ``repl_hello``     {standby_id, last_seq}     (standby -> primary)
+* ``repl_hello``     {standby_id, last_seq, last_crc?, last_term?}
+  (standby -> primary)
 * ``repl_ack``       {standby_id, seq}          (standby -> primary)
 
 Server -> client:
@@ -33,7 +34,8 @@ Server -> client:
 * ``error``            {message, code?}
 * ``controller_moved`` {message, term, leader?}
 * ``repl_records``     {term, frames: [str]}       (primary -> standby)
-* ``repl_snapshot``    {term, last_seq, crc, state} (primary -> standby)
+* ``repl_snapshot``    {term, last_seq, crc, state, reset?}
+  (primary -> standby)
 
 ``register`` with a ``resume_key`` is a *rejoin*: if the named instance is
 still registered (its lease has not expired), the server re-binds the new
@@ -51,7 +53,12 @@ mode refuses (queries, status, and heartbeats still flow).
 
 The replication vocabulary rides the same codec.  A standby dials the
 primary like any client and sends ``repl_hello`` with the last WAL
-sequence number it holds; the primary answers with ``repl_records``
+sequence number it holds, plus ``last_crc`` — the frame CRC of its
+newest local record — when it has one; the primary serves the tail only
+if that record is in its own history (log matching), and otherwise
+answers with a ``repl_snapshot`` carrying ``reset: true``, which orders
+the standby to discard its divergent log and adopt the snapshot
+unconditionally.  On a match the primary answers with ``repl_records``
 (each element of ``frames`` is one CRC-framed WAL line, exactly the
 bytes the primary wrote to disk, so the standby re-verifies the checksum
 end-to-end) and streams further appends as they happen, interleaving

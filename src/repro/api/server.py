@@ -667,7 +667,8 @@ class HarmonyServer:
     # -- replication & failover ----------------------------------------------
 
     def enable_replication(self, fencing=None, lease_seconds: float = 30.0,
-                           address: str | None = None) -> str:
+                           address: str | None = None,
+                           ship_timeout: float | None = 5.0) -> str:
         """Become a replicating primary; returns the role taken.
 
         With a :class:`~repro.persistence.replication.FencingStore`, the
@@ -682,7 +683,9 @@ class HarmonyServer:
 
         Without fencing the term is simply ``controller.term + 1`` —
         single-machine tests and demos that want replication without a
-        shared fencing file.
+        shared fencing file.  ``ship_timeout`` bounds how long shipping
+        to one standby may block the appending thread; a link that
+        stalls past it is dropped (the standby re-hellos on reconnect).
         """
         from repro.persistence.replication import ReplicationPrimary
 
@@ -710,8 +713,9 @@ class HarmonyServer:
                 term = controller.term + 1
             journal.record_term(term, holder)
             controller.note_term(term)
-            self.replication = ReplicationPrimary(journal,
-                                                  controller).install()
+            self.replication = ReplicationPrimary(
+                journal, controller,
+                ship_timeout=ship_timeout).install()
             self.standby = False
             self.failed = False
         return "primary"

@@ -20,7 +20,9 @@ spec.  A :class:`TcpTransport` client talks to either server unchanged.
 
 from __future__ import annotations
 
+import errno
 import socket
+import struct
 import threading
 from typing import Any, Callable
 
@@ -38,6 +40,16 @@ class Transport:
 
     def send(self, message: dict[str, Any]) -> None:
         raise NotImplementedError
+
+    def set_send_timeout(self, timeout: float | None) -> None:
+        """Bound how long :meth:`send` may block (best effort).
+
+        The default is a no-op: in-process delivery cannot stall, and
+        the asyncio endpoint is already non-blocking behind a bounded
+        write queue.  :class:`TcpTransport` implements a real bound so
+        one peer that stopped reading cannot wedge the sending thread
+        (the replication primary arms this on every standby link).
+        """
 
     def set_receiver(self, receiver: Receiver) -> None:
         raise NotImplementedError
@@ -116,6 +128,7 @@ class TcpTransport(Transport):
         self._backlog: list[dict[str, Any]] = []
         self._send_lock = threading.Lock()
         self._state_lock = threading.Lock()
+        self._send_timeout: float | None = None
         self._closed = False
         self._address: tuple[str, int] | None = None
         self._connect_timeout: float | None = None
@@ -162,6 +175,27 @@ class TcpTransport(Transport):
     def closed(self) -> bool:
         return self._closed
 
+    def set_send_timeout(self, timeout: float | None) -> None:
+        """Bound blocking sends with the kernel ``SO_SNDTIMEO`` option.
+
+        A peer that stopped reading eventually fills both socket
+        buffers and ``sendall`` would block the sending thread
+        indefinitely.  ``SO_SNDTIMEO`` makes the kernel abort the
+        syscall with ``EAGAIN`` once no progress was possible for
+        ``timeout`` seconds; only the send direction is affected, so
+        the reader thread's ``recv`` keeps blocking as before.
+        """
+        self._send_timeout = timeout
+        value = 0.0 if timeout is None else max(timeout, 1e-3)
+        sec = int(value)
+        usec = int(round((value - sec) * 1_000_000))
+        try:
+            self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDTIMEO,
+                                  struct.pack("ll", sec, usec))
+        except OSError as exc:
+            raise TransportError(
+                f"cannot arm send timeout: {exc}") from exc
+
     def send(self, message: dict[str, Any]) -> None:
         if self._closed:
             raise TransportError("send on closed transport")
@@ -169,8 +203,14 @@ class TcpTransport(Transport):
         try:
             with self._send_lock:
                 self._sock.sendall(data)
-        except OSError as exc:
+        except (OSError, ValueError) as exc:
             self.close()
+            if (isinstance(exc, OSError)
+                    and exc.errno in (errno.EAGAIN, errno.EWOULDBLOCK)
+                    and self._send_timeout is not None):
+                raise TransportError(
+                    f"send timed out after {self._send_timeout:.1f}s "
+                    f"(peer not reading)") from exc
             raise TransportError(f"send failed: {exc}") from exc
 
     def set_receiver(self, receiver: Receiver) -> None:

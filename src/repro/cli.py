@@ -416,9 +416,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if bound is not None:
                 bound.adopt_controller(controller)
 
+        def surface_stream_error(message: dict) -> None:
+            print(f"replication stream error from primary: "
+                  f"{message.get('message') or message.get('type')}",
+                  file=sys.stderr)
+
         standby = ReplicationStandby(
             args.dir, args.standby_id, fencing=fencing,
-            lease_seconds=args.lease_seconds, on_controller=adopt)
+            lease_seconds=args.lease_seconds, on_controller=adopt,
+            on_stream_error=surface_stream_error)
         # Serve read-only status from a placeholder controller until the
         # replica has caught up enough to build the real one.
         controller = standby.controller or AdaptationController(cluster)

@@ -32,12 +32,20 @@ Safety invariants:
 * **Gaps never guess**: a missing or damaged frame makes the standby
   re-hello from its last applied sequence number; it never applies
   around a hole (mirroring :func:`~repro.persistence.wal.scan_wal`).
+* **Histories must match before a tail is served**: ``repl_hello``
+  carries the frame CRC of the standby's newest record, and the primary
+  serves the tail only when that record is in its own history.  A
+  divergent suffix — a deposed primary's durable-but-never-shipped
+  record under a sequence number the new history reused — is answered
+  with a forced snapshot ``reset`` that truncates it, never silently
+  kept.
 * **Terms are durable before they are served**: promotion journals the
   new term before the controller answers as primary.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import threading
@@ -45,6 +53,11 @@ import time
 import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-posix: best-effort fencing
+    fcntl = None  # type: ignore[assignment]
 
 from repro.api.protocol import (
     REPL_ACK,
@@ -115,11 +128,31 @@ class FencingStore:
     be able to reach the same file (shared storage), exactly like the
     classic "STONITH via shared disk" arrangement.  A consensus service
     could replace it without touching the protocol above it.
+
+    :meth:`acquire` and :meth:`renew` are read-modify-write cycles, so
+    they serialize on an ``flock`` over a sibling ``.lock`` file — two
+    standbys that both watched the same lease expire contend on the
+    lock, and the loser re-reads a record that already moved to the
+    winner's term and is refused.  Without this, both could write
+    ``term+1`` naming themselves holder and split-brain.
     """
 
     def __init__(self, path: str, clock: Callable[[], float] = time.time):
         self.path = path
         self.clock = clock
+
+    @contextlib.contextmanager
+    def _exclusive(self):
+        """Serialize read-modify-write cycles across processes."""
+        if fcntl is None:  # pragma: no cover - non-posix: best effort
+            yield
+            return
+        with open(self.path + ".lock", "a+", encoding="utf-8") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
     def read(self) -> FencingRecord:
         try:
@@ -155,20 +188,21 @@ class FencingStore:
         (a restarting primary whose lease has not yet lapsed) and still
         bumps the term, so every acquisition is a distinct epoch.
         """
-        record = self.read()
-        now = self.clock() if now is None else now
-        if record.term > 0 and record.holder != holder \
-                and now < record.lease_expires_at:
-            raise ReplicationError(
-                f"fencing lease held by {record.holder!r} (term "
-                f"{record.term}) for another "
-                f"{record.lease_expires_at - now:.1f}s")
-        term = record.term + 1
-        self._write(FencingRecord(
-            term=term, holder=holder, address=address,
-            lease_expires_at=now + lease_seconds,
-            lease_seconds=lease_seconds))
-        return term
+        with self._exclusive():
+            record = self.read()
+            now = self.clock() if now is None else now
+            if record.term > 0 and record.holder != holder \
+                    and now < record.lease_expires_at:
+                raise ReplicationError(
+                    f"fencing lease held by {record.holder!r} (term "
+                    f"{record.term}) for another "
+                    f"{record.lease_expires_at - now:.1f}s")
+            term = record.term + 1
+            self._write(FencingRecord(
+                term=term, holder=holder, address=address,
+                lease_expires_at=now + lease_seconds,
+                lease_seconds=lease_seconds))
+            return term
 
     def renew(self, holder: str, term: int,
               now: float | None = None) -> None:
@@ -177,16 +211,19 @@ class FencingStore:
         The refusal is the deposed primary's signal: someone else holds
         a higher term, so this process must demote, not keep serving.
         """
-        record = self.read()
-        if record.term != term or record.holder != holder:
-            raise ReplicationError(
-                f"cannot renew term {term} as {holder!r}: fencing record "
-                f"is at term {record.term} held by {record.holder!r}")
-        now = self.clock() if now is None else now
-        self._write(FencingRecord(
-            term=record.term, holder=record.holder, address=record.address,
-            lease_expires_at=now + record.lease_seconds,
-            lease_seconds=record.lease_seconds))
+        with self._exclusive():
+            record = self.read()
+            if record.term != term or record.holder != holder:
+                raise ReplicationError(
+                    f"cannot renew term {term} as {holder!r}: fencing "
+                    f"record is at term {record.term} held by "
+                    f"{record.holder!r}")
+            now = self.clock() if now is None else now
+            self._write(FencingRecord(
+                term=record.term, holder=record.holder,
+                address=record.address,
+                lease_expires_at=now + record.lease_seconds,
+                lease_seconds=record.lease_seconds))
 
     def _write(self, record: FencingRecord) -> None:
         payload = json.dumps({
@@ -222,12 +259,22 @@ def _frame_text(record: WalRecord) -> str:
     return encode_record(record)[:-1].decode("ascii")
 
 
+def _frame_crc(record: WalRecord) -> str:
+    """The CRC32 of a record's full on-disk frame (the log-match token)."""
+    return f"{zlib.crc32(encode_record(record)):08x}"
+
+
 def _state_message(term: int, last_seq: int, state: dict[str, Any],
-                   ) -> dict[str, Any]:
+                   reset: bool = False) -> dict[str, Any]:
     text = json.dumps(state, sort_keys=True, separators=(",", ":"))
-    return make_message(
+    message = make_message(
         REPL_SNAPSHOT, term=term, last_seq=int(last_seq),
         crc=f"{zlib.crc32(text.encode('utf-8')):08x}", state=text)
+    if reset:
+        # The receiver must discard its (divergent) log and adopt this
+        # state even if its own sequence number is at or past last_seq.
+        message["reset"] = True
+    return message
 
 
 class ReplicationPrimary:
@@ -242,6 +289,10 @@ class ReplicationPrimary:
 
     A standby whose transport fails is dropped; it is expected to
     reconnect and re-hello from its last durable sequence number.
+    Shipping runs on the appending thread, so each link's transport is
+    armed with ``ship_timeout`` at hello time — a standby whose socket
+    stalls (peer stopped reading) is dropped after that bound instead of
+    wedging primary mutations indefinitely.
     ``replication.lag_records`` (a count histogram) is observed on every
     ship with each live standby's ack backlog, and
     ``replication.ack_seconds`` with the ship→ack round trip.
@@ -249,10 +300,12 @@ class ReplicationPrimary:
 
     def __init__(self, journal: DurabilityJournal,
                  controller: "AdaptationController",
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 ship_timeout: float | None = 5.0):
         self.journal = journal
         self.controller = controller
         self.clock = clock
+        self.ship_timeout = ship_timeout
         self._links: dict[str, _StandbyLink] = {}
         self._lock = threading.Lock()
         metrics = controller.metrics
@@ -275,8 +328,17 @@ class ReplicationPrimary:
                      message: dict[str, Any]) -> None:
         """Adopt (or re-adopt) a standby and send whatever it is missing.
 
-        The catch-up decision: if the standby's next needed record is
-        still in the WAL, ship the tail; if it fell behind the
+        First the log-matching check: the hello carries the frame CRC
+        of the standby's newest record (``last_crc``), and the tail is
+        served only when that exact record is in this primary's
+        history.  A mismatch — a deposed primary rejoining with a
+        durable record that never shipped before the new history reused
+        its sequence number — is answered with a forced snapshot
+        ``reset`` so the standby truncates its divergent suffix instead
+        of silently keeping it under the new tail.
+
+        Then the catch-up decision: if the standby's next needed record
+        is still in the WAL, ship the tail; if it fell behind the
         compaction horizon, ship the newest snapshot first (the
         compaction invariant — the WAL is only compacted to the oldest
         *retained* snapshot — guarantees one covers the gap), then the
@@ -284,11 +346,26 @@ class ReplicationPrimary:
         """
         standby_id = str(require_field(message, "standby_id"))
         last_seq = int(require_field(message, "last_seq"))
+        transport.set_send_timeout(self.ship_timeout)
         records = self.journal.wal.records()
         need_from = last_seq + 1
         horizon = records[0].seq if records else self.journal.wal.next_seq
         replies: list[dict[str, Any]] = []
-        if need_from < horizon:
+        diverged = self._diverged(last_seq, message.get("last_crc"),
+                                  records)
+        if diverged is not None:
+            self.controller.metrics.increment(
+                "replication.divergent_rejoins", self.controller.now)
+            self._record_event(
+                "standby_diverged", standby_id=standby_id,
+                at_seq=last_seq,
+                standby_term=int(message.get("last_term", 0)),
+                reason=diverged)
+            snap_seq, state = self._reset_snapshot(standby_id, last_seq)
+            replies.append(_state_message(self.term, snap_seq, state,
+                                          reset=True))
+            need_from = snap_seq + 1
+        elif need_from < horizon:
             snapshot = latest_snapshot(self.journal.directory)
             if snapshot is None:
                 raise ReplicationError(
@@ -327,6 +404,49 @@ class ReplicationPrimary:
             self._ack_hist.observe(max(0.0, self.clock() - shipped_at))
         self.controller.metrics.increment("replication.acks",
                                           self.controller.now)
+
+    # -- log matching -------------------------------------------------------
+
+    def _diverged(self, last_seq: int, last_crc: Any,
+                  records: list[WalRecord]) -> str | None:
+        """Why the standby's newest record is not in this history.
+
+        ``None`` means the histories match (or the hello carried no
+        ``last_crc`` to check — an empty standby, or one that just
+        adopted a snapshot and holds no local records that could
+        diverge).
+        """
+        if last_crc is None or last_seq <= 0:
+            return None
+        newest = records[-1].seq if records else \
+            self.journal.wal.next_seq - 1
+        if last_seq > newest:
+            return (f"standby holds seq {last_seq} beyond this "
+                    f"history's newest {newest}")
+        mine = next((r for r in records if r.seq == last_seq), None)
+        if mine is None:
+            # Compacted away: the match cannot be verified, and an
+            # unverified suffix must not be built upon.
+            return (f"seq {last_seq} is below the compaction horizon "
+                    f"and cannot be verified")
+        if _frame_crc(mine) != str(last_crc):
+            return f"frame CRC mismatch at seq {last_seq}"
+        return None
+
+    def _reset_snapshot(self, standby_id: str,
+                        last_seq: int) -> tuple[int, dict[str, Any]]:
+        """The snapshot a divergent standby is reset from (forced fresh
+        if none exists yet — the caller holds the controller lock)."""
+        snapshot = latest_snapshot(self.journal.directory)
+        if snapshot is None:
+            self.journal.snapshot_now()
+            snapshot = latest_snapshot(self.journal.directory)
+        if snapshot is None:
+            raise ReplicationError(
+                f"standby {standby_id!r} diverged at seq {last_seq} "
+                f"but no snapshot verifies to reset it from")
+        snap_seq, state, _path = snapshot
+        return snap_seq, state
 
     # -- journal observers --------------------------------------------------
 
@@ -384,7 +504,12 @@ class ReplicationPrimary:
             self._links.pop(standby_id, None)
 
     def _ship(self, link: _StandbyLink, message: dict[str, Any]) -> None:
-        """Send one message; a failed link is dropped, never blocks."""
+        """Send one message; a failed or stalled link is dropped.
+
+        Shipping runs on the mutating thread, so the block is bounded:
+        the link's transport was armed with ``ship_timeout`` at hello
+        time, and a send that exceeds it fails like any other transport
+        error — the link is dropped and the standby re-hellos."""
         try:
             link.transport.send(message)
         except Exception:
@@ -443,7 +568,9 @@ class ReplicationStandby:
                  fsync: str = "always",
                  address: str | None = None,
                  lease_seconds: float = 30.0,
-                 on_controller: Callable[[Any], None] | None = None):
+                 on_controller: Callable[[Any], None] | None = None,
+                 on_stream_error: Callable[[dict[str, Any]], None]
+                 | None = None):
         self.directory = directory
         self.standby_id = standby_id
         self.fencing = fencing
@@ -453,6 +580,7 @@ class ReplicationStandby:
         self.keep_snapshots = keep_snapshots
         self.fsync = fsync
         self.on_controller = on_controller
+        self.on_stream_error = on_stream_error
         self._controller_factory = controller_factory
         self.journal = DurabilityJournal(
             directory, snapshot_every=snapshot_every,
@@ -465,6 +593,8 @@ class ReplicationStandby:
         self.promoted = False
         self.records_applied = 0
         self.resyncs = 0
+        self.stream_errors = 0     #: unexpected replies (errors) seen
+        self.divergence_resets = 0  #: forced resets of a divergent log
         self.transport: Transport | None = None
         self._lock = threading.RLock()
         self._applied_since_snapshot = 0
@@ -481,8 +611,7 @@ class ReplicationStandby:
                     f"longer follows")
             self.transport = transport
         transport.set_receiver(self.on_message)
-        transport.send(make_message(REPL_HELLO, standby_id=self.standby_id,
-                                    last_seq=self.last_seq))
+        transport.send(self._hello_message())
 
     def stop(self) -> None:
         with self._lock:
@@ -507,8 +636,41 @@ class ReplicationStandby:
             self._handle_records(message)
         elif msg_type == REPL_SNAPSHOT:
             self._handle_snapshot(message)
-        # Anything else (errors, redirects from a demoted server we
-        # mistakenly follow) is ignored; the operator re-points us.
+        else:
+            # An error reply to our hello (the primary could not serve
+            # it) or a redirect from a server that is not primary: a
+            # standby that silently dropped these would wait forever,
+            # so count it, journal it, and tell the owner.
+            self._handle_stream_error(message)
+
+    def _hello_message(self) -> dict[str, Any]:
+        """The (re)subscription message, carrying the log-match token.
+
+        ``last_crc`` is the frame CRC of this standby's newest local
+        record — the primary refuses to serve a tail on top of a record
+        its history never contained.  Omitted when the local WAL holds
+        no record at ``last_seq`` (a fresh standby, or one whose log
+        was just reset by a snapshot): there is no local suffix that
+        could diverge.
+        """
+        message = make_message(REPL_HELLO, standby_id=self.standby_id,
+                               last_seq=self.last_seq)
+        records = self.journal.wal.records()
+        if records and records[-1].seq == self.last_seq:
+            message["last_crc"] = _frame_crc(records[-1])
+            message["last_term"] = self.term
+        return message
+
+    def _handle_stream_error(self, message: dict[str, Any]) -> None:
+        self.stream_errors += 1
+        if self.controller is not None:
+            self.controller.metrics.increment("replication.stream_errors",
+                                              self.controller.now)
+        self._record_event(
+            "stream_error", message_type=str(message.get("type")),
+            error=str(message.get("message", "")))
+        if self.on_stream_error is not None:
+            self.on_stream_error(message)
 
     def _handle_records(self, message: dict[str, Any]) -> None:
         self._observe_term(int(message.get("term", 0)))
@@ -536,14 +698,28 @@ class ReplicationStandby:
         last_seq = int(require_field(message, "last_seq"))
         text = str(require_field(message, "state"))
         crc = str(require_field(message, "crc"))
+        reset = bool(message.get("reset", False))
         if f"{zlib.crc32(text.encode('utf-8')):08x}" != crc:
             self._request_resync("snapshot checksum mismatch")
             return
         with self._lock:
-            if self.promoted or last_seq <= self.last_seq:
+            if self.promoted or (not reset and last_seq <= self.last_seq):
                 # Already past this point (a periodic offer we outran).
                 self._send_ack()
                 return
+            if reset:
+                # Log-matching failed on rejoin: this standby's suffix
+                # diverged from the authoritative history.  Adopting
+                # the snapshot truncates it wholesale — the local WAL
+                # is discarded, never built upon.
+                self.divergence_resets += 1
+                if self.controller is not None:
+                    self.controller.metrics.increment(
+                        "replication.divergence_resets",
+                        self.controller.now)
+                self._record_event("divergent_suffix_truncated",
+                                   from_seq=self.last_seq,
+                                   to_seq=last_seq)
             state = json.loads(text)
             self._adopt_snapshot(last_seq, state)
             self._send_ack()
@@ -614,9 +790,7 @@ class ReplicationStandby:
         transport = self.transport
         if transport is not None:
             try:
-                transport.send(make_message(
-                    REPL_HELLO, standby_id=self.standby_id,
-                    last_seq=self.last_seq))
+                transport.send(self._hello_message())
             except TransportError:
                 pass  # the follower's owner reconnects and re-hellos
 
@@ -702,7 +876,9 @@ class ReplicationStandby:
                 "term": self.term,
                 "last_seq": self.last_seq,
                 "records_applied": self.records_applied,
-                "resyncs": self.resyncs}
+                "resyncs": self.resyncs,
+                "stream_errors": self.stream_errors,
+                "divergence_resets": self.divergence_resets}
 
     # -- construction helpers -----------------------------------------------
 

@@ -139,3 +139,53 @@ class TestTcpTransport:
         while not client.closed and time.time() < deadline:
             time.sleep(0.01)
         assert client.closed
+
+
+class TestSendTimeout:
+    """A peer that stops reading cannot wedge the sending thread."""
+
+    def test_stalled_peer_times_out_and_closes(self):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 8192)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen()
+        host, port = listener.getsockname()
+        client = TcpTransport.connect(host, port)
+        client._sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 8192)
+        server_sock, _addr = listener.accept()  # accepted, never read
+        client.set_send_timeout(0.2)
+        big = make_message("status_report", blob="x" * (1 << 20))
+        started = time.monotonic()
+        with pytest.raises(TransportError, match="timed out"):
+            for _ in range(64):  # fill both socket buffers, then stall
+                client.send(big)
+        assert time.monotonic() - started < 10.0
+        assert client.closed
+        server_sock.close()
+        listener.close()
+
+    def test_timeout_does_not_disturb_flowing_sends(self):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen()
+        host, port = listener.getsockname()
+        client = TcpTransport.connect(host, port)
+        server_side = []
+        acceptor = threading.Thread(
+            target=lambda: server_side.append(
+                TcpTransport(listener.accept()[0])))
+        acceptor.start()
+        acceptor.join(timeout=5)
+        received = []
+        server_side[0].set_receiver(received.append)
+        client.set_send_timeout(5.0)
+        for index in range(20):
+            client.send(make_message("report_metric", name="m",
+                                     value=float(index)))
+        deadline = time.time() + 5
+        while len(received) < 20 and time.time() < deadline:
+            time.sleep(0.01)
+        assert len(received) == 20
+        client.close()
+        server_side[0].close()
+        listener.close()

@@ -7,13 +7,14 @@ resync, catch-up-from-snapshot — and the term-fenced promotion handoff.
 """
 
 import json
+import threading
 import zlib
 
 import pytest
 
 from repro.api import HarmonyServer, make_message
-from repro.api.protocol import REPL_RECORDS, REPL_SNAPSHOT
-from repro.api.transport import connected_pair
+from repro.api.protocol import REPL_HELLO, REPL_RECORDS, REPL_SNAPSHOT
+from repro.api.transport import Transport, connected_pair
 from repro.cluster import Cluster
 from repro.controller import AdaptationController
 from repro.errors import ReplicationError
@@ -22,7 +23,7 @@ from repro.persistence import (
     FencingStore,
     ReplicationStandby,
 )
-from repro.persistence.replication import _frame_text
+from repro.persistence.replication import ReplicationPrimary, _frame_text
 from repro.persistence.wal import WalRecord
 
 RSL = """
@@ -51,6 +52,21 @@ def make_primary(directory, fencing=None, snapshot_every=0):
 def join_standby(server, standby):
     client_end, server_end = connected_pair()
     server.attach(server_end)
+    standby.follow(client_end)
+    return client_end
+
+
+def wire_primary(primary, standby):
+    """Follow a bare ReplicationPrimary (no server) over a pair."""
+    client_end, server_end = connected_pair()
+
+    def receive(message):
+        if message.get("type") == REPL_HELLO:
+            primary.handle_hello(server_end, message)
+        else:
+            primary.handle_ack(message)
+
+    server_end.set_receiver(receive)
     standby.follow(client_end)
     return client_end
 
@@ -375,3 +391,190 @@ class TestPromotion:
         client_end, _server_end = connected_pair()
         with pytest.raises(ReplicationError, match="promoted"):
             standby.follow(client_end)
+
+
+class TestLogMatching:
+    """Rejoin safety: a tail is only served on top of a matching history.
+
+    The dangerous rejoin is a deposed primary that fsynced a record and
+    crashed before the append observer shipped it — durable on its disk,
+    never part of the history the survivors converged on.  Without the
+    ``last_crc`` check in the hello it would keep that orphan record and
+    silently apply the new primary's tail on top of it.
+    """
+
+    def _depose_with_unshipped(self, tmp_path, fencing, clock,
+                               unshipped=1):
+        controller, journal, server = make_primary(tmp_path / "p1",
+                                                   fencing=fencing)
+        standby = ReplicationStandby(str(tmp_path / "s1"), "s1",
+                                     fencing=fencing, fsync="never")
+        join_standby(server, standby)
+        run_workload(controller, count=2)
+        # Durable-but-never-shipped: appending straight to the WAL runs
+        # the fsync but not the journal's append observers, exactly the
+        # crash window between them.
+        last_time = journal.wal.records()[-1].time
+        for index in range(unshipped):
+            journal.wal.append("reevaluation_batch", last_time,
+                               {"generation": 90 + index, "reasons": []})
+        server.fail_stop()
+        journal.wal.close()
+        clock[0] = 60.0
+        promoted = standby.promote()
+        return journal, standby, promoted
+
+    def test_divergent_rejoin_is_reset_not_built_upon(self, tmp_path):
+        clock = [0.0]
+        fencing = FencingStore(str(tmp_path / "fence"),
+                               clock=lambda: clock[0])
+        journal, standby, promoted = self._depose_with_unshipped(
+            tmp_path, fencing, clock)
+        divergent_seq = journal.wal.records()[-1].seq
+        # The new history reuses that seq (the promotion term record)
+        # and grows past it.
+        run_workload(promoted, count=1, prefix="late")
+        assert standby.journal.wal.records()[-1].seq > divergent_seq
+
+        deposed = ReplicationStandby(str(tmp_path / "p1"), "old-primary",
+                                     fencing=fencing, fsync="never")
+        assert deposed.last_seq == divergent_seq  # still holds the orphan
+        new_primary = ReplicationPrimary(standby.journal,
+                                         promoted).install()
+        expected_last = standby.journal.wal.records()[-1].seq
+        wire_primary(new_primary, deposed)
+
+        assert deposed.divergence_resets == 1
+        assert deposed.resyncs == 0  # a reset, not a blind re-hello loop
+        assert deposed.last_seq == expected_last
+        # The orphan record is gone from the deposed WAL, not hiding
+        # under the new tail.
+        assert all(r.kind != "reevaluation_batch"
+                   for r in deposed.journal.wal.records())
+        assert_converged(deposed, promoted)
+        events = promoted.flight_recorder.events("replication")
+        assert any(e["detail"] == "standby_diverged" for e in events)
+        assert promoted.metrics.latest(
+            "replication.divergent_rejoins") == 1
+
+        # And it follows the live tail cleanly after the reset.
+        run_workload(promoted, count=1, prefix="post")
+        assert deposed.last_seq == standby.journal.wal.records()[-1].seq
+        assert deposed.divergence_resets == 1  # one reset was enough
+        assert_converged(deposed, promoted)
+
+    def test_rejoin_ahead_of_new_history_is_reset(self, tmp_path):
+        clock = [0.0]
+        fencing = FencingStore(str(tmp_path / "fence"),
+                               clock=lambda: clock[0])
+        journal, standby, promoted = self._depose_with_unshipped(
+            tmp_path, fencing, clock, unshipped=3)
+        # The new history is *shorter* than the deposed primary's log:
+        # only the promotion term record landed after the shared prefix.
+        assert journal.wal.records()[-1].seq \
+            > standby.journal.wal.records()[-1].seq
+
+        deposed = ReplicationStandby(str(tmp_path / "p1"), "old-primary",
+                                     fencing=fencing, fsync="never")
+        new_primary = ReplicationPrimary(standby.journal,
+                                         promoted).install()
+        expected_last = standby.journal.wal.records()[-1].seq
+        wire_primary(new_primary, deposed)
+
+        assert deposed.divergence_resets == 1
+        assert deposed.last_seq == expected_last
+        assert_converged(deposed, promoted)
+
+    def test_matching_rejoin_ships_tail_without_reset(self, tmp_path):
+        controller, journal, server = make_primary(tmp_path / "p")
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fsync="never")
+        join_standby(server, standby)
+        run_workload(controller, count=2)
+        standby.close()
+        run_workload(controller, count=2, prefix="late")
+        reborn = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                    fsync="never")
+        join_standby(server, reborn)
+        assert reborn.divergence_resets == 0
+        assert controller.metrics.latest(
+            "replication.divergent_rejoins") is None
+        assert_converged(reborn, controller)
+
+    def test_hello_arms_ship_timeout_on_the_link(self, tmp_path):
+        _controller, _journal, server = make_primary(tmp_path / "p")
+        calls = []
+
+        class Recorder(Transport):
+            def send(self, message):
+                calls.append(("send", message["type"]))
+
+            def set_send_timeout(self, timeout):
+                calls.append(("timeout", timeout))
+
+        server.replication.handle_hello(
+            Recorder(), make_message(REPL_HELLO, standby_id="sb",
+                                     last_seq=0))
+        assert ("timeout", 5.0) in calls
+        assert ("send", REPL_RECORDS) in calls
+
+
+class TestFencingAtomicity:
+    def test_racing_acquires_elect_exactly_one(self, tmp_path):
+        clock = [0.0]
+        path = str(tmp_path / "fence")
+        FencingStore(path, clock=lambda: clock[0]).acquire(
+            "old-primary", lease_seconds=1.0)
+        clock[0] = 100.0  # the lease lapsed: an election is open
+        winners = []
+        barrier = threading.Barrier(8)
+
+        def contend(name):
+            store = FencingStore(path, clock=lambda: clock[0])
+            barrier.wait()
+            try:
+                winners.append((name, store.acquire(name,
+                                                    lease_seconds=30.0)))
+            except ReplicationError:
+                pass
+
+        threads = [threading.Thread(target=contend, args=(f"sb{i}",))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # The read-check-write is atomic under the flock: exactly one
+        # standby took term 2; everyone else saw its live lease.
+        assert len(winners) == 1
+        name, term = winners[0]
+        assert term == 2
+        record = FencingStore(path).read()
+        assert (record.term, record.holder) == (term, name)
+
+
+class TestStreamErrors:
+    def test_error_reply_to_hello_is_surfaced(self, tmp_path):
+        seen = []
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fsync="never",
+                                     on_stream_error=seen.append)
+        client_end, server_end = connected_pair()
+        server_end.set_receiver(
+            lambda m: server_end.send(
+                make_message("error", message="no snapshot verifies")))
+        standby.follow(client_end)
+        assert standby.stream_errors == 1
+        assert seen[0]["message"] == "no snapshot verifies"
+        assert standby.status()["stream_errors"] == 1
+
+    def test_hello_to_unreplicated_server_is_surfaced(self, tmp_path):
+        controller = AdaptationController(make_cluster())
+        server = HarmonyServer(controller)
+        seen = []
+        standby = ReplicationStandby(str(tmp_path / "s"), "sb",
+                                     fsync="never",
+                                     on_stream_error=seen.append)
+        join_standby(server, standby)
+        assert standby.stream_errors == 1
+        assert "replication is not enabled" in str(seen[0].get("message"))
