@@ -60,6 +60,7 @@ from repro.metrics.histogram import COUNT_BOUNDS
 from repro.api.transport import Transport
 from repro.errors import (
     ControllerBusyError,
+    HarmonyError,
     ProtocolError,
     TransportError,
 )
@@ -313,9 +314,14 @@ class HarmonyWireProtocol(asyncio.Protocol):
         """Executor thread: dispatch a batch in order.
 
         ``HarmonySession._on_message`` already converts protocol and
-        controller failures into ``error`` replies; anything that still
-        escapes is a server bug — count it and close the connection, the
-        same outcome as an exception killing a threaded reader.
+        controller failures into ``error`` replies; a ``HarmonyError``
+        or ``OSError`` that still escapes (a reply path failing on a
+        half-dead socket) closes the connection, the same outcome as an
+        exception killing a threaded reader.  Anything else is a server
+        bug: ``_on_message`` has already flight-recorded it
+        (``note_server_error``), so close the line and let it unwind
+        loudly instead of swallowing an ``AttributeError`` as if it
+        were a transport failure.
         """
         transport = self.harmony_transport
         for message in batch:
@@ -323,10 +329,14 @@ class HarmonyWireProtocol(asyncio.Protocol):
                 return
             try:
                 transport.deliver(message)
-            except Exception:
+            except (HarmonyError, OSError):
                 self.front.count("server.async.dispatch_errors")
                 transport.close()
                 return
+            except Exception:
+                self.front.count("server.async.dispatch_errors")
+                transport.close()
+                raise
 
 
 class AsyncHarmonyServer:
@@ -500,8 +510,13 @@ class AsyncHarmonyServer:
             try:
                 asyncio.run_coroutine_threadsafe(
                     self._shutdown(), loop).result(timeout=10.0)
-            except Exception:
-                pass  # a wedged connection must not hang shutdown
+            except (TimeoutError, asyncio.CancelledError,
+                    RuntimeError, OSError):
+                # A wedged connection (timeout), a closing loop refusing
+                # the coroutine (RuntimeError), a cancelled shutdown, or
+                # a socket teardown error must not hang shutdown.  A
+                # TypeError/AttributeError here is a bug — let it raise.
+                pass
             loop.call_soon_threadsafe(loop.stop)
         if self._thread is not None and self._thread.is_alive() \
                 and self._thread is not threading.current_thread():

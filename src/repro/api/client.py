@@ -40,6 +40,9 @@ from repro.api.protocol import (
     HEARTBEAT,
     HEARTBEAT_ACK,
     LEASE_EXPIRED,
+    SHARD_LOOKUP,
+    SHARD_MAP,
+    SHARD_MOVED,
     STATUS,
     make_message,
     require_field,
@@ -57,6 +60,7 @@ from repro.errors import (
     ProtocolError,
     RequestTimeoutError,
     RetryExhaustedError,
+    ShardMovedError,
     TransportError,
 )
 
@@ -283,6 +287,30 @@ class HarmonyClient:
                 "histograms": reply.get("histograms", {}),
                 "replication": reply.get("replication", {})}
 
+    def locate_shard(self, app_name: str | None = None,
+                     resume_key: str | None = None) -> dict[str, Any]:
+        """Ask a federation arbiter which shard owns an application.
+
+        Works without :meth:`startup` — a connecting client asks the
+        arbiter *before* it knows where to register.  Returns the
+        ``shard_map`` payload: ``{"shards": [...], "leader": "host:port"}``
+        where ``leader`` is the shard that owns ``resume_key`` (exact
+        assignment) or ``app_name`` (consistent hash).  Raises
+        :class:`~repro.errors.HarmonyError` when the connected server is
+        not an arbiter.
+        """
+        fields: dict[str, Any] = {}
+        if app_name is not None:
+            fields["app_name"] = app_name
+        if resume_key is not None:
+            fields["resume_key"] = resume_key
+        reply = self._request(make_message(SHARD_LOOKUP, **fields))
+        if reply.get("type") != SHARD_MAP:
+            raise ProtocolError(
+                f"expected shard_map, got {reply.get('type')!r}")
+        return {"shards": reply.get("shards", []),
+                "leader": reply.get("leader")}
+
     def poll_update(self) -> dict[str, Any] | None:
         """Non-blocking check for a new update batch (simulation-friendly).
 
@@ -499,6 +527,19 @@ class HarmonyClient:
             raise ControllerMovedError(
                 f"controller moved: "
                 f"{response.get('message', 'not the primary')}",
+                leader=self._moved_leader,
+                term=int(response.get("term", 0) or 0))
+        if response.get("type") == SHARD_MOVED:
+            # The federation redirect: the session was handed to a
+            # sibling shard.  A ControllerMovedError subclass, so the
+            # retry loop reconnects to the hinted shard and replays the
+            # session there (resume_key rejoin) with no extra plumbing.
+            leader = response.get("leader")
+            self._moved_leader = str(leader) if leader else None
+            self._count("client.shard_redirects")
+            raise ShardMovedError(
+                f"shard moved: "
+                f"{response.get('message', 'session handed off')}",
                 leader=self._moved_leader,
                 term=int(response.get("term", 0) or 0))
         if response.get("type") == "error":

@@ -19,6 +19,7 @@ Client -> server message types (mirroring the Figure 5 API):
 * ``repl_hello``     {standby_id, last_seq, last_crc?, last_term?}
   (standby -> primary)
 * ``repl_ack``       {standby_id, seq}          (standby -> primary)
+* ``shard_lookup``   {app_name?, resume_key?}   (client -> arbiter)
 
 Server -> client:
 
@@ -33,6 +34,8 @@ Server -> client:
 * ``ended``            {}
 * ``error``            {message, code?}
 * ``controller_moved`` {message, term, leader?}
+* ``shard_moved``      {message, term, leader?}
+* ``shard_map``        {shards: [...], assignments?}  (arbiter -> client)
 * ``repl_records``     {term, frames: [str]}       (primary -> standby)
 * ``repl_snapshot``    {term, last_seq, crc, state, reset?}
   (primary -> standby)
@@ -71,6 +74,14 @@ request with it, carrying the refuser's ``term`` and, when the fencing
 record knows it, a ``leader`` ``host:port`` hint.  Once a server has a
 nonzero term it stamps ``term`` on *every* reply, so clients can spot a
 stale primary.  See docs/replication.md.
+
+``shard_moved`` is the federation redirect, modeled on
+``controller_moved``: a shard that has handed a session to a sibling
+answers that session's next request with it, ``leader`` carrying the
+new shard's ``host:port``.  ``shard_lookup`` asks the root arbiter
+which shard owns an ``app_name`` (or an exact ``resume_key``) before
+connecting; the arbiter answers with ``shard_map`` listing every
+shard's address plus the resolved ``leader``.  See docs/federation.md.
 """
 
 from __future__ import annotations
@@ -87,7 +98,7 @@ __all__ = ["encode_message", "FrameDecoder", "make_message",
            "STATUS", "STATUS_REPORT", "CONTROLLER_RECOVERING",
            "CONTROLLER_BUSY", "CONTROLLER_MOVED", "MUTATING_TYPES",
            "TRACE_CTX_FIELD", "REPL_HELLO", "REPL_ACK", "REPL_RECORDS",
-           "REPL_SNAPSHOT"]
+           "REPL_SNAPSHOT", "SHARD_MOVED", "SHARD_LOOKUP", "SHARD_MAP"]
 
 _HEADER = struct.Struct(">I")
 MAX_FRAME_BYTES = 16 * 1024 * 1024
@@ -111,15 +122,22 @@ REPL_SNAPSHOT = "repl_snapshot"
 #: The failover redirect: "I am not the primary; go there."
 CONTROLLER_MOVED = "controller_moved"
 
+#: The federation vocabulary: a shard redirecting a handed-off session
+#: ("your session lives there now"), and the arbiter's shard directory.
+SHARD_MOVED = "shard_moved"
+SHARD_LOOKUP = "shard_lookup"
+SHARD_MAP = "shard_map"
+
 CLIENT_TYPES = frozenset({
     "register", "bundle_setup", "add_variable", "wait_for_update",
     "report_metric", "query_nodes", STATUS, HEARTBEAT, "end",
-    REPL_HELLO, REPL_ACK,
+    REPL_HELLO, REPL_ACK, SHARD_LOOKUP,
 })
 SERVER_TYPES = frozenset({
     "registered", "bundle_ok", "variable_added", "variable_update",
     "node_list", STATUS_REPORT, HEARTBEAT_ACK, LEASE_EXPIRED, "ended",
     "error", CONTROLLER_MOVED, REPL_RECORDS, REPL_SNAPSHOT,
+    SHARD_MOVED, SHARD_MAP,
 })
 
 #: Error code on ``error`` replies sent while recovery is in flight.

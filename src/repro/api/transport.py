@@ -27,7 +27,7 @@ import threading
 from typing import Any, Callable
 
 from repro.api.protocol import FrameDecoder, encode_message
-from repro.errors import TransportError
+from repro.errors import ProtocolError, TransportError
 
 __all__ = ["Transport", "InProcessTransport", "TcpTransport",
            "connected_pair"]
@@ -238,7 +238,10 @@ class TcpTransport(Transport):
                     break
                 for message in self._decoder.feed(data):
                     self._dispatch(message)
-        except (OSError, Exception):
+        except (OSError, TransportError, ProtocolError):
+            # A dead socket or a garbled frame ends the connection; a
+            # receiver callback's own bug must NOT be eaten here — it
+            # propagates and kills the reader thread loudly.
             pass
         finally:
             self._closed = True

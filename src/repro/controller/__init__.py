@@ -9,6 +9,13 @@ from repro.controller.controller import (
     SessionLifecycleEvent,
 )
 from repro.controller.events import PerformanceEvent, PerformanceEventMonitor
+from repro.controller.federation import (
+    ControllerShard,
+    Federation,
+    RootArbiter,
+    ShardMap,
+    shard_hash,
+)
 from repro.controller.friction import FrictionPolicy, SwitchDecision
 from repro.controller.objective import (
     MaxResponseTime,
@@ -47,6 +54,8 @@ __all__ = [
     "OptimizationContext", "ConfigurationCache", "enumerate_candidates",
     "OptimizerStats", "TrialEngine", "ViewTrial",
     "PartitionIndex", "GainPriorityQueue", "ParallelSweepExecutor",
+    "Federation", "ControllerShard", "RootArbiter", "ShardMap",
+    "shard_hash",
     "FrictionPolicy", "SwitchDecision",
     "PerformanceEventMonitor", "PerformanceEvent",
     "ApplicationRegistry", "AppInstance", "BundleState",

@@ -22,6 +22,7 @@ from repro.controller.controller import (
     AdaptationController,
     SessionLifecycleEvent,
 )
+from repro.errors import ControllerError
 from repro.metrics.history import Observation
 
 __all__ = ["PerformanceEvent", "PerformanceEventMonitor",
@@ -107,7 +108,10 @@ class PerformanceEventMonitor:
                             ) -> tuple[str, float] | None:
         try:
             instance = self.controller.registry.instance(app_key)
-        except Exception:
+        except ControllerError:
+            # Unknown key: the app ended/was evicted between the metric
+            # arriving and this lookup.  Never a blanket except — an
+            # AttributeError here is a bug, not a missing registration.
             return None
         for bundle_name, state in instance.bundles.items():
             if state.chosen is not None:

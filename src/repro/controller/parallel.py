@@ -33,13 +33,15 @@ from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+import pickle
 import time as _time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
 from repro.allocation.allocation import allocate
 from repro.controller.optimizer import Candidate
-from repro.errors import AllocationError, ControllerError
+from repro.errors import AllocationError, ControllerError, HarmonyError
+from repro.obs.flightrec import EVENT_SERVER_ERROR
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.controller.controller import AdaptationController
@@ -343,10 +345,27 @@ class ParallelSweepExecutor:
             pid = futures[future]
             try:
                 outcome = future.result()
-            except Exception:
-                # Unpicklable state, a worker crash, anything: that
-                # partition simply falls back to the inline sweep.
+            except (HarmonyError, concurrent.futures.BrokenExecutor,
+                    concurrent.futures.CancelledError,
+                    pickle.PickleError, OSError):
+                # The expected pool failures — a worker-side controller
+                # error, a crashed/cancelled worker, unpicklable state,
+                # an IPC error: that partition simply falls back to the
+                # inline sweep.
                 self.pool_errors += 1
+                continue
+            except Exception as exc:
+                # A programming error is *also* safe to fall back from
+                # (the inline sweep recomputes the partition), but it
+                # must not be silently mistaken for a transport hiccup:
+                # flight-record it so the bug is visible.
+                self.pool_errors += 1
+                recorder = getattr(controller, "flight_recorder", None)
+                if recorder is not None:
+                    recorder.record(EVENT_SERVER_ERROR,
+                                    error=type(exc).__name__,
+                                    message=str(exc),
+                                    partition=pid)
                 continue
             result.pooled_pids.add(pid)
             for bkey, candidate, gain in outcome["proposals"]:

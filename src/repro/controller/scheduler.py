@@ -247,15 +247,24 @@ class CoalescingScheduler:
 
         Returns False on timeout.  Only useful while the background
         thread runs (or another thread drives :meth:`run_pending`).
+
+        The deadline runs on the injected ``self.clock`` — a simulated
+        clock drives the timeout deterministically.  The condition wait
+        itself still slices real time: an injected clock cannot wake a
+        sleeping thread, so the loop polls in short real-time slices
+        and re-reads the injected clock on each pass.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else self.clock() + timeout
         with self._cond:
             while self.generation < generation:
                 remaining = None if deadline is None \
-                    else deadline - time.monotonic()
+                    else deadline - self.clock()
                 if remaining is not None and remaining <= 0:
                     return False
-                self._cond.wait(remaining)
+                if remaining is None:
+                    self._cond.wait(None)
+                else:
+                    self._cond.wait(min(remaining, 0.05))
         return True
 
     # -- the background loop --------------------------------------------------

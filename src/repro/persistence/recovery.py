@@ -229,6 +229,16 @@ def _apply_record(controller: AdaptationController,
             raise RecoveryError(
                 f"replay diverged: register produced {instance.key!r}, "
                 f"log says {data['key']!r} (seq {record.seq})")
+    elif kind == "adopt":
+        # A federation handoff re-admitted the instance under its
+        # original key (see AdaptationController.adopt_app): rebuild it
+        # with the exact logged id — register_app would mint a new one.
+        instance = controller.adopt_app(str(data["app_name"]),
+                                        int(data["instance_id"]))
+        if instance.key != data["key"]:
+            raise RecoveryError(
+                f"replay diverged: adopt produced {instance.key!r}, "
+                f"log says {data['key']!r} (seq {record.seq})")
     elif kind == "setup_bundle":
         instance = registry.instance(str(data["key"]))
         rsl = str(data["rsl"])

@@ -68,7 +68,13 @@ from repro.api.protocol import (
     require_field,
 )
 from repro.api.transport import Transport
-from repro.errors import RecoveryError, ReplicationError, TransportError
+from repro.errors import (
+    ControllerBusyError,
+    ProtocolError,
+    RecoveryError,
+    ReplicationError,
+    TransportError,
+)
 from repro.metrics.histogram import COUNT_BOUNDS
 from repro.obs.flightrec import EVENT_PROMOTION, EVENT_REPLICATION
 from repro.persistence import codec
@@ -122,7 +128,17 @@ class FencingStore:
     Stored as a single JSON file written atomically (tmp + fsync +
     rename), so readers always see a complete record.  The ``clock`` is
     injectable — the failover tests drive lease expiry deterministically
-    instead of sleeping.
+    instead of sleeping.  It defaults to ``time.monotonic``, matching
+    the primary/standby machinery: a wall clock here would let an NTP
+    step prematurely lapse the lease (electing two primaries) or
+    indefinitely extend it (electing none).
+
+    Cross-process caveat: ``time.monotonic`` has an arbitrary per-boot,
+    per-OS epoch, so the absolute ``lease_expires_at`` stored in the
+    record is only meaningful to processes sharing that epoch — i.e.
+    processes on the *same machine*, which is also what a same-host
+    flock requires.  A multi-host deployment must inject a shared clock
+    (and a real coordination service); see docs/replication.md.
 
     This is deliberately the simplest thing that fences: both sides must
     be able to reach the same file (shared storage), exactly like the
@@ -137,7 +153,8 @@ class FencingStore:
     ``term+1`` naming themselves holder and split-brain.
     """
 
-    def __init__(self, path: str, clock: Callable[[], float] = time.time):
+    def __init__(self, path: str,
+                 clock: Callable[[], float] = time.monotonic):
         self.path = path
         self.clock = clock
 
@@ -512,13 +529,24 @@ class ReplicationPrimary:
         error — the link is dropped and the standby re-hellos."""
         try:
             link.transport.send(message)
-        except Exception:
+        except (TransportError, ControllerBusyError, ProtocolError,
+                OSError):
+            # The expected shipping failures: a dead/stalled link, a
+            # backpressured write queue, an oversized frame, a raw
+            # socket error.  Anything else is a programming error — let
+            # it unwind (flight-recorded) instead of silently dropping
+            # the standby.
             with self._lock:
                 self._links.pop(link.standby_id, None)
             self.controller.metrics.increment("replication.ship_errors",
                                               self.controller.now)
             self._record_event("standby_dropped",
                                standby_id=link.standby_id)
+        except Exception as exc:
+            self._record_event("ship_error", standby_id=link.standby_id,
+                               error=type(exc).__name__,
+                               message=str(exc))
+            raise
 
     def _record_event(self, detail: str, **fields: Any) -> None:
         recorder = getattr(self.controller, "flight_recorder", None)

@@ -123,6 +123,23 @@ class TestRegisterAfterEviction:
         evicted = server.check_leases()
         assert evicted == [key]
 
+    def test_stop_wakes_a_blocked_accept_immediately(self):
+        """Regression: stop() only closed the listener fd, which does
+        not wake a thread blocked in accept(2) — every shutdown with an
+        idle accept loop burned the full 5 s join timeout (x N servers
+        for a federation)."""
+        _controller, server = make_server()
+        server.serve_tcp("127.0.0.1", 0)
+        deadline = time.monotonic() + 2.0
+        while server._accept_thread is None \
+                or not server._accept_thread.is_alive():
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        time.sleep(0.2)  # let the thread actually block in accept()
+        started = time.monotonic()
+        server.stop()
+        assert time.monotonic() - started < 2.0
+
     def test_duplicate_register_gets_a_fresh_session(self):
         clock = FakeClock()
         controller, server = make_server(lease_seconds=10.0, clock=clock)

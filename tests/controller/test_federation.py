@@ -1,0 +1,280 @@
+"""Sharded federation at unit scale: ring, arbiter, handoff, rebalance.
+
+The wire-level redirect (``shard_moved``) and the client's follow-the-
+redirect behavior live in tests/integration/test_federation_handoff.py;
+this module exercises the federation machinery directly.
+"""
+
+import collections
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.controller import AdaptationController
+from repro.controller.federation import (
+    Federation,
+    RootArbiter,
+    ShardMap,
+    shard_hash,
+)
+from repro.errors import ControllerError
+
+RSL = """
+harmonyBundle {name} where {{
+    {{small {{node worker {{os linux}} {{seconds 5}} {{memory 16}}}}}}
+    {{big {{node worker {{os linux}} {{seconds 3}} {{memory 64}}}}}}}}
+"""
+
+
+def disjoint_factory(index):
+    """Each shard gets its own (disjoint) cluster replica."""
+    return AdaptationController(Cluster.full_mesh(
+        [f"s{index}n{i}" for i in range(4)], memory_mb=256))
+
+
+def shared_factory(_index):
+    """Every shard claims the same hostnames (all cross-shard)."""
+    return AdaptationController(Cluster.full_mesh(
+        ["n0", "n1", "n2", "n3"], memory_mb=256))
+
+
+def serve_local(federation):
+    """Bind every server on an ephemeral TCP port."""
+    return federation.serve(
+        lambda server: server.serve_tcp("127.0.0.1", 0))
+
+
+@pytest.fixture
+def federation():
+    fed = Federation(disjoint_factory, 3)
+    serve_local(fed)
+    yield fed
+    fed.stop(stop_servers=True)
+
+
+class TestShardHash:
+    def test_is_stable_across_processes(self):
+        # crc32, not hash(): PYTHONHASHSEED must not move sessions.
+        assert shard_hash("DBclient.1") == 977046241
+        assert shard_hash("") == 0
+
+    def test_distinct_keys_spread(self):
+        values = {shard_hash(f"app-{i}") for i in range(100)}
+        assert len(values) == 100
+
+
+class TestShardMap:
+    def test_deterministic_and_in_range(self):
+        a = ShardMap(["h:1", "h:2", "h:3", "h:4"])
+        b = ShardMap(["h:1", "h:2", "h:3", "h:4"])
+        for i in range(200):
+            key = f"app-{i}"
+            assert a.shard_for(key) == b.shard_for(key)
+            assert 0 <= a.shard_for(key) < 4
+
+    def test_vnodes_smooth_the_split(self):
+        shard_map = ShardMap(["h:1", "h:2", "h:3", "h:4"], vnodes=64)
+        counts = collections.Counter(
+            shard_map.shard_for(f"app-{i}") for i in range(2000))
+        assert set(counts) == {0, 1, 2, 3}
+        # No shard owns more than half the keyspace.
+        assert max(counts.values()) < 1000
+
+    def test_growing_the_ring_moves_few_keys(self):
+        # The consistent-hash property: adding a shard re-owns roughly
+        # 1/N of the keys, not all of them.
+        small = ShardMap(["h:1", "h:2", "h:3", "h:4"])
+        grown = ShardMap(["h:1", "h:2", "h:3", "h:4", "h:5"])
+        keys = [f"app-{i}" for i in range(1000)]
+        moved = sum(1 for key in keys
+                    if small.shard_for(key) != grown.shard_for(key))
+        assert 0 < moved < 500
+
+    def test_rejects_empty_and_bad_vnodes(self):
+        with pytest.raises(ControllerError):
+            ShardMap([])
+        with pytest.raises(ControllerError):
+            ShardMap(["h:1"], vnodes=0)
+
+    def test_payload_is_the_wire_form(self):
+        shard_map = ShardMap(["h:1", "h:2"])
+        assert shard_map.to_payload() == [
+            {"index": 0, "address": "h:1"},
+            {"index": 1, "address": "h:2"}]
+
+
+class TestRootArbiter:
+    def test_assignment_beats_the_hash(self):
+        arbiter = RootArbiter(ShardMap(["h:1", "h:2"]))
+        hashed = arbiter.shard_for(app_name="App")
+        other = 1 - hashed
+        arbiter.assign("App.1", other)
+        assert arbiter.shard_for(resume_key="App.1") == other
+        # The name half of a resume key hashes like the app name.
+        assert arbiter.shard_for(resume_key="App.2") == hashed
+        arbiter.forget("App.1")
+        assert arbiter.shard_for(resume_key="App.1") == hashed
+
+    def test_lookup_needs_a_subject(self):
+        arbiter = RootArbiter(ShardMap(["h:1"]))
+        with pytest.raises(ControllerError):
+            arbiter.lookup()
+
+    def test_cross_shard_hosts_pin_to_first_claimant(self):
+        arbiter = RootArbiter(ShardMap(["h:1", "h:2"]))
+        arbiter.claim_hosts(0, ["a", "shared"])
+        arbiter.claim_hosts(1, ["b", "shared"])
+        assert arbiter.cross_shard_hosts == frozenset({"shared"})
+        assert arbiter.host_owner("shared") == 0
+        assert arbiter.host_owner("b") == 1
+        assert arbiter.host_owner("nope") is None
+
+
+class TestFederationRouting:
+    def test_requires_serve_before_routing(self):
+        fed = Federation(disjoint_factory, 2)
+        with pytest.raises(ControllerError, match="not serving"):
+            fed.shard_for(app_name="App")
+
+    def test_serve_is_once_only(self, federation):
+        with pytest.raises(ControllerError, match="already serving"):
+            serve_local(federation)
+
+    def test_disjoint_clusters_have_no_cross_shard_hosts(self,
+                                                         federation):
+        assert federation.arbiter.cross_shard_hosts == frozenset()
+
+    def test_arbiter_answers_shard_lookup_on_the_wire(self, federation):
+        from repro.api import HarmonyClient
+        from repro.api.transport import TcpTransport
+
+        host, _, port = federation.arbiter_address.rpartition(":")
+        client = HarmonyClient(TcpTransport.connect(host, int(port)))
+        try:
+            reply = client.locate_shard(app_name="DBclient")
+            assert len(reply["shards"]) == 3
+            expected = federation.shard_for("DBclient").address
+            assert reply["leader"] == expected
+        finally:
+            client.transport.close()
+
+    def test_plain_shards_refuse_shard_lookup(self, federation):
+        from repro.api import HarmonyClient
+        from repro.api.transport import TcpTransport
+        from repro.errors import HarmonyError
+
+        host, _, port = federation.shards[0].address.rpartition(":")
+        client = HarmonyClient(TcpTransport.connect(host, int(port)))
+        try:
+            with pytest.raises(HarmonyError, match="not a federation"):
+                client.locate_shard(app_name="DBclient")
+        finally:
+            client.transport.close()
+
+
+class TestHandoff:
+    def register(self, federation, shard, name):
+        controller = shard.controller
+        instance = controller.register_app(name)
+        controller.setup_bundle(instance, RSL.format(name=name))
+        return instance
+
+    def test_move_session_transfers_registry_and_assignment(
+            self, federation):
+        origin = federation.shards[0]
+        instance = self.register(federation, origin, "App")
+        assert federation.shard_owning(instance.key) is origin
+        assert federation.move_session(instance.key, 2)
+        assert federation.shard_owning(instance.key) \
+            is federation.shards[2]
+        assert federation.arbiter.shard_for(
+            resume_key=instance.key) == 2
+        assert federation.handoffs == 1
+        # The origin tombstoned the key for the redirect.
+        assert origin.server.moved_target(instance.key) \
+            == federation.shards[2].address
+        # The adopted instance kept its identity.
+        adopted = federation.shards[2].controller.registry.instance(
+            instance.key)
+        assert adopted.instance_id == instance.instance_id
+
+    def test_move_unknown_or_same_shard_is_a_noop(self, federation):
+        assert not federation.move_session("nope.1", 1)
+        origin = federation.shards[1]
+        instance = self.register(federation, origin, "Stay")
+        assert not federation.move_session(instance.key, 1)
+        assert federation.handoffs == 0
+        with pytest.raises(ControllerError):
+            federation.move_session(instance.key, 99)
+
+    def test_rebalance_levels_session_counts(self, federation):
+        busy = federation.shards[0]
+        for i in range(6):
+            self.register(federation, busy, f"App{i}")
+        assert busy.session_count == 6
+        moved = federation.rebalance(max_moves=8)
+        assert moved >= 4
+        counts = [shard.session_count for shard in federation.shards]
+        assert sum(counts) == 6
+        assert max(counts) - min(counts) <= 1
+        assert federation.rebalances == 1
+        # Balanced: another pass is a no-op.
+        assert federation.rebalance() == 0
+        assert federation.rebalances == 1
+
+    def test_rebalance_never_moves_cross_shard_placements(self):
+        fed = Federation(shared_factory, 2)
+        serve_local(fed)
+        try:
+            busy = fed.shards[0]
+            for i in range(4):
+                self.register(fed, busy, f"App{i}")
+            # Every host is claimed by both shards, so every placed
+            # session is pinned to the arbiter-owned hosts.
+            assert fed.arbiter.cross_shard_hosts
+            assert fed.rebalance() == 0
+            assert busy.session_count == 4
+        finally:
+            fed.stop(stop_servers=True)
+
+    def test_handoff_is_flight_recorded(self, federation):
+        origin = federation.shards[0]
+        instance = self.register(federation, origin, "App")
+        federation.move_session(instance.key, 1)
+        counts = origin.controller.flight_recorder.counts()
+        assert counts.get("shard_handoff", 0) == 1
+
+
+class TestShardJournals:
+    def test_adopted_session_survives_shard_crash_recovery(
+            self, tmp_path):
+        """The WAL 'adopt' record: replaying a handed-off session must
+        reproduce the original instance id, not mint a fresh one."""
+        fed = Federation(disjoint_factory, 2, directory=str(tmp_path))
+        serve_local(fed)
+        try:
+            origin = fed.shards[0]
+            controller = origin.controller
+            instance = controller.register_app("Moved")
+            controller.setup_bundle(instance,
+                                    RSL.format(name="Moved"))
+            # Burn an id on the target so adopted ids cannot collide
+            # with a naive register-replay.
+            target_controller = fed.shards[1].controller
+            filler = target_controller.register_app("Filler")
+            target_controller.end_app(filler)
+            assert fed.move_session(instance.key, 1)
+            target_dir = fed.shards[1].journal_dir
+        finally:
+            fed.stop(stop_servers=True)
+            for shard in fed.shards:
+                if shard.journal is not None:
+                    shard.journal.close()
+
+        recovered = AdaptationController.restore(target_dir)
+        try:
+            adopted = recovered.registry.instance("Moved.1")
+            assert adopted.instance_id == 1
+            assert not adopted.ended
+        finally:
+            recovered.journal.close()

@@ -116,6 +116,50 @@ class TestGenerations:
         scheduler.flush()
         assert scheduler.wait_for_generation(covering, timeout=0.0)
 
+    def test_wait_deadline_runs_on_the_injected_clock(self, controller):
+        """Regression: the wait deadline read ``time.monotonic()``
+        directly instead of ``self.clock``, so a simulated clock could
+        never drive the timeout — a test asking for a 60 s timeout
+        really slept 60 s."""
+        import time
+
+        class SteppingClock(FakeClock):
+            def __call__(self):
+                now = self.now
+                self.now += 5.0  # every read advances simulated time
+                return now
+
+        scheduler = CoalescingScheduler(controller, coalesce_window=0.0,
+                                        max_delay=0.0,
+                                        clock=SteppingClock())
+        covering = scheduler.request("never-run")
+        started = time.monotonic()
+        assert not scheduler.wait_for_generation(covering, timeout=60.0)
+        # ~13 clock reads at 5 s/read burn the simulated deadline in
+        # well under a real second.
+        assert time.monotonic() - started < 5.0
+
+    def test_wait_with_frozen_clock_observes_cross_thread_flush(
+            self, sched):
+        """A frozen injected clock cannot wake a sleeping waiter, so
+        the wait slices real time and re-checks — a flush from another
+        thread must still be observed."""
+        import time
+
+        _controller, scheduler, clock = sched
+        covering = scheduler.request("a")
+
+        def flush_later():
+            time.sleep(0.05)
+            scheduler.flush()
+
+        flusher = threading.Thread(target=flush_later)
+        flusher.start()
+        try:
+            assert scheduler.wait_for_generation(covering, timeout=30.0)
+        finally:
+            flusher.join()
+
     def test_validation_rejects_inverted_windows(self, controller):
         with pytest.raises(ValueError):
             CoalescingScheduler(controller, coalesce_window=1.0,

@@ -1,0 +1,161 @@
+"""Cross-shard handoff end to end, over both TCP front ends.
+
+A live client is tuned on its hash-owned shard, the federation moves its
+session to a sibling, and the client's next request draws the retryable
+``shard_moved`` redirect: it reconnects to the target, rejoins with its
+``resume_key``, and its tuned option, staged-but-undelivered variable
+pushes, and decision-trace history all survive the move.
+"""
+
+import time
+
+import pytest
+
+from repro.api import HarmonyClient, RetryPolicy, TcpTransport, VariableType
+from repro.cluster import Cluster
+from repro.controller import AdaptationController
+from repro.controller.federation import Federation
+
+RSL = """
+harmonyBundle {name} where {{
+    {{small {{node worker {{os linux}} {{seconds 5}} {{memory 16}}}}}}
+    {{big {{node worker {{os linux}} {{seconds 3}} {{memory 64}}}}}}}}
+"""
+
+RETRY = RetryPolicy(max_attempts=4, backoff_initial_seconds=0.01,
+                    request_timeout_seconds=10.0)
+
+
+@pytest.fixture
+def federation(server_factory):
+    """Two disjoint shards plus the arbiter, over the front end under
+    test; the server_factory owns (and stops) every front end."""
+    fed = Federation(
+        lambda index: AdaptationController(Cluster.full_mesh(
+            [f"s{index}n{i}" for i in range(4)], memory_mb=256)),
+        2)
+    fed.serve(lambda server: server_factory(server).address)
+    yield fed
+    fed.stop()
+
+
+def connect(address, **kwargs):
+    host, _, port = address.rpartition(":")
+    return HarmonyClient(TcpTransport.connect(host, int(port)),
+                         retry_policy=RETRY, **kwargs)
+
+
+def tuned_client(federation, name):
+    """Register on the hash-owned shard and tune the bundle."""
+    origin = federation.shard_for(name)
+    client = connect(origin.address)
+    key = client.startup(name)
+    chosen = client.bundle_setup(RSL.format(name=name))
+    assert chosen["option"] == "big"
+    return origin, client, key
+
+
+def wait_until(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never held"
+        time.sleep(0.01)
+
+
+class TestHandoffContinuity:
+    def test_client_follows_shard_moved_and_keeps_its_state(
+            self, federation):
+        origin, client, key = tuned_client(federation, "Mover")
+        note = client.add_variable("sidecar.note", "fresh",
+                                   VariableType.STRING)
+        origin_traces = list(
+            origin.controller.trace_log.for_app(key))
+        assert origin_traces  # the initial bundle choice was traced
+
+        # Stage a push the client has NOT yet received, then move the
+        # session before anything flushes it.
+        origin.server.stage_updates(key, {"sidecar.note": "carried"})
+        target_index = (origin.index + 1) % 2
+        assert federation.move_session(key, target_index)
+        target = federation.shards[target_index]
+
+        # The next request hits the origin's tombstone, draws
+        # shard_moved, and the retry loop reconnects to the target and
+        # replays the session under its original key.
+        nodes = client.query_nodes()
+        assert client.reconnects == 1
+        assert client.app_key == key
+        hostnames = {node["hostname"] for node in nodes["nodes"]}
+        assert hostnames == {f"s{target_index}n{i}" for i in range(4)}
+
+        # Tuned option: the replayed bundle re-optimizes to the same
+        # choice on the target's (equally shaped) cluster replica.
+        adopted = target.controller.registry.instance(key)
+        state = next(iter(adopted.bundles.values()))
+        assert state.chosen is not None
+        assert state.chosen.option_name == "big"
+
+        # The carried, undelivered push is flushed by the resume.
+        wait_until(lambda: note.value == "carried")
+
+        # Decision-trace continuity: the origin's pre-move traces were
+        # imported, and the replayed setup appended to them.
+        target_traces = list(
+            target.controller.trace_log.for_app(key))
+        assert len(target_traces) > len(origin_traces)
+        assert target_traces[:len(origin_traces)] == origin_traces
+
+        client.end()
+
+    def test_rebalance_moves_a_live_session_mid_flight(self, federation):
+        """The background path: a rebalance (not an explicit move)
+        relocates the client's session."""
+        origin, client, key = tuned_client(federation, "Busy")
+        # Pile synthetic sessions onto the client's shard so the
+        # rebalancer picks it as the fullest.
+        for i in range(3):
+            instance = origin.controller.register_app(f"Filler{i}")
+            origin.controller.setup_bundle(
+                instance, RSL.format(name=f"Filler{i}"))
+        moved = federation.rebalance()
+        assert moved >= 1
+        # Whether or not the live session itself moved, the client must
+        # still reach *a* server that owns its key.
+        assert client.query_nodes()["nodes"]
+        owner = federation.shard_owning(key)
+        assert owner is not None
+        if owner.index != origin.index:
+            assert client.reconnects == 1
+        client.end()
+
+    def test_moved_session_redirect_names_the_target(self, federation):
+        from repro.api import make_message
+
+        origin, client, key = tuned_client(federation, "Pinned")
+        target_index = (origin.index + 1) % 2
+        federation.move_session(key, target_index)
+        # A frame-level register carrying the moved resume_key draws the
+        # redirect with the target's address; a fresh name does not.
+        transport = connect(origin.address).transport
+        replies = []
+        transport.set_receiver(replies.append)
+        transport.send(make_message("register", app_name="Pinned",
+                                    resume_key=key))
+        wait_until(lambda: replies)
+        assert replies[0]["type"] == "shard_moved"
+        assert replies[0]["leader"] \
+            == federation.shards[target_index].address
+        transport.close()
+        client.end()
+
+    def test_arbiter_lookup_tracks_the_move(self, federation):
+        origin, client, key = tuned_client(federation, "Tracked")
+        target_index = (origin.index + 1) % 2
+        arbiter = connect(federation.arbiter_address)
+        before = arbiter.locate_shard(resume_key=key)
+        assert before["leader"] == origin.address
+        federation.move_session(key, target_index)
+        after = arbiter.locate_shard(resume_key=key)
+        assert after["leader"] == federation.shards[target_index].address
+        arbiter.transport.close()
+        client.end()

@@ -145,6 +145,30 @@ class TestFencingStore:
         assert store.read().term == 0
         assert store.expired()
 
+    def test_default_clock_is_monotonic(self, tmp_path):
+        """Regression: the default was the wall clock, disagreeing with
+        the primary/standby machinery (which always ran on monotonic).
+        An NTP step could then lapse a live lease (two primaries) or
+        extend it forever (none)."""
+        import time
+
+        store = FencingStore(str(tmp_path / "fence"))
+        assert store.clock is time.monotonic
+
+    def test_wall_clock_step_cannot_lapse_a_live_lease(self, tmp_path,
+                                                       monkeypatch):
+        import time
+
+        store = FencingStore(str(tmp_path / "fence"))
+        store.acquire("primary", lease_seconds=3600.0)
+        # A huge forward wall step (NTP correction): fencing must not
+        # notice — the lease runs on the monotonic clock.
+        monkeypatch.setattr(time, "time",
+                            lambda: time.monotonic() + 1e9)
+        assert not store.expired()
+        with pytest.raises(ReplicationError, match="held by 'primary'"):
+            store.acquire("usurper", lease_seconds=3600.0)
+
 
 class TestWalShipping:
     def test_live_tail_converges_byte_identically(self, tmp_path):
